@@ -1,0 +1,71 @@
+// Ablation: parallel in-memory FindShapes.
+//
+// The paper's conclusion calls for improving the db-dependent component;
+// besides incremental maintenance (ablation_incremental_shapes), the
+// in-memory scan parallelizes trivially across relations and row ranges.
+// This bench sweeps the thread count on one large generated database and
+// reports speedup over the serial scan.
+
+#include <iostream>
+
+#include "common.h"
+#include "storage/catalog.h"
+#include "storage/parallel_shape_finder.h"
+#include "storage/shape_finder.h"
+
+using namespace chase;
+using namespace chase::bench;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  const uint32_t reps = flags.reps != 0 ? flags.reps : 3;
+  const uint64_t rsize = static_cast<uint64_t>(50'000 * flags.scale);
+
+  DataGenParams params;
+  params.preds = 40;
+  params.min_arity = 1;
+  params.max_arity = 5;
+  params.dsize = 1'000'000;
+  params.rsize = rsize;
+  params.seed = flags.seed;
+  auto data = GenerateData(params);
+  if (!data.ok()) {
+    std::cerr << data.status() << "\n";
+    return 1;
+  }
+  storage::Catalog catalog(data->database.get());
+  Timer timer;
+  std::vector<Shape> expected = storage::FindShapesInMemory(catalog);
+  double serial_ms = timer.ElapsedMillis();
+  for (uint32_t rep = 1; rep < reps; ++rep) {
+    timer.Restart();
+    (void)storage::FindShapesInMemory(catalog);
+    serial_ms = std::min(serial_ms, timer.ElapsedMillis());
+  }
+
+  TablePrinter table({"threads", "n-tuples", "n-shapes", "t-shapes-ms",
+                      "speedup"});
+  table.AddRow({"serial", std::to_string(data->database->TotalFacts()),
+                std::to_string(expected.size()), FmtMs(serial_ms), "1.0x"});
+  for (unsigned threads : {2u, 4u, 8u, 16u}) {
+    double best_ms = 0;
+    for (uint32_t rep = 0; rep < reps; ++rep) {
+      timer.Restart();
+      std::vector<Shape> shapes =
+          storage::FindShapesParallel(catalog, threads);
+      const double ms = timer.ElapsedMillis();
+      if (shapes != expected) {
+        std::cerr << "parallel/serial mismatch\n";
+        return 1;
+      }
+      best_ms = rep == 0 ? ms : std::min(best_ms, ms);
+    }
+    table.AddRow({std::to_string(threads),
+                  std::to_string(data->database->TotalFacts()),
+                  std::to_string(expected.size()), FmtMs(best_ms),
+                  Fmt(serial_ms / std::max(best_ms, 1e-6), 1) + "x"});
+  }
+  Emit(flags, "Ablation: parallel in-memory FindShapes (thread sweep)",
+       table);
+  return 0;
+}

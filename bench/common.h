@@ -1,0 +1,123 @@
+// Shared harness for the experiment benches. Each bench binary regenerates
+// one table or figure of the paper (see DESIGN.md §5) and prints the rows /
+// series the paper plots, through TablePrinter.
+//
+// Common flags (all binaries):
+//   --scale=<f>     scale factor on workload sizes (default 1.0 = the
+//                   laptop-sized defaults documented in EXPERIMENTS.md)
+//   --full          paper-sized workloads (equivalent to a large --scale)
+//   --seed=<n>      RNG seed
+//   --csv           emit CSV instead of an aligned table
+//   --reps=<n>      sets / repetitions per configuration
+//   --query-overhead-us=<n>  simulated DBMS per-query dispatch cost added to
+//                   in-database FindShapes timings (PostgreSQL parse/plan/
+//                   execute overhead; see EXPERIMENTS.md). Default 25.
+
+#ifndef CHASE_BENCH_COMMON_H_
+#define CHASE_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/table_printer.h"
+#include "base/timer.h"
+#include "core/is_chase_finite.h"
+#include "gen/data_generator.h"
+#include "gen/tgd_generator.h"
+#include "logic/parser.h"
+
+namespace chase {
+namespace bench {
+
+struct BenchFlags {
+  double scale = 1.0;
+  bool full = false;
+  uint64_t seed = 20230322;
+  bool csv = false;
+  uint32_t reps = 0;  // 0 = per-bench default
+  double query_overhead_us = 25.0;
+
+  static BenchFlags Parse(int argc, char** argv);
+};
+
+// A predicate profile [lo, hi] (number of predicates in sch(Σ)).
+struct PredProfile {
+  uint32_t lo;
+  uint32_t hi;
+  std::string Label() const;
+};
+
+// The paper's three predicate profiles: [5,200], [200,400], [400,600].
+std::vector<PredProfile> PredicateProfiles();
+
+// A TGD profile [lo, hi] (number of TGDs). The paper splits [1, 1M] into
+// thirds; we split [1, max_rules].
+struct TgdProfile {
+  uint64_t lo;
+  uint64_t hi;
+  std::string Label() const;
+};
+std::vector<TgdProfile> TgdProfiles(uint64_t max_rules);
+
+// The Section 7/8 base schema: 1000 predicates of arity in [1,5].
+std::unique_ptr<Schema> MakeBaseSchema(Rng* rng);
+
+// D_Σ (Remark 1): one all-distinct fact per predicate of `schema`.
+void PopulateInducedDatabase(const Schema& schema, Database* db);
+
+// One Figure-1-style run: serialize the TGDs, parse them back (t-parse),
+// then run Algorithm 1 on (D_Σ, Σ).
+struct SlRun {
+  size_t n_rules = 0;
+  size_t n_preds = 0;
+  double parse_ms = 0;
+  double graph_ms = 0;
+  double comp_ms = 0;
+  size_t graph_edges = 0;
+  bool finite = false;
+
+  double TotalMs() const { return parse_ms + graph_ms + comp_ms; }
+};
+StatusOr<SlRun> RunSlExperiment(const Schema& base_schema,
+                                const std::vector<Tgd>& tgds);
+
+// One Section-8-style run of the db-independent component: serialize +
+// parse the linear TGDs (t-parse), find shapes (t-shapes, reported but not
+// part of t-total), dynamic simplification + graph (t-graph), SCC search
+// (t-comp).
+struct LRun {
+  size_t n_rules = 0;
+  size_t n_tuples = 0;
+  double parse_ms = 0;
+  double shapes_ms = 0;
+  double graph_ms = 0;
+  double comp_ms = 0;
+  size_t n_shapes = 0;
+  size_t n_simplified = 0;
+  size_t graph_edges = 0;
+  bool finite = false;
+
+  // t-total of the db-independent component (Section 8).
+  double DbIndependentMs() const { return parse_ms + graph_ms + comp_ms; }
+};
+StatusOr<LRun> RunLExperiment(const Schema& base_schema,
+                              const Database& database,
+                              const std::vector<Tgd>& tgds,
+                              storage::ShapeFinderMode mode,
+                              double query_overhead_us);
+
+// Formatting helpers.
+std::string Fmt(double value, int decimals = 2);
+std::string FmtMs(double ms);
+
+// Prints `table` per flags (table or CSV) with a heading.
+void Emit(const BenchFlags& flags, const std::string& title,
+          const TablePrinter& table);
+
+}  // namespace bench
+}  // namespace chase
+
+#endif  // CHASE_BENCH_COMMON_H_

@@ -1,0 +1,58 @@
+// Figure 1: runtime of IsChaseFinite[SL] vs n-rules.
+//
+// Paper setup (§7.1): nine combined profiles — predicate profiles [5,200],
+// [200,400], [400,600] × TGD profiles thirds of [1, 1M] — 100 sets each,
+// over a 1000-predicate schema of arity [1,5]; the input database is D_Σ.
+// Default here: thirds of [1, 120K], 4 sets per combined profile (--full
+// restores 1M / and --reps the per-profile count). One row per generated
+// set: the four time parameters of Figure 1(a)-(d).
+
+#include <iostream>
+
+#include "common.h"
+
+using namespace chase;
+using namespace chase::bench;
+
+int main(int argc, char** argv) {
+  BenchFlags flags = BenchFlags::Parse(argc, argv);
+  const uint64_t max_rules = static_cast<uint64_t>(
+      (flags.full ? 1'000'000 : 120'000) * flags.scale);
+  const uint32_t reps = flags.reps != 0 ? flags.reps : (flags.full ? 100 : 4);
+
+  Rng rng(flags.seed);
+  std::unique_ptr<Schema> base_schema = MakeBaseSchema(&rng);
+
+  TablePrinter table({"pred-profile", "tgd-profile", "n-rules", "t-parse-ms",
+                      "t-graph-ms", "t-comp-ms", "t-total-ms", "finite"});
+  for (const PredProfile& preds : PredicateProfiles()) {
+    for (const TgdProfile& rules : TgdProfiles(max_rules)) {
+      for (uint32_t rep = 0; rep < reps; ++rep) {
+        TgdGenParams params;
+        params.ssize = static_cast<uint32_t>(rng.Range(preds.lo, preds.hi));
+        params.min_arity = 1;
+        params.max_arity = 5;
+        params.tsize = rng.Range(rules.lo, rules.hi);
+        params.tclass = TgdClass::kSimpleLinear;
+        params.seed = rng.Next();
+        auto tgds = GenerateTgds(*base_schema, params);
+        if (!tgds.ok()) {
+          std::cerr << tgds.status() << "\n";
+          return 1;
+        }
+        auto run = RunSlExperiment(*base_schema, tgds.value());
+        if (!run.ok()) {
+          std::cerr << run.status() << "\n";
+          return 1;
+        }
+        table.AddRow({preds.Label(), rules.Label(),
+                      std::to_string(run->n_rules), FmtMs(run->parse_ms),
+                      FmtMs(run->graph_ms), FmtMs(run->comp_ms),
+                      FmtMs(run->TotalMs()), run->finite ? "yes" : "no"});
+      }
+    }
+  }
+  Emit(flags, "Figure 1: IsChaseFinite[SL] runtime breakdown vs n-rules",
+       table);
+  return 0;
+}

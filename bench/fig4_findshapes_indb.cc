@@ -1,0 +1,12 @@
+// Figure 4: runtime of FindShapes, in-database implementation, vs n-tuples.
+
+#include "storage/shape_finder.h"
+
+namespace {
+constexpr chase::storage::ShapeFinderMode kFinderMode =
+    chase::storage::ShapeFinderMode::kInDatabase;
+constexpr const char* kFigureTitle =
+    "Figure 4: FindShapes runtime (in-database) vs n-tuples";
+}  // namespace
+
+#include "findshapes_bench.inc"

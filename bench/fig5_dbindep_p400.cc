@@ -1,0 +1,10 @@
+// Figure 5: db-independent component of IsChaseFinite[L] vs n-rules,
+// predicate profile [400,600].
+
+namespace {
+constexpr int kProfileIndex = 2;
+constexpr const char* kFigureTitle =
+    "Figure 5: db-independent runtime vs n-rules, profile [400,600]";
+}  // namespace
+
+#include "dbindep_bench.inc"

@@ -1,0 +1,10 @@
+// Figure 6 (appendix): db-independent component of IsChaseFinite[L] vs
+// n-rules, predicate profile [5,200].
+
+namespace {
+constexpr int kProfileIndex = 0;
+constexpr const char* kFigureTitle =
+    "Figure 6: db-independent runtime vs n-rules, profile [5,200]";
+}  // namespace
+
+#include "dbindep_bench.inc"

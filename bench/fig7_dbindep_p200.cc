@@ -1,0 +1,10 @@
+// Figure 7 (appendix): db-independent component of IsChaseFinite[L] vs
+// n-rules, predicate profile [200,400].
+
+namespace {
+constexpr int kProfileIndex = 1;
+constexpr const char* kFigureTitle =
+    "Figure 7: db-independent runtime vs n-rules, profile [200,400]";
+}  // namespace
+
+#include "dbindep_bench.inc"

@@ -1,0 +1,97 @@
+// Data-exchange example: source-to-target TGDs and inclusion dependencies.
+//
+// The chase is the standard tool for computing data-exchange solutions
+// (Fagin et al.): chase the source database with the mapping; the result is
+// a universal solution. Inclusion dependencies (referential integrity
+// constraints) are exactly simple-linear TGDs (§1.3). This example builds a
+// small HR -> analytics mapping, verifies the chase terminates with the
+// checker, materializes the universal solution, and then shows how adding
+// one target dependency breaks termination.
+
+#include <iostream>
+
+#include "chase/chase_engine.h"
+#include "core/is_chase_finite.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+
+namespace {
+
+// Source schema: employees(name, dept), salaries(name, amount).
+// Target schema: person(name), works(name, dept, mgr), dept(d),
+// payroll(name, amount).
+constexpr const char* kMapping = R"(
+% --- source instance ---
+employees(ada, engineering).
+employees(alan, research).
+salaries(ada, 120).
+salaries(alan, 130).
+
+% --- source-to-target TGDs (the mapping) ---
+employees(N, D) -> person(N).
+employees(N, D) -> exists M : works(N, D, M).
+salaries(N, A) -> payroll(N, A).
+
+% --- target dependencies (inclusion dependencies) ---
+works(N, D, M) -> dept(D).
+works(N, D, M) -> person(M).       % every manager is a person
+payroll(N, A) -> person(N).
+)";
+
+// One extra target dependency: every person works somewhere. Together with
+// "every manager is a person" this generates managers of managers forever.
+constexpr const char* kDivergent =
+    "person(N) -> exists D, M : works(N, D, M).";
+
+void Report(const chase::Program& program) {
+  using namespace chase;
+  auto finite = IsChaseFiniteL(*program.database, program.tgds);
+  if (!finite.ok()) {
+    std::cerr << finite.status() << "\n";
+    std::exit(1);
+  }
+  std::cout << "  termination check: "
+            << (finite.value() ? "terminates" : "diverges") << "\n";
+  if (!finite.value()) return;
+
+  auto result = RunChase(*program.database, program.tgds, {});
+  if (!result.ok()) {
+    std::cerr << result.status() << "\n";
+    std::exit(1);
+  }
+  std::cout << "  universal solution (" << result->instance.NumAtoms()
+            << " atoms):\n";
+  result->instance.ForEachAtom([&](const GroundAtom& atom) {
+    // Only print target atoms (skip the copied source relations).
+    const std::string& pred =
+        program.schema->PredicateName(atom.pred);
+    if (pred == "employees" || pred == "salaries") return;
+    std::cout << "    "
+              << ToString(*program.schema, *program.database, atom) << "\n";
+  });
+}
+
+}  // namespace
+
+int main() {
+  using namespace chase;
+
+  std::cout << "Data exchange with a weakly-acyclic mapping:\n";
+  auto program = ParseProgram(kMapping);
+  if (!program.ok()) {
+    std::cerr << program.status() << "\n";
+    return 1;
+  }
+  Report(program.value());
+
+  std::cout << "\nSame mapping plus \"" << kDivergent << "\":\n";
+  auto extended = ParseProgram(std::string(kMapping) + kDivergent);
+  if (!extended.ok()) {
+    std::cerr << extended.status() << "\n";
+    return 1;
+  }
+  Report(extended.value());
+  std::cout << "  (the checker catches this before any chase is run — on "
+               "real data a materialization attempt would run away)\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Ontology reasoning example: DL-Lite_R axioms as simple-linear TGDs.
+//
+// DL-Lite_R (the logic behind OWL 2 QL) embeds into simple-linear TGDs
+// (§1.3 of the paper): concept inclusions A ⊑ B become A(x) -> B(x),
+// role inclusions R ⊑ S become R(x,y) -> S(x,y), existential restrictions
+// A ⊑ ∃R become A(x) -> ∃y R(x,y), and domain/range axioms ∃R ⊑ A become
+// R(x,y) -> A(x). This example builds a small university ontology, checks
+// chase termination with Algorithm 1 (IsChaseFinite[SL]), and answers an
+// instance query by materialization.
+
+#include <iostream>
+
+#include "chase/chase_engine.h"
+#include "core/is_chase_finite.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+
+namespace {
+
+constexpr const char* kOntology = R"(
+% --- TBox (DL-Lite_R axioms as simple-linear TGDs) ---
+% Concept hierarchy.
+assistantProfessor(X) -> professor(X).
+fullProfessor(X) -> professor(X).
+professor(X) -> faculty(X).
+faculty(X) -> person(X).
+student(X) -> person(X).
+
+% Existential restrictions: faculty teach something; students attend
+% something; courses are taught by someone.
+faculty(X) -> exists C : teaches(X, C).
+student(X) -> exists C : attends(X, C).
+
+% Domain/range axioms.
+teaches(X, C) -> course(C).
+attends(X, C) -> course(C).
+teaches(X, C) -> faculty(X).
+
+% Role inclusion: teaching implies being involved with the course.
+teaches(X, C) -> involvedIn(X, C).
+attends(X, C) -> involvedIn(X, C).
+
+% --- ABox ---
+assistantProfessor(ada).
+fullProfessor(grace).
+student(bob).
+attends(bob, databases).
+teaches(grace, databases).
+)";
+
+}  // namespace
+
+int main() {
+  using namespace chase;
+
+  auto program = ParseProgram(kOntology);
+  if (!program.ok()) {
+    std::cerr << program.status() << "\n";
+    return 1;
+  }
+  std::cout << "University ontology: " << program->tgds.size()
+            << " axioms, " << program->database->TotalFacts()
+            << " assertions.\n";
+
+  if (!AllSimpleLinear(program->tgds)) {
+    std::cerr << "DL-Lite_R axioms must translate to simple-linear TGDs\n";
+    return 1;
+  }
+
+  // DL-Lite_R TBoxes can produce infinite chases (e.g. teaches/faculty
+  // cycles). Check before materializing — this is exactly the paper's use
+  // case for IsChaseFinite[SL].
+  SlCheckStats stats;
+  auto finite = IsChaseFiniteSL(*program->database, program->tgds, &stats);
+  if (!finite.ok()) {
+    std::cerr << finite.status() << "\n";
+    return 1;
+  }
+  std::cout << "Termination check (Algorithm 1): "
+            << (finite.value() ? "chase terminates" : "chase diverges")
+            << "  [dependency graph: " << stats.graph_nodes << " positions, "
+            << stats.graph_edges << " edges, " << stats.special_sccs
+            << " special SCCs]\n";
+  if (!finite.value()) {
+    std::cout << "NOTE: with the teaches->faculty->teaches loop the chase "
+                 "diverges;\nquery answering would need a different "
+                 "technique (e.g. query rewriting).\n";
+    return 0;
+  }
+
+  // Materialize the canonical model and answer: who is involved in what?
+  auto result = RunChase(*program->database, program->tgds, {});
+  if (!result.ok()) {
+    std::cerr << result.status() << "\n";
+    return 1;
+  }
+  std::cout << "Canonical model: " << result->instance.NumAtoms()
+            << " atoms.\nInvolvement facts (instance query involvedIn(x,y)):"
+            << "\n";
+  const PredId involved =
+      program->schema->FindPredicate("involvedIn").value();
+  for (const GroundAtom& atom : result->instance.AtomsOf(involved)) {
+    std::cout << "  "
+              << ToString(*program->schema, *program->database, atom)
+              << "\n";
+  }
+  std::cout << "(terms like _:n0 are labelled nulls — objects the ontology "
+               "guarantees to exist without naming them)\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Referential integrity constraints (inclusion dependencies) as
+// simple-linear TGDs — the paper's Section 1.3 observation that INDs, "a
+// central class of constraints", embed directly into SL.
+//
+// An inclusion dependency R[i1..ik] ⊆ S[j1..jk] says the projection of R on
+// i1..ik must appear in S's columns j1..jk; repairing a violation inserts an
+// S-tuple with fresh (existential) values in the remaining columns — which
+// is exactly a simple-linear TGD application. Cyclic INDs can therefore
+// make the repair process (the chase) diverge; IsChaseFinite[SL] tells us
+// in advance, per database, whether it will.
+//
+//   $ ./referential_integrity
+
+#include <iostream>
+
+#include "chase/chase_engine.h"
+#include "core/is_chase_finite.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+
+namespace {
+
+// orders.customer ⊆ customers.id and customers.id ⊆ accounts.owner form a
+// chain; adding accounts.owner ⊆ orders.customer closes a generative cycle.
+constexpr const char* kAcyclicInds = R"(
+orders(o1, ada).
+orders(o2, alan).
+customers(ada).
+
+orders(O, C)   -> customers(C).             % orders.customer  ⊆ customers.id
+customers(C)   -> accounts(A, C).           % customers.id     ⊆ accounts.owner
+)";
+
+constexpr const char* kCyclicInds = R"(
+orders(o1, ada).
+
+orders(O, C)   -> customers(C).
+customers(C)   -> accounts(A, C).
+accounts(A, C) -> orders(O, A).             % accounts.id ⊆ orders.id: cycle!
+)";
+
+int Run(const char* title, const char* text) {
+  using namespace chase;
+  std::cout << "\n=== " << title << " ===\n";
+  auto program = ParseProgram(text);
+  if (!program.ok()) {
+    std::cerr << program.status() << "\n";
+    return 1;
+  }
+  if (!AllSimpleLinear(program->tgds)) {
+    std::cerr << "INDs should always be simple-linear TGDs\n";
+    return 1;
+  }
+  std::cout << program->tgds.size()
+            << " inclusion dependencies (all simple-linear)\n";
+
+  SlCheckStats stats;
+  auto finite =
+      IsChaseFiniteSL(*program->database, program->tgds, &stats);
+  if (!finite.ok()) {
+    std::cerr << finite.status() << "\n";
+    return 1;
+  }
+  std::cout << "IsChaseFinite[SL]: repair process "
+            << (finite.value() ? "TERMINATES" : "DIVERGES") << " ("
+            << stats.special_sccs << " special SCC(s) in dg(Σ))\n";
+
+  ChaseOptions options;
+  options.max_atoms = finite.value() ? 1'000'000 : 30;
+  auto result = RunChase(*program->database, program->tgds, options);
+  if (!result.ok()) {
+    std::cerr << result.status() << "\n";
+    return 1;
+  }
+  if (finite.value()) {
+    std::cout << "Repaired database (" << result->instance.NumAtoms()
+              << " tuples; fresh values are labelled nulls):\n";
+    result->instance.ForEachAtom([&](const GroundAtom& atom) {
+      std::cout << "  "
+                << ToString(*program->schema, *program->database, atom)
+                << "\n";
+    });
+  } else {
+    std::cout << "Bounded repair prefix keeps growing ("
+              << result->instance.NumAtoms() << " tuples and counting):\n";
+    int shown = 0;
+    result->instance.ForEachAtom([&](const GroundAtom& atom) {
+      if (shown++ < 8) {
+        std::cout << "  "
+                  << ToString(*program->schema, *program->database, atom)
+                  << "\n";
+      }
+    });
+    std::cout << "  ...\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  int rc = Run("Acyclic inclusion dependencies", kAcyclicInds);
+  rc |= Run("Cyclic inclusion dependencies", kCyclicInds);
+  return rc;
+}

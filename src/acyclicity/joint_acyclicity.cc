@@ -1,0 +1,161 @@
+#include "acyclicity/joint_acyclicity.h"
+
+#include <cstdint>
+
+#include "graph/digraph.h"
+#include "graph/tarjan.h"
+
+namespace chase {
+namespace acyclicity {
+
+namespace {
+
+// Dense index of the existential variables across all rules.
+struct EVar {
+  uint32_t rule;
+  VarId var;
+};
+
+// Body/head positions (as dense schema position ids) of every universal
+// variable of a rule, precomputed once.
+struct RulePositions {
+  // Indexed by VarId (universal only); positions of the variable in the
+  // body / head atoms.
+  std::vector<std::vector<uint32_t>> body;
+  std::vector<std::vector<uint32_t>> head;
+};
+
+RulePositions ComputeRulePositions(const Schema& schema, const Tgd& tgd) {
+  RulePositions positions;
+  positions.body.resize(tgd.num_universal());
+  positions.head.resize(tgd.num_universal());
+  for (const RuleAtom& atom : tgd.body()) {
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      positions.body[atom.args[i]].push_back(
+          schema.PositionId(atom.pred, static_cast<uint32_t>(i)));
+    }
+  }
+  for (const RuleAtom& atom : tgd.head()) {
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      if (tgd.IsUniversal(atom.args[i])) {
+        positions.head[atom.args[i]].push_back(
+            schema.PositionId(atom.pred, static_cast<uint32_t>(i)));
+      }
+    }
+  }
+  return positions;
+}
+
+// The least fixpoint described in the header: starting from the head
+// positions of `evar`, propagate through frontier variables whose body
+// positions are fully covered.
+std::vector<bool> ComputeMove(const Schema& schema,
+                              const std::vector<Tgd>& tgds,
+                              const std::vector<RulePositions>& positions,
+                              const EVar& evar) {
+  std::vector<bool> move(schema.NumPositions(), false);
+  for (const RuleAtom& atom : tgds[evar.rule].head()) {
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      if (atom.args[i] == evar.var) {
+        move[schema.PositionId(atom.pred, static_cast<uint32_t>(i))] = true;
+      }
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t r = 0; r < tgds.size(); ++r) {
+      for (VarId x : tgds[r].frontier()) {
+        const auto& body = positions[r].body[x];
+        bool covered = true;
+        for (uint32_t pos : body) {
+          if (!move[pos]) {
+            covered = false;
+            break;
+          }
+        }
+        if (!covered) continue;
+        for (uint32_t pos : positions[r].head[x]) {
+          if (!move[pos]) {
+            move[pos] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  return move;
+}
+
+}  // namespace
+
+bool IsJointlyAcyclic(const Schema& schema, const std::vector<Tgd>& tgds,
+                      JointAcyclicityStats* stats) {
+  std::vector<EVar> evars;
+  // first_evar[r] is the dense id of rule r's first existential variable.
+  std::vector<uint32_t> first_evar(tgds.size() + 1, 0);
+  for (size_t r = 0; r < tgds.size(); ++r) {
+    first_evar[r] = static_cast<uint32_t>(evars.size());
+    for (VarId v = tgds[r].num_universal(); v < tgds[r].num_vars(); ++v) {
+      evars.push_back({static_cast<uint32_t>(r), v});
+    }
+  }
+  first_evar[tgds.size()] = static_cast<uint32_t>(evars.size());
+  if (stats != nullptr) stats->num_existential_vars = evars.size();
+  if (evars.empty()) return true;  // no invention, trivially acyclic
+
+  std::vector<RulePositions> positions;
+  positions.reserve(tgds.size());
+  for (const Tgd& tgd : tgds) {
+    positions.push_back(ComputeRulePositions(schema, tgd));
+  }
+
+  std::vector<chase::Edge> edges;
+  for (uint32_t e = 0; e < evars.size(); ++e) {
+    std::vector<bool> move = ComputeMove(schema, tgds, positions, evars[e]);
+    for (size_t r = 0; r < tgds.size(); ++r) {
+      if (first_evar[r] == first_evar[r + 1]) continue;  // no existentials
+      bool fires_on_move = false;
+      for (VarId x : tgds[r].frontier()) {
+        const auto& body = positions[r].body[x];
+        bool covered = !body.empty();
+        for (uint32_t pos : body) {
+          if (!move[pos]) {
+            covered = false;
+            break;
+          }
+        }
+        if (covered) {
+          fires_on_move = true;
+          break;
+        }
+      }
+      if (!fires_on_move) continue;
+      for (uint32_t target = first_evar[r]; target < first_evar[r + 1];
+           ++target) {
+        edges.push_back({e, target, false});
+      }
+    }
+  }
+  if (stats != nullptr) stats->dependency_edges = edges.size();
+
+  // Jointly acyclic iff the existential dependency graph has no cycle: every
+  // SCC is a singleton without a self-loop.
+  Digraph graph(static_cast<uint32_t>(evars.size()), edges);
+  SccResult scc = TarjanScc(graph);
+  std::vector<uint32_t> scc_size(scc.num_components, 0);
+  for (uint32_t node = 0; node < graph.num_nodes(); ++node) {
+    ++scc_size[scc.component[node]];
+  }
+  for (const chase::Edge& edge : edges) {
+    if (edge.from == edge.to) return false;  // self-loop
+    if (scc.component[edge.from] == scc.component[edge.to] &&
+        scc_size[scc.component[edge.from]] > 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace acyclicity
+}  // namespace chase

@@ -1,0 +1,45 @@
+// Joint acyclicity (Krötzsch & Rudolph, IJCAI 2011): a *uniform* termination
+// criterion for the semi-oblivious (skolem) chase that strictly generalizes
+// weak acyclicity.
+//
+// For each existential variable y (of some rule σ), Move(y) is the least set
+// of predicate positions such that (i) every head position of y in σ is in
+// Move(y), and (ii) for every rule σ' and frontier variable x of σ', if
+// *every* body position of x lies in Move(y), then every head position of x
+// is in Move(y). Intuitively Move(y) over-approximates the positions that
+// values invented for y can reach. The existential dependency graph has the
+// existential variables as nodes and an edge y → y' (y' existential in σ')
+// whenever some frontier variable x of σ' has all its body positions in
+// Move(y) — firing σ' on y-values can then invent new y'-values. Σ is
+// jointly acyclic iff this graph is acyclic.
+//
+// Joint acyclicity of Σ implies that chase(D, Σ) is finite for every
+// database D (so in particular IsChaseFiniteSL/L return true for every D);
+// the converse fails. Weak acyclicity implies joint acyclicity. Property
+// tests in acyclicity_test.cc check both containments, and
+// bench/acyclicity_zoo compares verdict rates and runtimes across the zoo.
+
+#ifndef CHASE_ACYCLICITY_JOINT_ACYCLICITY_H_
+#define CHASE_ACYCLICITY_JOINT_ACYCLICITY_H_
+
+#include <vector>
+
+#include "logic/schema.h"
+#include "logic/tgd.h"
+
+namespace chase {
+namespace acyclicity {
+
+struct JointAcyclicityStats {
+  size_t num_existential_vars = 0;
+  size_t dependency_edges = 0;
+};
+
+// True iff `tgds` (arbitrary TGDs over `schema`) is jointly acyclic.
+bool IsJointlyAcyclic(const Schema& schema, const std::vector<Tgd>& tgds,
+                      JointAcyclicityStats* stats = nullptr);
+
+}  // namespace acyclicity
+}  // namespace chase
+
+#endif  // CHASE_ACYCLICITY_JOINT_ACYCLICITY_H_

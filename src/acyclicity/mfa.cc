@@ -1,0 +1,187 @@
+#include "acyclicity/mfa.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <utility>
+
+#include "chase/instance.h"
+#include "logic/term.h"
+
+namespace chase {
+namespace acyclicity {
+
+namespace {
+
+// Tag of an invention site: (rule index, existential variable). Dense ids.
+struct TagTable {
+  // first_tag[r] = dense tag id of rule r's first existential variable.
+  std::vector<uint32_t> first_tag;
+  uint32_t num_tags = 0;
+
+  explicit TagTable(const std::vector<Tgd>& tgds) {
+    first_tag.resize(tgds.size() + 1);
+    uint32_t next = 0;
+    for (size_t r = 0; r < tgds.size(); ++r) {
+      first_tag[r] = next;
+      next += tgds[r].num_existential();
+    }
+    first_tag[tgds.size()] = next;
+    num_tags = next;
+  }
+
+  uint32_t TagOf(uint32_t rule, const Tgd& tgd, VarId exvar) const {
+    return first_tag[rule] + (exvar - tgd.num_universal());
+  }
+};
+
+// Sorted, deduplicated tag sets. Ancestries grow slowly (bounded by
+// num_tags), so sorted vectors beat bitsets for typical rule counts.
+using TagSet = std::vector<uint32_t>;
+
+TagSet UnionTagSets(const TagSet& a, const TagSet& b) {
+  TagSet result;
+  result.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(result));
+  return result;
+}
+
+bool ContainsTag(const TagSet& set, uint32_t tag) {
+  return std::binary_search(set.begin(), set.end(), tag);
+}
+
+// Backtracking enumeration of all homomorphisms from `tgd`'s body into
+// `instance`, invoking `on_match` with the variable assignment. Assignment
+// slots for unbound variables hold kUnbound.
+// Sentinel for unbound assignment slots; null ids are allocated sequentially
+// from zero, so this value can never denote a real term.
+constexpr Term kUnbound = ~Term{0};
+
+void MatchBody(const Instance& instance, const Tgd& tgd, size_t atom_index,
+               std::vector<Term>* assignment,
+               const std::function<void(const std::vector<Term>&)>& on_match) {
+  if (atom_index == tgd.body().size()) {
+    on_match(*assignment);
+    return;
+  }
+  const RuleAtom& atom = tgd.body()[atom_index];
+  for (const GroundAtom& candidate : instance.AtomsOf(atom.pred)) {
+    // Unify candidate with atom under the current partial assignment.
+    std::vector<std::pair<VarId, Term>> bound;
+    bool ok = true;
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const VarId var = atom.args[i];
+      const Term term = candidate.args[i];
+      if ((*assignment)[var] == kUnbound) {
+        (*assignment)[var] = term;
+        bound.emplace_back(var, term);
+      } else if ((*assignment)[var] != term) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      MatchBody(instance, tgd, atom_index + 1, assignment, on_match);
+    }
+    for (const auto& [var, term] : bound) (*assignment)[var] = kUnbound;
+  }
+}
+
+}  // namespace
+
+StatusOr<bool> IsModelFaithfulAcyclic(const Schema& schema,
+                                      const std::vector<Tgd>& tgds,
+                                      const MfaOptions& options,
+                                      MfaStats* stats) {
+  for (const Tgd& tgd : tgds) {
+    for (const RuleAtom& atom : tgd.body()) {
+      if (atom.pred >= schema.NumPredicates()) {
+        return InvalidArgumentError("TGD uses a predicate not in the schema");
+      }
+    }
+  }
+  const TagTable tags(tgds);
+
+  // The critical instance: one all-star fact per predicate. The star is
+  // constant 0; only nulls carry provenance so its id never matters.
+  Instance instance(&schema);
+  for (PredId pred = 0; pred < schema.NumPredicates(); ++pred) {
+    instance.AddAtom(GroundAtom(
+        pred, std::vector<Term>(schema.Arity(pred), MakeConstant(0))));
+  }
+
+  // Provenance of every null: its own invention tag plus the ancestry of the
+  // nulls its frontier binding contained (tag included).
+  std::vector<TagSet> null_ancestry;
+
+  // Semi-oblivious firing memory: one application per (rule, frontier
+  // binding).
+  std::set<std::pair<uint32_t, std::vector<Term>>> fired;
+
+  bool cyclic = false;
+  bool changed = true;
+  while (changed && !cyclic) {
+    changed = false;
+    for (uint32_t r = 0; r < tgds.size() && !cyclic; ++r) {
+      const Tgd& tgd = tgds[r];
+      std::vector<Term> assignment(tgd.num_vars(), kUnbound);
+      // Collect new triggers first: mutating the instance mid-enumeration
+      // would invalidate the AtomsOf spans MatchBody iterates.
+      std::vector<std::vector<Term>> pending;
+      MatchBody(instance, tgd, 0, &assignment,
+                [&](const std::vector<Term>& full) {
+                  std::vector<Term> frontier_binding;
+                  frontier_binding.reserve(tgd.frontier().size());
+                  for (VarId x : tgd.frontier()) {
+                    frontier_binding.push_back(full[x]);
+                  }
+                  if (fired.emplace(r, std::move(frontier_binding)).second) {
+                    pending.push_back(full);
+                  }
+                });
+      for (const std::vector<Term>& full : pending) {
+        if (stats != nullptr) ++stats->triggers_fired;
+        // Ancestry of the invented nulls: union over the frontier image.
+        TagSet ancestry;
+        for (VarId x : tgd.frontier()) {
+          if (IsNull(full[x])) {
+            ancestry = UnionTagSets(ancestry, null_ancestry[NullId(full[x])]);
+          }
+        }
+        // Extend the assignment with fresh nulls for the existentials.
+        std::vector<Term> extended = full;
+        for (VarId z = tgd.num_universal(); z < tgd.num_vars(); ++z) {
+          const uint32_t tag = tags.TagOf(r, tgd, z);
+          if (ContainsTag(ancestry, tag)) {
+            cyclic = true;  // a (σ, z)-null descends from a (σ, z)-null
+            break;
+          }
+          const uint64_t null_id = instance.NewNullId();
+          TagSet with_self = UnionTagSets(ancestry, {tag});
+          null_ancestry.push_back(std::move(with_self));
+          if (stats != nullptr) ++stats->nulls_created;
+          extended[z] = MakeNull(null_id);
+        }
+        if (cyclic) break;
+        for (const RuleAtom& head_atom : tgd.head()) {
+          std::vector<Term> args;
+          args.reserve(head_atom.args.size());
+          for (VarId v : head_atom.args) args.push_back(extended[v]);
+          if (instance.AddAtom(GroundAtom(head_atom.pred, std::move(args)))) {
+            changed = true;
+          }
+        }
+        if (instance.NumAtoms() > options.max_atoms) {
+          return ResourceExhaustedError(
+              "MFA critical chase exceeded max_atoms");
+        }
+      }
+    }
+  }
+  if (stats != nullptr) stats->atoms = instance.NumAtoms();
+  return !cyclic;
+}
+
+}  // namespace acyclicity
+}  // namespace chase

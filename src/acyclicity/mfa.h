@@ -1,0 +1,54 @@
+// Model-faithful acyclicity (MFA, Cuenca Grau et al., JAIR 2013): the most
+// general member of the acyclicity zoo implemented here. MFA runs the
+// semi-oblivious chase on the *critical instance* I* = { R(*, ..., *) | R ∈
+// sch(Σ) } (a single fresh constant * at every position) and declares Σ
+// cyclic as soon as a *cyclic term* appears: a null invented for existential
+// variable y of rule σ whose ancestry (the nulls its frontier binding was
+// built from, transitively) already contains a null invented for the same
+// (σ, y).
+//
+// If no cyclic term ever appears the chase of I* reaches a fixpoint, and
+// then chase(D, Σ) is finite for every database D — the chase of any D maps
+// homomorphically into the chase of I*. Super-weak, joint and weak
+// acyclicity all imply MFA; the property tests check the implications that
+// involve the notions implemented in this library (WA ⇒ JA ⇒ SWA ⇒ MFA).
+//
+// Unlike the IsChaseFinite checkers, MFA is uniform (database-independent)
+// and works for arbitrary TGDs, but its check is expensive: the critical
+// chase can be exponential. `max_atoms` bounds the work; exceeding it
+// returns kResourceExhausted rather than a verdict.
+
+#ifndef CHASE_ACYCLICITY_MFA_H_
+#define CHASE_ACYCLICITY_MFA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/schema.h"
+#include "logic/tgd.h"
+
+namespace chase {
+namespace acyclicity {
+
+struct MfaOptions {
+  uint64_t max_atoms = 200'000;
+};
+
+struct MfaStats {
+  uint64_t atoms = 0;
+  uint64_t triggers_fired = 0;
+  uint64_t nulls_created = 0;
+};
+
+// True iff Σ is MFA. kResourceExhausted if the critical chase exceeds
+// `options.max_atoms` atoms before reaching a verdict.
+StatusOr<bool> IsModelFaithfulAcyclic(const Schema& schema,
+                                      const std::vector<Tgd>& tgds,
+                                      const MfaOptions& options = {},
+                                      MfaStats* stats = nullptr);
+
+}  // namespace acyclicity
+}  // namespace chase
+
+#endif  // CHASE_ACYCLICITY_MFA_H_

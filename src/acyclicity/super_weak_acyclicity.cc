@@ -1,0 +1,269 @@
+#include "acyclicity/super_weak_acyclicity.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+namespace chase {
+namespace acyclicity {
+
+namespace {
+
+// A head atom occurrence (rule, index into head()) or body atom occurrence
+// (rule, index into body()).
+struct AtomRef {
+  uint32_t rule;
+  uint32_t atom;
+
+  friend auto operator<=>(const AtomRef&, const AtomRef&) = default;
+};
+
+// Union-find over the argument slots of a head atom.
+class SlotUnion {
+ public:
+  explicit SlotUnion(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t a) {
+    while (parent_[a] != a) a = parent_[a] = parent_[parent_[a]];
+    return a;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+// Does the skolemization of head atom `alpha` (of rule r1) unify with body
+// atom `beta` (of another — or the same — rule)? beta's variables are fresh,
+// so unification only constrains alpha's terms: slots carrying the same beta
+// variable must hold unifiable terms. A slot term is either a universal
+// variable of r1 or the skolem term f_y(x̄) over r1's frontier x̄.
+bool SkolemizedAtomsUnify(const Tgd& r1, const RuleAtom& alpha,
+                          const RuleAtom& beta) {
+  const size_t n = alpha.args.size();
+  SlotUnion classes(n);
+  // Merge slots equated by beta's repeated variables.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      if (beta.args[i] == beta.args[j]) classes.Union(i, j);
+    }
+  }
+  // Merge slots holding the same alpha term (same variable, or the same
+  // skolem function — skolem terms of one rule share the frontier tuple, so
+  // equal function means equal term).
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      if (alpha.args[i] == alpha.args[j]) classes.Union(i, j);
+    }
+  }
+
+  // Per class: the distinct skolem functions (existential vars) it contains
+  // must number at most one.
+  std::map<size_t, VarId> skolem_of_class;  // class -> existential var
+  std::map<VarId, size_t> class_of_var;     // universal var -> class
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = classes.Find(i);
+    const VarId v = alpha.args[i];
+    if (r1.IsExistential(v)) {
+      auto [it, inserted] = skolem_of_class.emplace(c, v);
+      if (!inserted && it->second != v) return false;  // f ≠ g clash
+    } else {
+      class_of_var[v] = c;
+    }
+  }
+
+  // Occurs check: substituting a frontier variable by a skolem term that
+  // (transitively) contains it yields an infinite term. Classes form a graph
+  // with an edge C → D when C contains a skolem term and some frontier
+  // variable (a skolem argument) lives in D; any cycle is a violation since
+  // every edge descends into a skolem argument.
+  if (skolem_of_class.empty()) return true;
+  std::map<size_t, std::vector<size_t>> edges;
+  for (const auto& [c, exvar] : skolem_of_class) {
+    (void)exvar;  // all skolem terms of r1 share the frontier tuple
+    for (VarId x : r1.frontier()) {
+      auto it = class_of_var.find(x);
+      if (it != class_of_var.end()) edges[c].push_back(it->second);
+    }
+  }
+  // DFS cycle detection (3-colour) over the class graph.
+  std::map<size_t, int> colour;  // 0 white, 1 grey, 2 black
+  std::vector<std::pair<size_t, size_t>> stack;  // (class, next edge index)
+  for (const auto& [start, unused] : edges) {
+    (void)unused;
+    if (colour[start] != 0) continue;
+    stack.clear();
+    stack.emplace_back(start, 0);
+    colour[start] = 1;
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      const auto it = edges.find(node);
+      const size_t degree = it == edges.end() ? 0 : it->second.size();
+      if (next == degree) {
+        colour[node] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const size_t target = it->second[next++];
+      if (colour[target] == 1) return false;  // back edge: occurs cycle
+      if (colour[target] == 0) {
+        colour[target] = 1;
+        stack.emplace_back(target, 0);
+      }
+    }
+  }
+  return true;
+}
+
+// Head and body places of a variable, as (atom occurrence, arg index).
+struct Place {
+  AtomRef atom;
+  uint32_t index;
+
+  friend auto operator<=>(const Place&, const Place&) = default;
+};
+
+struct RulePlaces {
+  // Indexed by VarId; places of the variable in the body / head.
+  std::vector<std::vector<Place>> body;
+  std::vector<std::vector<Place>> head;
+};
+
+class SwaContext {
+ public:
+  SwaContext(const std::vector<Tgd>& tgds) : tgds_(tgds) {
+    places_.resize(tgds.size());
+    for (uint32_t r = 0; r < tgds.size(); ++r) {
+      const Tgd& tgd = tgds[r];
+      places_[r].body.resize(tgd.num_vars());
+      places_[r].head.resize(tgd.num_vars());
+      for (uint32_t a = 0; a < tgd.body().size(); ++a) {
+        const RuleAtom& atom = tgd.body()[a];
+        for (uint32_t i = 0; i < atom.args.size(); ++i) {
+          places_[r].body[atom.args[i]].push_back(Place{{r, a}, i});
+        }
+      }
+      for (uint32_t a = 0; a < tgd.head().size(); ++a) {
+        const RuleAtom& atom = tgd.head()[a];
+        for (uint32_t i = 0; i < atom.args.size(); ++i) {
+          places_[r].head[atom.args[i]].push_back(Place{{r, a}, i});
+        }
+      }
+    }
+  }
+
+  const RulePlaces& places(uint32_t rule) const { return places_[rule]; }
+
+  const RuleAtom& HeadAtom(const AtomRef& ref) const {
+    return tgds_[ref.rule].head()[ref.atom];
+  }
+  const RuleAtom& BodyAtom(const AtomRef& ref) const {
+    return tgds_[ref.rule].body()[ref.atom];
+  }
+
+  // Cached p ⇝ q atom-level unification: head atom occurrence `alpha` vs
+  // body atom occurrence `beta`.
+  bool Unify(const AtomRef& alpha, const AtomRef& beta) {
+    if (HeadAtom(alpha).pred != BodyAtom(beta).pred) return false;
+    auto key = std::make_pair(alpha, beta);
+    auto it = unify_cache_.find(key);
+    if (it != unify_cache_.end()) return it->second;
+    const bool result = SkolemizedAtomsUnify(
+        tgds_[alpha.rule], HeadAtom(alpha), BodyAtom(beta));
+    unify_cache_.emplace(key, result);
+    if (result) ++confirmed_moves_;
+    return result;
+  }
+
+  // Is body place q reachable from some head place in Q via ⇝?
+  bool Covered(const Place& q, const std::vector<Place>& Q) {
+    for (const Place& p : Q) {
+      if (p.index != q.index) continue;
+      if (Unify(p.atom, q.atom)) return true;
+    }
+    return false;
+  }
+
+  // Move(P): the closure described in the header. P holds head places.
+  std::vector<Place> Move(std::vector<Place> Q) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (uint32_t r = 0; r < tgds_.size(); ++r) {
+        for (VarId x : tgds_[r].frontier()) {
+          const auto& in = places_[r].body[x];
+          bool all_covered = true;
+          for (const Place& q : in) {
+            if (!Covered(q, Q)) {
+              all_covered = false;
+              break;
+            }
+          }
+          if (!all_covered) continue;
+          for (const Place& h : places_[r].head[x]) {
+            if (std::find(Q.begin(), Q.end(), h) == Q.end()) {
+              Q.push_back(h);
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+    return Q;
+  }
+
+  size_t confirmed_moves() const { return confirmed_moves_; }
+
+ private:
+  const std::vector<Tgd>& tgds_;
+  std::vector<RulePlaces> places_;
+  std::map<std::pair<AtomRef, AtomRef>, bool> unify_cache_;
+  size_t confirmed_moves_ = 0;
+};
+
+}  // namespace
+
+bool IsSuperWeaklyAcyclic(const Schema& schema, const std::vector<Tgd>& tgds,
+                          SuperWeakAcyclicityStats* stats) {
+  (void)schema;  // places are rule-local; the schema fixes predicate ids
+  SwaContext context(tgds);
+  if (stats != nullptr) {
+    size_t places = 0;
+    for (const Tgd& tgd : tgds) {
+      for (const RuleAtom& atom : tgd.body()) places += atom.args.size();
+      for (const RuleAtom& atom : tgd.head()) places += atom.args.size();
+    }
+    stats->num_places = places;
+  }
+
+  bool acyclic = true;
+  for (uint32_t r = 0; r < tgds.size() && acyclic; ++r) {
+    const Tgd& tgd = tgds[r];
+    for (VarId y = tgd.num_universal(); y < tgd.num_vars() && acyclic; ++y) {
+      std::vector<Place> moved = context.Move(context.places(r).head[y]);
+      for (VarId x : tgd.frontier()) {
+        const auto& in = context.places(r).body[x];
+        bool all_covered = !in.empty();
+        for (const Place& q : in) {
+          if (!context.Covered(q, moved)) {
+            all_covered = false;
+            break;
+          }
+        }
+        if (all_covered) {
+          acyclic = false;  // σ's invention site feeds σ itself
+          break;
+        }
+      }
+    }
+  }
+  if (stats != nullptr) stats->num_move_edges = context.confirmed_moves();
+  return acyclic;
+}
+
+}  // namespace acyclicity
+}  // namespace chase

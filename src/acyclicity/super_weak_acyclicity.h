@@ -1,0 +1,56 @@
+// Super-weak acyclicity (Marnette, PODS 2009): a uniform termination
+// criterion for the semi-oblivious (skolem) chase sitting strictly between
+// joint acyclicity and MFA.
+//
+// SWA refines joint acyclicity in two ways. First, it tracks *places* — a
+// place is one argument slot of one atom occurrence in a rule — instead of
+// predicate positions, so two rules writing into the same predicate are not
+// conflated. Second, flow between a head place and a body place requires the
+// two atoms to *unify once skolemized*: the head atom has each existential
+// variable replaced by a skolem term f_y(x̄) over the rule's frontier, and a
+// body atom with repeated variables may fail to unify with it (two distinct
+// skolem functions cannot be equated, and a frontier variable cannot be
+// equated with a skolem term containing it). Repeated-variable bodies are
+// exactly what the paper's simplification machinery handles for linear
+// TGDs, so SWA is the natural zoo member to compare against
+// IsChaseFinite[L].
+//
+// Definitions implemented here (following Marnette):
+//  * Out(σ, y): head places of existential variable y in σ.
+//  * In(σ, x): body places of frontier variable x in σ.
+//  * p ⇝ q: p a head place, q a body place of the same predicate and
+//    argument index, and the two (skolemized) atoms unify.
+//  * Move(P): least Q ⊇ P such that for every rule σ' and frontier variable
+//    x of σ', if every place of In(σ', x) is reachable from Q via ⇝, then
+//    the head places of x in σ' are added to Q.
+//  * Σ is super-weakly acyclic iff there is no rule σ, existential y of σ,
+//    and frontier x of σ such that every place of In(σ, x) is reachable
+//    from Move(Out(σ, y)) via ⇝ — i.e., no invention site can feed itself.
+//
+// Super-weak acyclicity implies MFA and is implied by joint acyclicity;
+// property tests check both containments empirically.
+
+#ifndef CHASE_ACYCLICITY_SUPER_WEAK_ACYCLICITY_H_
+#define CHASE_ACYCLICITY_SUPER_WEAK_ACYCLICITY_H_
+
+#include <vector>
+
+#include "logic/schema.h"
+#include "logic/tgd.h"
+
+namespace chase {
+namespace acyclicity {
+
+struct SuperWeakAcyclicityStats {
+  size_t num_places = 0;
+  size_t num_move_edges = 0;  // confirmed p ⇝ q pairs
+};
+
+// True iff `tgds` (arbitrary TGDs over `schema`) is super-weakly acyclic.
+bool IsSuperWeaklyAcyclic(const Schema& schema, const std::vector<Tgd>& tgds,
+                          SuperWeakAcyclicityStats* stats = nullptr);
+
+}  // namespace acyclicity
+}  // namespace chase
+
+#endif  // CHASE_ACYCLICITY_SUPER_WEAK_ACYCLICITY_H_

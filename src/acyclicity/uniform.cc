@@ -1,0 +1,45 @@
+#include "acyclicity/uniform.h"
+
+#include "core/is_chase_finite.h"
+#include "core/weak_acyclicity.h"
+#include "logic/shape.h"
+
+namespace chase {
+namespace acyclicity {
+
+Database CriticalShapeDatabase(const Schema& schema) {
+  Database db(&schema);
+  uint32_t max_arity = 0;
+  for (PredId pred = 0; pred < schema.NumPredicates(); ++pred) {
+    max_arity = std::max(max_arity, schema.Arity(pred));
+  }
+  db.EnsureAnonymousDomain(max_arity);
+  std::vector<uint32_t> tuple;
+  for (PredId pred = 0; pred < schema.NumPredicates(); ++pred) {
+    for (const IdTuple& id : EnumerateIdTuples(schema.Arity(pred))) {
+      tuple.assign(id.begin(), id.end());
+      for (uint32_t& v : tuple) --v;  // block indices are 1-based
+      Status status = db.AddFact(pred, tuple);
+      (void)status;  // arity always matches by construction
+    }
+  }
+  return db;
+}
+
+StatusOr<bool> IsChaseFiniteUniform(const Schema& schema,
+                                    const std::vector<Tgd>& tgds) {
+  if (!AllLinear(tgds)) {
+    return InvalidArgumentError("uniform check requires linear TGDs");
+  }
+  if (!AllHaveNonEmptyFrontier(tgds)) {
+    return InvalidArgumentError("uniform check requires non-empty frontiers");
+  }
+  if (AllSimpleLinear(tgds)) {
+    return IsWeaklyAcyclic(schema, tgds);
+  }
+  Database critical = CriticalShapeDatabase(schema);
+  return IsChaseFiniteL(critical, tgds);
+}
+
+}  // namespace acyclicity
+}  // namespace chase

@@ -1,0 +1,46 @@
+// Uniform chase termination for (simple-)linear TGDs: does chase(D, Σ)
+// terminate for *every* database D?
+//
+// For simple-linear TGDs this is plain weak acyclicity of Σ (Theorem 3.3
+// with the supportedness requirement dropped: the worst-case database
+// supports every cycle). For linear TGDs, we run Algorithm 3 on the
+// *critical shape database* D⊤ containing one fact per shape of sch(Σ) —
+// every database's shape set is a subset of shape(sch(Σ)), and both
+// D-supportedness and the dynamically simplified rule set grow monotonically
+// with the shape set, so chase(D, Σ) is finite for all D iff it is finite
+// for D⊤.
+//
+// These checks connect the per-database checkers of the paper with the
+// uniform acyclicity zoo (weak / joint / super-weak / MFA): for linear Σ,
+// IsChaseFiniteUniform agrees with semi-oblivious termination on all
+// databases, and the zoo notions are sound (never accept a non-terminating
+// Σ) but incomplete approximations. Property tests check those relations.
+
+#ifndef CHASE_ACYCLICITY_UNIFORM_H_
+#define CHASE_ACYCLICITY_UNIFORM_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "logic/database.h"
+#include "logic/schema.h"
+#include "logic/tgd.h"
+
+namespace chase {
+namespace acyclicity {
+
+// The critical shape database D⊤ over `schema`: for every predicate R and
+// every shape R_id of R, one fact R(id(t̄)) whose constants are the shape's
+// block indices. |D⊤| = Σ_R Bell(ar(R)).
+Database CriticalShapeDatabase(const Schema& schema);
+
+// True iff chase(D, Σ) is finite for every database D. Requires linear TGDs
+// with non-empty frontiers (simple-linear inputs take the weak-acyclicity
+// fast path).
+StatusOr<bool> IsChaseFiniteUniform(const Schema& schema,
+                                    const std::vector<Tgd>& tgds);
+
+}  // namespace acyclicity
+}  // namespace chase
+
+#endif  // CHASE_ACYCLICITY_UNIFORM_H_

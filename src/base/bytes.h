@@ -1,0 +1,110 @@
+// Little bounded byte-stream reader/writer used by the pager catalog and the
+// binary serialization module. Writes are infallible (append to a vector);
+// reads are bounds-checked and fail with kOutOfRange instead of reading past
+// the end, so corrupt or truncated input is reported, never UB.
+
+#ifndef CHASE_BASE_BYTES_H_
+#define CHASE_BASE_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace chase {
+
+class ByteWriter {
+ public:
+  void PutU8(uint8_t value) { bytes_.push_back(value); }
+  void PutU32(uint32_t value) { PutRaw(&value, sizeof(value)); }
+  void PutU64(uint64_t value) { PutRaw(&value, sizeof(value)); }
+
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    PutRaw(s.data(), s.size());
+  }
+
+  void PutU32Span(std::span<const uint32_t> values) {
+    PutU64(values.size());
+    PutRaw(values.data(), values.size() * sizeof(uint32_t));
+  }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  void PutRaw(const void* data, size_t size) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + size);
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  StatusOr<uint8_t> GetU8() {
+    CHASE_RETURN_IF_ERROR(Need(1));
+    return bytes_[pos_++];
+  }
+  StatusOr<uint32_t> GetU32() {
+    CHASE_RETURN_IF_ERROR(Need(sizeof(uint32_t)));
+    uint32_t value;
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(value));
+    pos_ += sizeof(value);
+    return value;
+  }
+  StatusOr<uint64_t> GetU64() {
+    CHASE_RETURN_IF_ERROR(Need(sizeof(uint64_t)));
+    uint64_t value;
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(value));
+    pos_ += sizeof(value);
+    return value;
+  }
+
+  StatusOr<std::string> GetString() {
+    CHASE_ASSIGN_OR_RETURN(uint32_t size, GetU32());
+    CHASE_RETURN_IF_ERROR(Need(size));
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), size);
+    pos_ += size;
+    return s;
+  }
+
+  StatusOr<std::vector<uint32_t>> GetU32Span() {
+    CHASE_ASSIGN_OR_RETURN(uint64_t count, GetU64());
+    // Validate against the remaining length before computing count * 4,
+    // which could otherwise wrap for adversarial length prefixes.
+    if (count > remaining() / sizeof(uint32_t)) {
+      return OutOfRangeError("byte stream truncated");
+    }
+    std::vector<uint32_t> values(count);
+    std::memcpy(values.data(), bytes_.data() + pos_,
+                count * sizeof(uint32_t));
+    pos_ += count * sizeof(uint32_t);
+    return values;
+  }
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  Status Need(uint64_t size) {
+    if (pos_ + size > bytes_.size() || pos_ + size < pos_) {
+      return OutOfRangeError("byte stream truncated");
+    }
+    return OkStatus();
+  }
+
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace chase
+
+#endif  // CHASE_BASE_BYTES_H_

@@ -1,0 +1,85 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// All generators in this library (data generator, TGD generator, property
+// tests) draw from Rng so experiments are reproducible bit-for-bit from a
+// seed. The engine is xoshiro256**, seeded via SplitMix64.
+
+#ifndef CHASE_BASE_RNG_H_
+#define CHASE_BASE_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace chase {
+
+// SplitMix64 step; used for seeding and as a cheap standalone mixer.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0xc4a5e11e5ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  // Uniform 64-bit value (xoshiro256**).
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform value in [0, bound). bound must be positive. Uses Lemire's
+  // multiply-shift rejection method to avoid modulo bias.
+  uint64_t Below(uint64_t bound) {
+    assert(bound > 0);
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    auto low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      const uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        m = static_cast<__uint128_t>(Next()) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform value in the inclusive range [lo, hi].
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    assert(lo <= hi);
+    return lo + Below(hi - lo + 1);
+  }
+
+  // True with probability `percent`/100.
+  bool Percent(uint32_t percent) { return Below(100) < percent; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  // Derives an independent child generator; useful for fanning a single
+  // experiment seed out to per-task generators.
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace chase
+
+#endif  // CHASE_BASE_RNG_H_

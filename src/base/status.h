@@ -1,0 +1,137 @@
+// Lightweight error-handling primitives in the spirit of absl::Status.
+//
+// The library does not use exceptions for control flow; fallible operations
+// return a Status or a StatusOr<T>. A Status is cheap to copy when OK (the
+// common case) and carries a code plus a human-readable message otherwise.
+
+#ifndef CHASE_BASE_STATUS_H_
+#define CHASE_BASE_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace chase {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kResourceExhausted = 5,
+  kFailedPrecondition = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+};
+
+// Returns a stable, human-readable name such as "INVALID_ARGUMENT".
+std::string_view StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(Rep{code, std::move(message)})) {}
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  std::string_view message() const {
+    return rep_ ? std::string_view(rep_->message) : std::string_view();
+  }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+  static Status Ok() { return Status(); }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;  // null iff OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status OutOfRangeError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+// A value-or-error sum type. Accessing value() on an error aborts in debug
+// builds; callers must check ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : data_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(data_).ok() && "OK status requires a value");
+  }
+  StatusOr(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  Status status() const {
+    return ok() ? OkStatus() : std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> data_;
+};
+
+// Propagates errors to the caller, mirroring absl's RETURN_IF_ERROR.
+#define CHASE_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::chase::Status chase_status_ = (expr);        \
+    if (!chase_status_.ok()) return chase_status_; \
+  } while (false)
+
+#define CHASE_INTERNAL_CONCAT_(a, b) a##b
+#define CHASE_INTERNAL_CONCAT(a, b) CHASE_INTERNAL_CONCAT_(a, b)
+
+// CHASE_ASSIGN_OR_RETURN(auto x, Foo()): assigns on success, returns on error.
+#define CHASE_ASSIGN_OR_RETURN(lhs, expr)                                 \
+  auto CHASE_INTERNAL_CONCAT(chase_statusor_, __LINE__) = (expr);         \
+  if (!CHASE_INTERNAL_CONCAT(chase_statusor_, __LINE__).ok())             \
+    return CHASE_INTERNAL_CONCAT(chase_statusor_, __LINE__).status();     \
+  lhs = std::move(CHASE_INTERNAL_CONCAT(chase_statusor_, __LINE__)).value()
+
+}  // namespace chase
+
+#endif  // CHASE_BASE_STATUS_H_

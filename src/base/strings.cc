@@ -1,0 +1,81 @@
+#include "base/strings.h"
+
+#include <cstdio>
+
+namespace chase {
+
+std::vector<std::string_view> StrSplit(std::string_view text, char sep) {
+  std::vector<std::string_view> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      pieces.push_back(text.substr(start));
+      break;
+    }
+    pieces.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         (text[begin] == ' ' || text[begin] == '\t' || text[begin] == '\n' ||
+          text[begin] == '\r')) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         (text[end - 1] == ' ' || text[end - 1] == '\t' ||
+          text[end - 1] == '\n' || text[end - 1] == '\r')) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string FormatWithCommas(int64_t value) {
+  const bool negative = value < 0;
+  uint64_t magnitude =
+      negative ? -static_cast<uint64_t>(value) : static_cast<uint64_t>(value);
+  std::string digits = std::to_string(magnitude);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  if (negative) out += '-';
+  return std::string(out.rbegin(), out.rend());
+}
+
+std::string FormatMillis(double millis) {
+  char buffer[64];
+  if (millis < 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f us", millis * 1e3);
+  } else if (millis < 1000.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f ms", millis);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2f s", millis / 1e3);
+  }
+  return buffer;
+}
+
+}  // namespace chase

@@ -1,0 +1,34 @@
+// Small string helpers shared across the library (no dependency on absl).
+
+#ifndef CHASE_BASE_STRINGS_H_
+#define CHASE_BASE_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace chase {
+
+// Splits `text` on `sep`, keeping empty pieces.
+std::vector<std::string_view> StrSplit(std::string_view text, char sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// Joins `pieces` with `sep`.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+// Formats an integer with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string FormatWithCommas(int64_t value);
+
+// Formats a duration in milliseconds with a sensible unit, e.g. "12.3 ms",
+// "4.56 s".
+std::string FormatMillis(double millis);
+
+}  // namespace chase
+
+#endif  // CHASE_BASE_STRINGS_H_

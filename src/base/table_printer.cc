@@ -1,0 +1,57 @@
+#include "base/table_printer.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace chase {
+
+TablePrinter::TablePrinter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  assert(row.size() == columns_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      os << (i == 0 ? "| " : " | ");
+      os << row[i];
+      os << std::string(widths[i] - row[i].size(), ' ');
+    }
+    os << " |\n";
+  };
+  auto print_rule = [&]() {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      os << (i == 0 ? "+-" : "-+-") << std::string(widths[i], '-');
+    }
+    os << "-+\n";
+  };
+  print_rule();
+  print_row(columns_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ',';
+      os << row[i];
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace chase

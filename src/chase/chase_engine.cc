@@ -1,0 +1,299 @@
+#include "chase/chase_engine.h"
+
+#include <unordered_set>
+
+namespace chase {
+namespace {
+
+constexpr Term kUnbound = ~uint64_t{0};
+
+// Trigger keys: [rule_index, bound values...]. For the oblivious chase the
+// values are the full body assignment; for the semi-oblivious chase only the
+// frontier restriction h|fr(σ).
+struct KeyHash {
+  size_t operator()(const std::vector<uint64_t>& key) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint64_t v : key) {
+      h ^= v;
+      h *= 0x100000001b3ULL;
+      h ^= h >> 29;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+using KeySet = std::unordered_set<std::vector<uint64_t>, KeyHash>;
+
+// Attempts to extend `h` so that `pattern` maps onto `atom`; records newly
+// bound variables in `trail` so the caller can undo.
+bool TryBind(const RuleAtom& pattern, const GroundAtom& atom,
+             std::vector<Term>& h, std::vector<VarId>& trail) {
+  const size_t undo_mark = trail.size();
+  for (size_t i = 0; i < pattern.args.size(); ++i) {
+    const VarId var = pattern.args[i];
+    if (h[var] == kUnbound) {
+      h[var] = atom.args[i];
+      trail.push_back(var);
+    } else if (h[var] != atom.args[i]) {
+      while (trail.size() > undo_mark) {
+        h[trail.back()] = kUnbound;
+        trail.pop_back();
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+void Undo(std::vector<Term>& h, std::vector<VarId>& trail, size_t mark) {
+  while (trail.size() > mark) {
+    h[trail.back()] = kUnbound;
+    trail.pop_back();
+  }
+}
+
+// Per-round visibility window: body atoms are matched against the instance
+// as of the start of the round ("cur"), with semi-naive deltas given by
+// "prev" (atoms created in the previous round have index in [prev, cur)).
+struct RoundView {
+  std::vector<size_t> prev;
+  std::vector<size_t> cur;
+
+  size_t PrevOf(PredId pred) const { return pred < prev.size() ? prev[pred] : 0; }
+  size_t CurOf(PredId pred) const { return pred < cur.size() ? cur[pred] : 0; }
+};
+
+// Enumerates every body homomorphism of `tgd` into the round-start instance
+// that uses at least one delta atom; calls `fn(h)` with h bound on all
+// universal variables. Each such trigger is enumerated exactly once: the
+// delta position is the first body atom matched to a delta atom.
+template <typename Fn>
+void ForEachNewBodyHom(const Tgd& tgd, const Instance& instance,
+                       const RoundView& view, std::vector<Term>& h,
+                       std::vector<VarId>& trail, Fn&& fn) {
+  const auto& body = tgd.body();
+  for (size_t delta_pos = 0; delta_pos < body.size(); ++delta_pos) {
+    // Backtracking over body atoms with per-position candidate ranges.
+    auto recurse = [&](auto&& self, size_t index) -> void {
+      if (index == body.size()) {
+        fn(h);
+        return;
+      }
+      const PredId pred = body[index].pred;
+      size_t begin = 0;
+      size_t end = view.CurOf(pred);
+      if (index == delta_pos) {
+        begin = view.PrevOf(pred);
+      } else if (index < delta_pos) {
+        end = view.PrevOf(pred);
+      }
+      for (size_t row = begin; row < end; ++row) {
+        const size_t mark = trail.size();
+        // Re-fetch per iteration: `fn` may grow the instance, reallocating
+        // the per-predicate atom vector.
+        if (TryBind(body[index], instance.AtomsOf(pred)[row], h, trail)) {
+          self(self, index + 1);
+          Undo(h, trail, mark);
+        }
+      }
+    };
+    recurse(recurse, 0);
+  }
+}
+
+// True iff some extension of the frontier assignment `h` maps every head
+// atom into `instance` (the restricted chase's satisfaction test). `h` must
+// be sized tgd.num_vars() with existential variables unbound.
+bool HeadSatisfied(const Tgd& tgd, const Instance& instance,
+                   std::vector<Term>& h, std::vector<VarId>& trail) {
+  const auto& head = tgd.head();
+  auto recurse = [&](auto&& self, size_t index) -> bool {
+    if (index == head.size()) return true;
+    const auto& atoms = instance.AtomsOf(head[index].pred);
+    for (const GroundAtom& atom : atoms) {
+      const size_t mark = trail.size();
+      if (TryBind(head[index], atom, h, trail)) {
+        if (self(self, index + 1)) {
+          Undo(h, trail, mark);
+          return true;
+        }
+        Undo(h, trail, mark);
+      }
+    }
+    return false;
+  };
+  return recurse(recurse, 0);
+}
+
+}  // namespace
+
+const char* ChaseVariantName(ChaseVariant variant) {
+  switch (variant) {
+    case ChaseVariant::kOblivious:
+      return "oblivious";
+    case ChaseVariant::kSemiOblivious:
+      return "semi-oblivious";
+    case ChaseVariant::kRestricted:
+      return "restricted";
+  }
+  return "?";
+}
+
+const char* ChaseOutcomeName(ChaseOutcome outcome) {
+  switch (outcome) {
+    case ChaseOutcome::kFixpoint:
+      return "fixpoint";
+    case ChaseOutcome::kAtomLimit:
+      return "atom-limit";
+    case ChaseOutcome::kRoundLimit:
+      return "round-limit";
+  }
+  return "?";
+}
+
+StatusOr<ChaseResult> RunChase(const Database& database,
+                               const std::vector<Tgd>& tgds,
+                               const ChaseOptions& options) {
+  const Schema& schema = database.schema();
+  for (const Tgd& tgd : tgds) {
+    for (const RuleAtom& atom : tgd.body()) {
+      if (atom.pred >= schema.NumPredicates()) {
+        return InvalidArgumentError("TGD uses a predicate not in the schema");
+      }
+    }
+  }
+
+  ChaseResult result(Instance::FromDatabase(database));
+  Instance& instance = result.instance;
+  result.outcome = ChaseOutcome::kFixpoint;
+
+  KeySet fired;
+  RoundView view;
+  const size_t num_preds = schema.NumPredicates();
+  view.prev.assign(num_preds, 0);
+  view.cur.assign(num_preds, 0);
+  for (PredId pred = 0; pred < num_preds; ++pred) {
+    view.cur[pred] = instance.AtomsOf(pred).size();
+  }
+
+  std::vector<Term> h;
+  std::vector<VarId> trail;
+  std::vector<GroundAtom> pending;  // atoms produced in the current round
+
+  while (true) {
+    if (result.rounds >= options.max_rounds) {
+      result.outcome = ChaseOutcome::kRoundLimit;
+      break;
+    }
+    pending.clear();
+    bool grew = false;
+    bool hit_atom_limit = false;
+    uint64_t atoms_now = instance.NumAtoms();
+
+    for (size_t rule = 0; rule < tgds.size() && !hit_atom_limit; ++rule) {
+      const Tgd& tgd = tgds[rule];
+      h.assign(tgd.num_vars(), kUnbound);
+      trail.clear();
+      ForEachNewBodyHom(
+          tgd, instance, view, h, trail, [&](std::vector<Term>& hom) {
+            if (hit_atom_limit) return;
+            // Decide whether this trigger fires.
+            if (options.variant == ChaseVariant::kRestricted) {
+              // Only the frontier restriction matters for satisfaction;
+              // existentials are unbound here by construction.
+              std::vector<VarId> head_trail;
+              if (HeadSatisfied(tgd, instance, hom, head_trail)) return;
+            } else {
+              std::vector<uint64_t> key;
+              if (options.variant == ChaseVariant::kSemiOblivious) {
+                key.reserve(1 + tgd.frontier().size());
+                key.push_back(rule);
+                for (VarId var : tgd.frontier()) key.push_back(hom[var]);
+              } else {
+                key.reserve(1 + tgd.num_universal());
+                key.push_back(rule);
+                for (VarId var = 0; var < tgd.num_universal(); ++var) {
+                  key.push_back(hom[var]);
+                }
+              }
+              if (!fired.insert(std::move(key)).second) return;
+            }
+            ++result.triggers_fired;
+            // result(σ, h): frontier variables keep their image, each
+            // existential variable gets a fresh labelled null (unique per
+            // trigger and variable, per Definition 3.1).
+            std::vector<Term> null_of(tgd.num_vars(), kUnbound);
+            for (const RuleAtom& head_atom : tgd.head()) {
+              GroundAtom atom;
+              atom.pred = head_atom.pred;
+              atom.args.reserve(head_atom.args.size());
+              for (VarId var : head_atom.args) {
+                if (tgd.IsUniversal(var)) {
+                  atom.args.push_back(hom[var]);
+                } else {
+                  if (null_of[var] == kUnbound) {
+                    null_of[var] = MakeNull(instance.NewNullId());
+                  }
+                  atom.args.push_back(null_of[var]);
+                }
+              }
+              pending.push_back(std::move(atom));
+            }
+            // Apply eagerly so the restricted variant's satisfaction check
+            // sees atoms added earlier in this round (a sequential order).
+            for (GroundAtom& atom : pending) {
+              if (instance.AddAtom(std::move(atom))) {
+                grew = true;
+                ++atoms_now;
+              }
+            }
+            pending.clear();
+            if (atoms_now > options.max_atoms) hit_atom_limit = true;
+          });
+    }
+
+    ++result.rounds;
+    if (hit_atom_limit) {
+      result.outcome = ChaseOutcome::kAtomLimit;
+      break;
+    }
+    if (!grew) {
+      result.outcome = ChaseOutcome::kFixpoint;
+      break;
+    }
+    // Advance the round window.
+    for (PredId pred = 0; pred < num_preds; ++pred) {
+      view.prev[pred] = view.cur[pred];
+      view.cur[pred] = instance.AtomsOf(pred).size();
+    }
+  }
+  return result;
+}
+
+bool Satisfies(const Instance& instance, const std::vector<Tgd>& tgds) {
+  RoundView view;
+  const size_t num_preds = instance.schema().NumPredicates();
+  view.prev.assign(num_preds, 0);
+  view.cur.assign(num_preds, 0);
+  for (PredId pred = 0; pred < num_preds; ++pred) {
+    view.cur[pred] = instance.AtomsOf(pred).size();
+  }
+  std::vector<Term> h;
+  std::vector<VarId> trail;
+  for (const Tgd& tgd : tgds) {
+    h.assign(tgd.num_vars(), kUnbound);
+    trail.clear();
+    bool violated = false;
+    ForEachNewBodyHom(tgd, instance, view, h, trail,
+                      [&](std::vector<Term>& hom) {
+                        if (violated) return;
+                        std::vector<VarId> head_trail;
+                        if (!HeadSatisfied(tgd, instance, hom, head_trail)) {
+                          violated = true;
+                        }
+                      });
+    if (violated) return false;
+  }
+  return true;
+}
+
+}  // namespace chase

@@ -1,0 +1,80 @@
+// The three chase variants of Section 1.1.
+//
+// A trigger for Σ on I is a pair (σ, h) where h maps body(σ) into I
+// (Definition 3.1). The variants differ only in when a trigger is applied:
+//
+//  * Oblivious: once per distinct h (full body homomorphism).
+//  * Semi-oblivious: once per distinct h|fr(σ) (frontier restriction) — the
+//    variant whose termination the paper studies. Nulls are named by
+//    (σ, h|fr(σ), z), so the result of a trigger is uniquely determined.
+//  * Restricted (standard): only when no extension of h|fr(σ) maps head(σ)
+//    into I; fresh nulls per application.
+//
+// The engine runs round-based (chase_i = chase_{i-1} ∪ applied triggers,
+// Section 3) with semi-naive trigger enumeration: in round i only triggers
+// using at least one atom created in round i-1 are considered. Bodies may
+// have multiple atoms (the checkers only need linear TGDs, but the engine is
+// a general TGD chase used by tests and the materialization-based checker).
+//
+// For non-terminating inputs the engine stops at a configurable atom or
+// round limit and reports which limit was hit.
+
+#ifndef CHASE_CHASE_CHASE_ENGINE_H_
+#define CHASE_CHASE_CHASE_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/status.h"
+#include "chase/instance.h"
+#include "logic/database.h"
+#include "logic/tgd.h"
+
+namespace chase {
+
+enum class ChaseVariant {
+  kOblivious,
+  kSemiOblivious,
+  kRestricted,
+};
+
+const char* ChaseVariantName(ChaseVariant variant);
+
+struct ChaseOptions {
+  ChaseVariant variant = ChaseVariant::kSemiOblivious;
+  // Stop once the instance holds more than this many atoms.
+  uint64_t max_atoms = 1'000'000;
+  // Stop after this many rounds.
+  uint64_t max_rounds = UINT64_MAX;
+};
+
+enum class ChaseOutcome {
+  kFixpoint,    // no applicable trigger remains: the chase terminated
+  kAtomLimit,   // atom budget exhausted
+  kRoundLimit,  // round budget exhausted
+};
+
+const char* ChaseOutcomeName(ChaseOutcome outcome);
+
+struct ChaseResult {
+  Instance instance;
+  ChaseOutcome outcome;
+  uint64_t rounds = 0;
+  uint64_t triggers_fired = 0;
+
+  explicit ChaseResult(Instance i) : instance(std::move(i)) {}
+};
+
+// Runs the chase of `database` with `tgds`. The schema of `database` must
+// contain every predicate of `tgds`.
+StatusOr<ChaseResult> RunChase(const Database& database,
+                               const std::vector<Tgd>& tgds,
+                               const ChaseOptions& options = {});
+
+// I |= Σ: every trigger's head is satisfied (Section 2). Used by tests to
+// validate that a terminated chase result is a model.
+bool Satisfies(const Instance& instance, const std::vector<Tgd>& tgds);
+
+}  // namespace chase
+
+#endif  // CHASE_CHASE_CHASE_ENGINE_H_

@@ -1,0 +1,32 @@
+#include "chase/instance.h"
+
+namespace chase {
+
+Instance Instance::FromDatabase(const Database& database) {
+  Instance instance(&database.schema());
+  const Schema& schema = database.schema();
+  for (PredId pred : database.NonEmptyPredicates()) {
+    const uint32_t arity = schema.Arity(pred);
+    const size_t rows = database.NumTuples(pred);
+    for (size_t row = 0; row < rows; ++row) {
+      auto tuple = database.Tuple(pred, row);
+      GroundAtom atom;
+      atom.pred = pred;
+      atom.args.reserve(arity);
+      for (uint32_t constant : tuple) {
+        atom.args.push_back(MakeConstant(constant));
+      }
+      instance.AddAtom(std::move(atom));
+    }
+  }
+  return instance;
+}
+
+bool Instance::AddAtom(GroundAtom atom) {
+  if (!membership_.insert(atom).second) return false;
+  if (atom.pred >= by_pred_.size()) by_pred_.resize(atom.pred + 1);
+  by_pred_[atom.pred].push_back(std::move(atom));
+  return true;
+}
+
+}  // namespace chase

@@ -1,0 +1,61 @@
+// A (finite prefix of a possibly infinite) instance: a deduplicated set of
+// ground atoms over constants and labelled nulls, grouped by predicate. This
+// is the structure the chase engines grow.
+
+#ifndef CHASE_CHASE_INSTANCE_H_
+#define CHASE_CHASE_INSTANCE_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "logic/atom.h"
+#include "logic/database.h"
+#include "logic/schema.h"
+
+namespace chase {
+
+class Instance {
+ public:
+  explicit Instance(const Schema* schema) : schema_(schema) {}
+
+  // Seeds an instance with the facts of `database`.
+  static Instance FromDatabase(const Database& database);
+
+  const Schema& schema() const { return *schema_; }
+
+  // Adds an atom; returns true iff it was not already present.
+  bool AddAtom(GroundAtom atom);
+
+  bool Contains(const GroundAtom& atom) const {
+    return membership_.count(atom) > 0;
+  }
+
+  const std::vector<GroundAtom>& AtomsOf(PredId pred) const {
+    static const std::vector<GroundAtom> kEmpty;
+    return pred < by_pred_.size() ? by_pred_[pred] : kEmpty;
+  }
+
+  size_t NumAtoms() const { return membership_.size(); }
+
+  // Allocates a fresh null id (never reused).
+  uint64_t NewNullId() { return next_null_++; }
+
+  // Iterates all atoms (by predicate, insertion order within predicate).
+  template <typename Fn>
+  void ForEachAtom(Fn&& fn) const {
+    for (const auto& atoms : by_pred_) {
+      for (const GroundAtom& atom : atoms) fn(atom);
+    }
+  }
+
+ private:
+  const Schema* schema_;
+  std::vector<std::vector<GroundAtom>> by_pred_;
+  std::unordered_set<GroundAtom, GroundAtomHash> membership_;
+  uint64_t next_null_ = 0;
+};
+
+}  // namespace chase
+
+#endif  // CHASE_CHASE_INSTANCE_H_

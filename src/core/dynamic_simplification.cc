@@ -1,0 +1,95 @@
+#include "core/dynamic_simplification.h"
+
+#include <deque>
+
+#include "storage/catalog.h"
+
+namespace chase {
+namespace {
+
+// True iff a homomorphism from the body atom of `tgd` to the shape atom
+// R(id) exists, i.e., positions sharing a variable carry equal id values.
+// On success, fills `var_id_values[v]` with the id value of each universal
+// variable v.
+bool BodyHomToShape(const Tgd& tgd, const IdTuple& id,
+                    std::vector<uint8_t>& var_id_values) {
+  const RuleAtom& body = tgd.body()[0];
+  var_id_values.assign(tgd.num_universal(), 0);
+  for (size_t i = 0; i < body.args.size(); ++i) {
+    uint8_t& value = var_id_values[body.args[i]];
+    if (value == 0) {
+      value = id[i];
+    } else if (value != id[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<DynamicSimplificationResult> DynamicSimplificationFromShapes(
+    const Schema& schema, const std::vector<Tgd>& tgds,
+    const std::vector<Shape>& database_shapes) {
+  if (!AllLinear(tgds)) {
+    return InvalidArgumentError(
+        "dynamic simplification requires linear TGDs");
+  }
+  DynamicSimplificationResult result;
+  result.shape_schema = std::make_unique<ShapeSchema>(&schema);
+
+  // Index: body predicate -> rules (the "index structure that enables fast
+  // access to the TGDs" of Section 5.4).
+  std::vector<std::vector<size_t>> rules_by_body_pred(schema.NumPredicates());
+  for (size_t rule = 0; rule < tgds.size(); ++rule) {
+    rules_by_body_pred[tgds[rule].body()[0].pred].push_back(rule);
+  }
+
+  // S: all shapes seen; ΔS: the worklist of shapes not yet applied. Each
+  // (rule, shape) pair is processed at most once because a shape enters the
+  // worklist exactly once.
+  ShapeSet seen;
+  std::deque<Shape> worklist;
+  for (const Shape& shape : database_shapes) {
+    if (shape.pred >= schema.NumPredicates()) {
+      return InvalidArgumentError(
+          "database shape over a predicate missing from the schema");
+    }
+    if (seen.insert(shape).second) worklist.push_back(shape);
+  }
+  result.num_initial_shapes = seen.size();
+
+  std::vector<uint8_t> var_id_values;
+  std::vector<Shape> head_shapes;
+  while (!worklist.empty()) {
+    Shape shape = std::move(worklist.front());
+    worklist.pop_front();
+    for (size_t rule : rules_by_body_pred[shape.pred]) {
+      const Tgd& tgd = tgds[rule];
+      if (!BodyHomToShape(tgd, shape.id, var_id_values)) continue;
+      const Specialization f = SpecializationFromIdValues(var_id_values);
+      head_shapes.clear();
+      CHASE_ASSIGN_OR_RETURN(
+          Tgd simplified,
+          SimplifyTgd(tgd, f, *result.shape_schema, &head_shapes));
+      result.tgds.push_back(std::move(simplified));
+      for (Shape& head_shape : head_shapes) {
+        if (seen.insert(head_shape).second) {
+          worklist.push_back(std::move(head_shape));
+        }
+      }
+    }
+  }
+  result.num_derived_shapes = seen.size();
+  return result;
+}
+
+StatusOr<DynamicSimplificationResult> DynamicSimplification(
+    const Database& database, const std::vector<Tgd>& tgds,
+    storage::ShapeFinderMode mode) {
+  storage::Catalog catalog(&database);
+  std::vector<Shape> shapes = storage::FindShapes(catalog, mode);
+  return DynamicSimplificationFromShapes(database.schema(), tgds, shapes);
+}
+
+}  // namespace chase

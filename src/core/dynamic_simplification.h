@@ -1,0 +1,47 @@
+// Dynamic simplification (Definition 4.2 / Algorithm 2).
+//
+// Instead of materializing the exponentially large simple(Σ), dynamic
+// simplification keeps only the simplified TGDs that can actually fire when
+// the input database is D: starting from shape(D), it closes the shape set
+// under the immediate-consequence operator Γ_Σ, generating one simplified
+// TGD per (rule, derivable body shape with a compatible homomorphism). The
+// result simple_D(Σ) is weakly acyclic iff chase(D, Σ) is finite (Lemmas
+// 4.3 + 4.5 with Theorem 3.6).
+
+#ifndef CHASE_CORE_DYNAMIC_SIMPLIFICATION_H_
+#define CHASE_CORE_DYNAMIC_SIMPLIFICATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "base/status.h"
+#include "core/simplification.h"
+#include "logic/database.h"
+#include "logic/shape.h"
+#include "logic/tgd.h"
+#include "storage/shape_finder.h"
+
+namespace chase {
+
+struct DynamicSimplificationResult {
+  std::unique_ptr<ShapeSchema> shape_schema;
+  std::vector<Tgd> tgds;  // simple_D(Σ), over shape_schema->schema()
+  size_t num_initial_shapes = 0;  // |shape(D)|
+  size_t num_derived_shapes = 0;  // |Σ(shape(D))|
+};
+
+// Algorithm 2 given the database shapes (the db-dependent FindShapes step is
+// separated out so callers can time it independently, as the paper does).
+StatusOr<DynamicSimplificationResult> DynamicSimplificationFromShapes(
+    const Schema& schema, const std::vector<Tgd>& tgds,
+    const std::vector<Shape>& database_shapes);
+
+// FindShapes(D) + Algorithm 2. `database.schema()` must contain every
+// predicate of `tgds`.
+StatusOr<DynamicSimplificationResult> DynamicSimplification(
+    const Database& database, const std::vector<Tgd>& tgds,
+    storage::ShapeFinderMode mode = storage::ShapeFinderMode::kInMemory);
+
+}  // namespace chase
+
+#endif  // CHASE_CORE_DYNAMIC_SIMPLIFICATION_H_

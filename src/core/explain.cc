@@ -1,0 +1,216 @@
+#include "core/explain.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+
+#include "graph/dependency_graph.h"
+#include "graph/tarjan.h"
+#include "logic/printer.h"
+
+namespace chase {
+
+namespace {
+
+// Recovers one TGD inducing the (deduplicated) graph edge from → to.
+StatusOr<size_t> FindRuleForEdge(const std::vector<Tgd>& tgds,
+                                 const Position& from, const Position& to,
+                                 bool special) {
+  for (size_t r = 0; r < tgds.size(); ++r) {
+    const Tgd& tgd = tgds[r];
+    const RuleAtom& body = tgd.body()[0];
+    if (body.pred != from.pred) continue;
+    if (from.index >= body.args.size()) continue;
+    const VarId x = body.args[from.index];
+    if (!tgd.InFrontier(x)) continue;
+    for (const RuleAtom& head : tgd.head()) {
+      if (head.pred != to.pred) continue;
+      const VarId at_target = head.args[to.index];
+      if (special ? tgd.IsExistential(at_target) : at_target == x) {
+        return r;
+      }
+    }
+  }
+  return InternalError("no rule induces a witness edge");
+}
+
+}  // namespace
+
+std::string FormatWitness(const Schema& schema,
+                          const NonTerminationWitness& witness,
+                          const std::vector<Tgd>& tgds) {
+  auto name = [&](const Position& position) {
+    return schema.PredicateName(position.pred) + "." +
+           std::to_string(position.index + 1);
+  };
+  std::ostringstream os;
+  auto print_edges = [&](const std::vector<WitnessEdge>& edges) {
+    for (const WitnessEdge& edge : edges) {
+      os << "  " << name(edge.from)
+         << (edge.special ? " --(exists)--> " : " -----------> ")
+         << name(edge.to) << "   via rule #" << edge.rule_index << ": "
+         << ToString(schema, tgds[edge.rule_index]) << "\n";
+    }
+  };
+  if (!witness.support_path.empty()) {
+    os << "support path (from a non-empty relation):\n";
+    print_edges(witness.support_path);
+  } else {
+    os << "the cycle starts at a non-empty relation; no support path "
+          "needed\n";
+  }
+  os << "cycle with a special edge:\n";
+  print_edges(witness.cycle);
+  return os.str();
+}
+
+StatusOr<NonTerminationWitness> ExplainNonTerminationSL(
+    const Database& database, const std::vector<Tgd>& tgds) {
+  if (!AllSimpleLinear(tgds)) {
+    return InvalidArgumentError("Explain requires simple-linear TGDs");
+  }
+  if (!AllHaveNonEmptyFrontier(tgds)) {
+    return InvalidArgumentError("Explain requires non-empty frontiers");
+  }
+  const Schema& schema = database.schema();
+  const DependencyGraph graph = BuildDependencyGraph(schema, tgds);
+  const Digraph& digraph = graph.graph();
+  const SccResult scc = TarjanScc(digraph);
+  const SpecialSccs special = FindSpecialSccs(digraph, scc);
+  if (special.empty()) {
+    return FailedPreconditionError("chase(D, Σ) is finite: no special SCC");
+  }
+
+  std::vector<bool> nonempty(schema.NumPredicates(), false);
+  for (PredId pred : database.NonEmptyPredicates()) nonempty[pred] = true;
+
+  // Try each special SCC until a supported one is found.
+  for (size_t c = 0; c < special.components.size(); ++c) {
+    const uint32_t component = special.components[c];
+
+    // Locate a special edge inside the component.
+    uint32_t special_from = 0, special_to = 0;
+    bool found_edge = false;
+    for (uint32_t node = 0; node < digraph.num_nodes() && !found_edge;
+         ++node) {
+      if (scc.component[node] != component) continue;
+      for (const Arc& arc : digraph.OutArcs(node)) {
+        if (arc.special && scc.component[arc.node] == component) {
+          special_from = node;
+          special_to = arc.node;
+          found_edge = true;
+          break;
+        }
+      }
+    }
+    if (!found_edge) continue;  // cannot happen for a special SCC
+
+    // Close the cycle: BFS special_to -> special_from inside the component.
+    std::unordered_map<uint32_t, std::pair<uint32_t, bool>> parent;
+    std::deque<uint32_t> queue = {special_to};
+    parent.emplace(special_to, std::make_pair(special_to, false));
+    while (!queue.empty() && parent.find(special_from) == parent.end()) {
+      const uint32_t node = queue.front();
+      queue.pop_front();
+      for (const Arc& arc : digraph.OutArcs(node)) {
+        if (scc.component[arc.node] != component) continue;
+        if (parent.emplace(arc.node, std::make_pair(node, arc.special))
+                .second) {
+          queue.push_back(arc.node);
+        }
+      }
+    }
+
+    NonTerminationWitness witness;
+    // Path edges from special_to to special_from, then the special edge.
+    std::vector<WitnessEdge> path;
+    for (uint32_t node = special_from; node != special_to;) {
+      const auto [prev, was_special] = parent.at(node);
+      WitnessEdge edge;
+      edge.from = graph.PositionOf(prev);
+      edge.to = graph.PositionOf(node);
+      edge.special = was_special;
+      path.push_back(edge);
+      node = prev;
+    }
+    std::reverse(path.begin(), path.end());
+    WitnessEdge closing;
+    closing.from = graph.PositionOf(special_from);
+    closing.to = graph.PositionOf(special_to);
+    closing.special = true;
+    witness.cycle = {closing};
+    witness.cycle.insert(witness.cycle.end(), path.begin(), path.end());
+
+    // Supportedness: reverse-BFS from the cycle's nodes to a non-empty
+    // relation (Section 5.3's step (2) with the path recorded).
+    std::unordered_map<uint32_t, std::pair<uint32_t, bool>> forward;
+    std::deque<uint32_t> rqueue;
+    uint32_t support_start = UINT32_MAX;
+    auto seed = [&](uint32_t node) {
+      if (forward.emplace(node, std::make_pair(node, false)).second) {
+        rqueue.push_back(node);
+      }
+    };
+    seed(special_from);
+    seed(special_to);
+    for (const WitnessEdge& edge : path) {
+      seed(graph.NodeOf(edge.from));
+      seed(graph.NodeOf(edge.to));
+    }
+    while (!rqueue.empty() && support_start == UINT32_MAX) {
+      const uint32_t node = rqueue.front();
+      rqueue.pop_front();
+      if (nonempty[graph.PositionOf(node).pred]) {
+        support_start = node;
+        break;
+      }
+      for (const Arc& arc : digraph.InArcs(node)) {
+        if (forward.emplace(arc.node, std::make_pair(node, arc.special))
+                .second) {
+          rqueue.push_back(arc.node);
+        }
+      }
+    }
+    if (support_start == UINT32_MAX) continue;  // unsupported SCC; try next
+
+    for (uint32_t node = support_start;;) {
+      const auto [next, was_special] = forward.at(node);
+      if (next == node) break;  // reached a seeded cycle node
+      WitnessEdge edge;
+      edge.from = graph.PositionOf(node);
+      edge.to = graph.PositionOf(next);
+      edge.special = was_special;
+      witness.support_path.push_back(edge);
+      node = next;
+    }
+
+    // Rotate the cycle so it starts where the support lands (or, with an
+    // empty support path, at the non-empty cycle position itself).
+    const Position anchor = witness.support_path.empty()
+                                ? graph.PositionOf(support_start)
+                                : witness.support_path.back().to;
+    for (size_t i = 0; i < witness.cycle.size(); ++i) {
+      if (witness.cycle[i].from == anchor) {
+        std::rotate(witness.cycle.begin(), witness.cycle.begin() + i,
+                    witness.cycle.end());
+        break;
+      }
+    }
+
+    // Attach witnessing rules.
+    for (std::vector<WitnessEdge>* edges :
+         {&witness.support_path, &witness.cycle}) {
+      for (WitnessEdge& edge : *edges) {
+        CHASE_ASSIGN_OR_RETURN(
+            edge.rule_index,
+            FindRuleForEdge(tgds, edge.from, edge.to, edge.special));
+      }
+    }
+    return witness;
+  }
+  return FailedPreconditionError(
+      "chase(D, Σ) is finite: no supported special SCC");
+}
+
+}  // namespace chase

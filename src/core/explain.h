@@ -1,0 +1,59 @@
+// Witness extraction for non-termination verdicts.
+//
+// When IsChaseFinite[SL] answers "infinite", the proof is a D-supported
+// cycle with a special edge in dg(Σ) (Theorem 3.3). This module extracts
+// one such witness in human-readable form:
+//
+//  * the cycle, as a sequence of predicate positions, with the special
+//    edges marked,
+//  * one TGD per edge that induces it (edges are deduplicated in the graph,
+//    so a witnessing rule is recovered by rescanning Σ), and
+//  * a support path: a chain of positions from a non-empty relation of D to
+//    the cycle, again with witnessing rules.
+//
+// chasectl's `explain` subcommand prints this; tests validate that every
+// reported edge is really induced by the reported rule and that the cycle
+// closes and contains a special edge.
+
+#ifndef CHASE_CORE_EXPLAIN_H_
+#define CHASE_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/database.h"
+#include "logic/tgd.h"
+
+namespace chase {
+
+struct WitnessEdge {
+  Position from;
+  Position to;
+  bool special = false;
+  size_t rule_index = 0;  // index into the input TGD vector
+};
+
+struct NonTerminationWitness {
+  // support_path[0].from belongs to a non-empty relation of D (it may be
+  // empty when the cycle itself starts at a non-empty relation);
+  // cycle.front().from == cycle.back().to, and at least one cycle edge is
+  // special.
+  std::vector<WitnessEdge> support_path;
+  std::vector<WitnessEdge> cycle;
+};
+
+// Renders the witness as indented text ("r.2 --∃--> r.2 via rule #3 ...").
+std::string FormatWitness(const Schema& schema,
+                          const NonTerminationWitness& witness,
+                          const std::vector<Tgd>& tgds);
+
+// Extracts a witness for simple-linear TGDs. Fails with
+// kFailedPrecondition if chase(D, Σ) is finite (nothing to explain), and
+// kInvalidArgument on non-simple-linear input.
+StatusOr<NonTerminationWitness> ExplainNonTerminationSL(
+    const Database& database, const std::vector<Tgd>& tgds);
+
+}  // namespace chase
+
+#endif  // CHASE_CORE_EXPLAIN_H_

@@ -1,0 +1,121 @@
+#include "core/is_chase_finite.h"
+
+#include "base/timer.h"
+#include "core/dynamic_simplification.h"
+#include "core/simplification.h"
+#include "core/weak_acyclicity.h"
+#include "graph/dependency_graph.h"
+#include "graph/tarjan.h"
+
+namespace chase {
+namespace {
+
+Status ValidateFrontiers(const std::vector<Tgd>& tgds) {
+  if (!AllHaveNonEmptyFrontier(tgds)) {
+    return InvalidArgumentError(
+        "every TGD must have a non-empty frontier (Section 3's w.l.o.g. "
+        "assumption); normalize the rule set first");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+StatusOr<bool> IsChaseFiniteSL(const Database& database,
+                               const std::vector<Tgd>& tgds,
+                               SlCheckStats* stats) {
+  if (!AllSimpleLinear(tgds)) {
+    return InvalidArgumentError(
+        "IsChaseFinite[SL] requires simple-linear TGDs");
+  }
+  CHASE_RETURN_IF_ERROR(ValidateFrontiers(tgds));
+
+  SlCheckStats local;
+  SlCheckStats& out = stats != nullptr ? *stats : local;
+
+  Timer timer;
+  const DependencyGraph graph =
+      BuildDependencyGraph(database.schema(), tgds);
+  out.graph_ms = timer.ElapsedMillis();
+  out.graph_nodes = graph.num_nodes();
+  out.graph_edges = graph.num_edges();
+
+  timer.Restart();
+  const SpecialSccs special = FindSpecialSccs(graph.graph());
+  out.comp_ms = timer.ElapsedMillis();
+  out.special_sccs = special.components.size();
+  if (special.empty()) return true;
+
+  timer.Restart();
+  storage::Catalog catalog(&database);
+  const bool supported = Supports(catalog, graph, special.representatives);
+  out.support_ms = timer.ElapsedMillis();
+  return !supported;
+}
+
+StatusOr<bool> IsChaseFiniteL(const Database& database,
+                              const std::vector<Tgd>& tgds,
+                              const LCheckOptions& options,
+                              LCheckStats* stats) {
+  if (!AllLinear(tgds)) {
+    return InvalidArgumentError("IsChaseFinite[L] requires linear TGDs");
+  }
+  CHASE_RETURN_IF_ERROR(ValidateFrontiers(tgds));
+
+  LCheckStats local;
+  LCheckStats& out = stats != nullptr ? *stats : local;
+
+  // The db-dependent component: FindShapes (Section 8's t-shapes), unless
+  // the caller maintains the shapes incrementally (Section 10).
+  Timer timer;
+  storage::Catalog catalog(&database);
+  std::vector<Shape> computed;
+  if (options.precomputed_shapes == nullptr) {
+    computed = storage::FindShapes(catalog, options.shape_finder);
+  }
+  const std::vector<Shape>& shapes = options.precomputed_shapes != nullptr
+                                         ? *options.precomputed_shapes
+                                         : computed;
+  out.shapes_ms = timer.ElapsedMillis();
+  out.access = catalog.stats();
+
+  // The db-independent component: dynamic simplification + dependency graph
+  // (t-graph), then special-SCC search (t-comp).
+  timer.Restart();
+  CHASE_ASSIGN_OR_RETURN(
+      DynamicSimplificationResult simplified,
+      DynamicSimplificationFromShapes(database.schema(), tgds, shapes));
+  const DependencyGraph graph = BuildDependencyGraph(
+      simplified.shape_schema->schema(), simplified.tgds);
+  out.graph_ms = timer.ElapsedMillis();
+  out.num_initial_shapes = simplified.num_initial_shapes;
+  out.num_derived_shapes = simplified.num_derived_shapes;
+  out.num_simplified_tgds = simplified.tgds.size();
+  out.graph_nodes = graph.num_nodes();
+  out.graph_edges = graph.num_edges();
+
+  timer.Restart();
+  const bool acyclic = FindSpecialSccs(graph.graph()).empty();
+  out.comp_ms = timer.ElapsedMillis();
+  return acyclic;
+}
+
+StatusOr<bool> IsChaseFiniteLStatic(const Database& database,
+                                    const std::vector<Tgd>& tgds,
+                                    uint64_t max_simplified) {
+  if (!AllLinear(tgds)) {
+    return InvalidArgumentError("IsChaseFinite[L] requires linear TGDs");
+  }
+  CHASE_RETURN_IF_ERROR(ValidateFrontiers(tgds));
+
+  // Theorem 3.6: chase(D, Σ) is finite iff simple(Σ) is
+  // simple(D)-weakly-acyclic.
+  CHASE_ASSIGN_OR_RETURN(
+      StaticSimplificationResult simplified,
+      StaticSimplification(database.schema(), tgds, max_simplified));
+  std::unique_ptr<Database> simple_db =
+      SimplifyDatabase(database, *simplified.shape_schema);
+  return IsWeaklyAcyclicWrt(*simple_db, simplified.tgds);
+}
+
+}  // namespace chase

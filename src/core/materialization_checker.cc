@@ -1,0 +1,62 @@
+#include "core/materialization_checker.h"
+
+#include <algorithm>
+
+namespace chase {
+
+uint64_t ChaseSizeBound(const Database& database,
+                        const std::vector<Tgd>& tgds) {
+  const Schema& schema = database.schema();
+  const uint64_t facts = std::max<uint64_t>(1, database.TotalFacts());
+  const uint64_t base = std::max<uint32_t>(2, schema.MaxArity());
+  uint64_t positions = 0;
+  for (const Tgd& tgd : tgds) {
+    for (const RuleAtom& atom : tgd.body()) positions += atom.args.size();
+    for (const RuleAtom& atom : tgd.head()) positions += atom.args.size();
+  }
+  positions = std::max<uint64_t>(1, std::min<uint64_t>(positions, 64));
+  // facts * base^positions, saturating.
+  uint64_t bound = facts;
+  for (uint64_t i = 0; i < positions; ++i) {
+    if (bound > UINT64_MAX / base) return UINT64_MAX;
+    bound *= base;
+  }
+  return bound;
+}
+
+StatusOr<MaterializationReport> MaterializationCheck(
+    const Database& database, const std::vector<Tgd>& tgds,
+    const MaterializationOptions& options) {
+  MaterializationReport report;
+  report.bound = ChaseSizeBound(database, tgds);
+  const uint64_t budget =
+      options.atom_budget == 0 ? report.bound : options.atom_budget;
+
+  ChaseOptions chase_options;
+  chase_options.variant = ChaseVariant::kSemiOblivious;
+  chase_options.max_atoms = budget;
+  chase_options.max_rounds = options.round_budget;
+  CHASE_ASSIGN_OR_RETURN(ChaseResult result,
+                         RunChase(database, tgds, chase_options));
+  report.atoms = result.instance.NumAtoms();
+  report.outcome = result.outcome;
+  switch (result.outcome) {
+    case ChaseOutcome::kFixpoint:
+      report.decided = true;
+      report.finite = true;
+      break;
+    case ChaseOutcome::kAtomLimit:
+      // Exceeding k_{D,Σ} proves non-termination; exhausting a smaller
+      // caller-supplied budget proves nothing.
+      report.decided = budget >= report.bound;
+      report.finite = false;
+      break;
+    case ChaseOutcome::kRoundLimit:
+      report.decided = false;
+      report.finite = false;
+      break;
+  }
+  return report;
+}
+
+}  // namespace chase

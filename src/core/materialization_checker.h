@@ -1,0 +1,59 @@
+// The materialization-based termination check (Section 1.4): run the
+// semi-oblivious chase while counting atoms; if the count ever exceeds a
+// worst-case bound k_{D,Σ} on the size of a *finite* chase, the chase is
+// infinite; if a fixpoint is reached first, it is finite.
+//
+// The paper's exploratory analysis found this approach "simply too
+// expensive" because the worst-case optimal bounds of [Calautti–Gottlob–
+// Pieris, PODS'22] are very large; the acyclicity-based algorithms replace
+// it. We keep it as (a) the ablation baseline reproducing that finding and
+// (b) a bounded ground-truth oracle for the property tests.
+//
+// ChaseSizeBound is a conservative stand-in for the PODS'22 bound (which we
+// do not reproduce exactly): every atom of a finite semi-oblivious chase of
+// a linear rule set is produced by a chain of triggers whose keys
+// (rule, frontier tuple) never repeat a (rule, shape-of-frontier) pair more
+// than |dom(D)|^w times, giving |D| · (|Σ| · w^w + 1) per derivation depth
+// |pos(sch(Σ))| — we simply take |D| · B^|pos| with B = max(2, max arity),
+// saturating. Any upper bound on finite-chase size makes the checker sound;
+// a loose one only makes it (much) slower on non-terminating inputs, which
+// is precisely the phenomenon the paper reports.
+
+#ifndef CHASE_CORE_MATERIALIZATION_CHECKER_H_
+#define CHASE_CORE_MATERIALIZATION_CHECKER_H_
+
+#include <cstdint>
+
+#include "base/status.h"
+#include "chase/chase_engine.h"
+#include "logic/database.h"
+#include "logic/tgd.h"
+
+namespace chase {
+
+// The simulated worst-case bound k_{D,Σ} (see file comment). Saturates.
+uint64_t ChaseSizeBound(const Database& database,
+                        const std::vector<Tgd>& tgds);
+
+struct MaterializationOptions {
+  // Atom budget; 0 means "use ChaseSizeBound(D, Σ)". If the budget is below
+  // the bound and is exhausted, the check is undecided.
+  uint64_t atom_budget = 0;
+  uint64_t round_budget = UINT64_MAX;
+};
+
+struct MaterializationReport {
+  bool decided = false;
+  bool finite = false;  // meaningful only if decided
+  uint64_t atoms = 0;   // atoms materialized (including the database)
+  uint64_t bound = 0;   // k_{D,Σ} used
+  ChaseOutcome outcome = ChaseOutcome::kFixpoint;
+};
+
+StatusOr<MaterializationReport> MaterializationCheck(
+    const Database& database, const std::vector<Tgd>& tgds,
+    const MaterializationOptions& options = {});
+
+}  // namespace chase
+
+#endif  // CHASE_CORE_MATERIALIZATION_CHECKER_H_

@@ -1,0 +1,62 @@
+// Frontier normalization: the paper's Section 3 w.l.o.g. transformation.
+//
+// The termination characterizations (Theorems 3.3 / 3.6) assume every TGD
+// has a non-empty frontier, and IsChaseFinite[SL/L] reject rule sets that
+// violate it. This module eliminates empty-frontier TGDs exactly.
+//
+// Key observation: for an empty-frontier TGD σ = R(x̄) → ∃z̄ ψ(z̄), the
+// frontier restriction h|fr(σ) of every trigger is the empty map, so every
+// trigger produces the *same* result set (nulls are named by (σ, h|fr, z)).
+// The semi-oblivious chase therefore adds ψ's atoms exactly once — iff some
+// trigger for σ ever exists, i.e., iff the chase instance ever contains an
+// R-atom whose shape is compatible with id(x̄). For linear TGDs that
+// applicability condition is decided exactly by the shape-propagation
+// fixpoint Σ(shape(D)) of Section 4 (shapes ignore multiplicity, and one
+// firing already contributes all of ψ's shapes).
+//
+// NormalizeFrontiers therefore (1) computes the derivable shapes of (D, Σ),
+// (2) for every applicable empty-frontier TGD adds ψ instantiated with
+// fresh constants (inert values, indistinguishable from the chase's fixed
+// nulls for termination purposes) to a copy D' of D, dropping inapplicable
+// ones outright, and (3) returns D' plus the non-empty-frontier rules.
+// chase(D, Σ) is finite iff chase(D', Σ') is finite, and Σ' satisfies the
+// checkers' precondition. A property test checks the equivalence against
+// the bounded chase oracle on the original input.
+//
+// Note the transformation is database-dependent, exactly as the paper
+// phrases it ("given a database D and a set Σ of TGDs, we can easily
+// construct a set Σ'..."). A database-independent rewriting cannot work:
+// making a body variable frontier re-fires the rule once per value, which
+// can introduce divergence the original rule set does not have.
+
+#ifndef CHASE_CORE_NORMALIZE_H_
+#define CHASE_CORE_NORMALIZE_H_
+
+#include <memory>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/database.h"
+#include "logic/schema.h"
+#include "logic/tgd.h"
+
+namespace chase {
+
+struct NormalizeResult {
+  // D': a copy of the input database plus the materialized one-shot
+  // firings. References the input database's schema.
+  std::unique_ptr<Database> database;
+  // Σ': the rules with non-empty frontier, unchanged.
+  std::vector<Tgd> tgds;
+  size_t rules_materialized = 0;  // applicable empty-frontier TGDs
+  size_t rules_dropped = 0;       // inapplicable ones
+};
+
+// Requires linear TGDs (the applicability analysis is shape-based). The
+// result's database references `database.schema()`, which must outlive it.
+StatusOr<NormalizeResult> NormalizeFrontiers(const Database& database,
+                                             const std::vector<Tgd>& tgds);
+
+}  // namespace chase
+
+#endif  // CHASE_CORE_NORMALIZE_H_

@@ -1,0 +1,54 @@
+#include "core/specialization.h"
+
+namespace chase {
+
+bool IsValidSpecialization(const Specialization& f) {
+  for (uint32_t i = 0; i < f.size(); ++i) {
+    if (f[i] > i) return false;
+    if (f[f[i]] != f[i]) return false;
+  }
+  return true;
+}
+
+std::vector<Specialization> EnumerateSpecializations(uint32_t k) {
+  std::vector<Specialization> out;
+  if (k == 0) {
+    out.push_back({});
+    return out;
+  }
+  Specialization prefix;
+  prefix.reserve(k);
+  auto recurse = [&](auto&& self) -> void {
+    if (prefix.size() == k) {
+      out.push_back(prefix);
+      return;
+    }
+    const auto i = static_cast<uint32_t>(prefix.size());
+    // xi maps to an earlier representative or to itself.
+    for (uint32_t rep = 0; rep <= i; ++rep) {
+      if (rep < i && prefix[rep] != rep) continue;  // not a representative
+      prefix.push_back(rep);
+      self(self);
+      prefix.pop_back();
+    }
+  };
+  recurse(recurse);
+  return out;
+}
+
+Specialization SpecializationFromIdValues(
+    const std::vector<uint8_t>& var_id_values) {
+  const auto k = static_cast<uint32_t>(var_id_values.size());
+  Specialization f(k);
+  // first_with_value[v] = earliest variable whose id value is v.
+  uint32_t first_with_value[256];
+  for (uint32_t i = 0; i < k; ++i) first_with_value[var_id_values[i]] = k;
+  for (uint32_t i = 0; i < k; ++i) {
+    uint32_t& first = first_with_value[var_id_values[i]];
+    if (first == k) first = i;
+    f[i] = first;
+  }
+  return f;
+}
+
+}  // namespace chase

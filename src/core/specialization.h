@@ -1,0 +1,43 @@
+// Specializations of variable tuples (Section 3).
+//
+// For a tuple of distinct variables (x1, ..., xk), a specialization f maps
+// each xi either to itself or to the image of an earlier variable, with
+// f(x1) = x1. Specializations are in bijection with the set partitions of
+// {x1, ..., xk} (each block represented by its smallest-index member), so an
+// arity-k atom has Bell(k) specializations — the source of the exponential
+// blow-up of static simplification that dynamic simplification avoids.
+//
+// Representation: a vector f of length k with f[i] <= i, f[f[i]] == f[i];
+// f[i] is the representative (first-occurrence index) of xi's block.
+
+#ifndef CHASE_CORE_SPECIALIZATION_H_
+#define CHASE_CORE_SPECIALIZATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/shape.h"
+
+namespace chase {
+
+using Specialization = std::vector<uint32_t>;
+
+// Checks the representation invariants above.
+bool IsValidSpecialization(const Specialization& f);
+
+// All specializations of a k-variable tuple (Bell(k) of them),
+// lexicographically ordered.
+std::vector<Specialization> EnumerateSpecializations(uint32_t k);
+
+// The h-specialization induced by a homomorphism from a body atom to a shape
+// atom (Section 4.2): variables are grouped by the id value of their
+// positions, with the earliest variable of each group as representative.
+// `var_id_values[i]` is the id value assigned to the i-th distinct body
+// variable. The result maps distinct-variable indices to distinct-variable
+// indices.
+Specialization SpecializationFromIdValues(
+    const std::vector<uint8_t>& var_id_values);
+
+}  // namespace chase
+
+#endif  // CHASE_CORE_SPECIALIZATION_H_

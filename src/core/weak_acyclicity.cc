@@ -1,0 +1,46 @@
+#include "core/weak_acyclicity.h"
+
+#include "graph/reachability.h"
+#include "graph/tarjan.h"
+
+namespace chase {
+
+bool IsWeaklyAcyclic(const DependencyGraph& graph) {
+  return FindSpecialSccs(graph.graph()).empty();
+}
+
+bool IsWeaklyAcyclic(const Schema& schema, const std::vector<Tgd>& tgds) {
+  return IsWeaklyAcyclic(BuildDependencyGraph(schema, tgds));
+}
+
+bool Supports(const storage::Catalog& catalog, const DependencyGraph& graph,
+              std::span<const uint32_t> seeds) {
+  if (seeds.empty()) return false;
+  // Step (1): the extensional predicates, from catalog metadata only.
+  std::vector<bool> extensional(graph.schema().NumPredicates(), false);
+  for (PredId pred : catalog.ListNonEmptyRelations()) {
+    if (pred < extensional.size()) extensional[pred] = true;
+  }
+  // Step (2): reverse traversal from the seeds; supported iff it reaches a
+  // position of an extensional predicate. (The seeds themselves are included,
+  // covering the R == P base case of predicate reachability.)
+  std::vector<bool> reached = ReverseReachable(graph.graph(), seeds);
+  for (uint32_t node = 0; node < graph.num_nodes(); ++node) {
+    if (reached[node] && extensional[graph.PositionOf(node).pred]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsWeaklyAcyclicWrt(const Database& database,
+                        const std::vector<Tgd>& tgds) {
+  const DependencyGraph graph =
+      BuildDependencyGraph(database.schema(), tgds);
+  const SpecialSccs special = FindSpecialSccs(graph.graph());
+  if (special.empty()) return true;
+  storage::Catalog catalog(&database);
+  return !Supports(catalog, graph, special.representatives);
+}
+
+}  // namespace chase

@@ -1,0 +1,36 @@
+// Weak-acyclicity and non-uniform (database-dependent) weak-acyclicity
+// (Definition 3.2), plus the Supports procedure of Section 5.3.
+
+#ifndef CHASE_CORE_WEAK_ACYCLICITY_H_
+#define CHASE_CORE_WEAK_ACYCLICITY_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/dependency_graph.h"
+#include "logic/database.h"
+#include "logic/tgd.h"
+#include "storage/catalog.h"
+
+namespace chase {
+
+// Σ is weakly acyclic iff dg(Σ) has no cycle with a special edge, iff no SCC
+// of dg(Σ) contains a special edge.
+bool IsWeaklyAcyclic(const DependencyGraph& graph);
+bool IsWeaklyAcyclic(const Schema& schema, const std::vector<Tgd>& tgds);
+
+// Supports(D, P, G) (Section 5.3): true iff some node of `seeds` is
+// reachable in `graph` from a position of a predicate with at least one
+// tuple in the catalog's database. Step (1) queries the catalog for the
+// non-empty relations; step (2) walks the graph in reverse from the seeds.
+bool Supports(const storage::Catalog& catalog, const DependencyGraph& graph,
+              std::span<const uint32_t> seeds);
+
+// Σ is D-weakly-acyclic iff dg(Σ) has no D-supported cycle with a special
+// edge. The TGDs must be over database.schema().
+bool IsWeaklyAcyclicWrt(const Database& database,
+                        const std::vector<Tgd>& tgds);
+
+}  // namespace chase
+
+#endif  // CHASE_CORE_WEAK_ACYCLICITY_H_

@@ -1,0 +1,93 @@
+#include "gen/data_generator.h"
+
+#include <algorithm>
+
+namespace chase {
+
+StatusOr<std::vector<PredId>> DeclarePredicates(Schema* schema,
+                                                std::string_view prefix,
+                                                uint32_t count,
+                                                uint32_t min_arity,
+                                                uint32_t max_arity, Rng* rng) {
+  if (min_arity == 0 || min_arity > max_arity) {
+    return InvalidArgumentError("invalid arity range");
+  }
+  std::vector<PredId> preds;
+  preds.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const auto arity =
+        static_cast<uint32_t>(rng->Range(min_arity, max_arity));
+    std::string name(prefix);
+    name += std::to_string(i);
+    CHASE_ASSIGN_OR_RETURN(PredId pred, schema->AddPredicate(name, arity));
+    preds.push_back(pred);
+  }
+  return preds;
+}
+
+void GenerateShapedTuple(uint32_t arity, uint64_t dsize, Rng* rng,
+                         std::vector<uint32_t>* tuple) {
+  // Draw a random restricted-growth string: position i picks uniformly among
+  // the existing blocks plus one fresh block.
+  uint8_t id[64];
+  uint8_t max_block = 0;
+  for (uint32_t i = 0; i < arity; ++i) {
+    const auto value = static_cast<uint8_t>(rng->Range(1, max_block + 1));
+    id[i] = value;
+    max_block = std::max(max_block, value);
+  }
+  // Fill blocks with distinct domain values (rejection sampling; the domain
+  // is much larger than the arity in every configuration we generate).
+  uint32_t block_value[64];
+  for (uint8_t block = 1; block <= max_block; ++block) {
+    while (true) {
+      const auto candidate = static_cast<uint32_t>(rng->Below(dsize));
+      bool duplicate = false;
+      for (uint8_t prior = 1; prior < block; ++prior) {
+        if (block_value[prior] == candidate) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) {
+        block_value[block] = candidate;
+        break;
+      }
+    }
+  }
+  tuple->resize(arity);
+  for (uint32_t i = 0; i < arity; ++i) (*tuple)[i] = block_value[id[i]];
+}
+
+Status PopulateRelations(Database* database, std::span<const PredId> preds,
+                         uint64_t dsize, uint64_t rsize, Rng* rng) {
+  if (dsize < 64) {
+    return InvalidArgumentError("domain size must be at least 64");
+  }
+  database->EnsureAnonymousDomain(dsize);
+  std::vector<uint32_t> tuple;
+  for (PredId pred : preds) {
+    const uint32_t arity = database->schema().Arity(pred);
+    for (uint64_t row = 0; row < rsize; ++row) {
+      GenerateShapedTuple(arity, dsize, rng, &tuple);
+      CHASE_RETURN_IF_ERROR(database->AddFact(pred, tuple));
+    }
+  }
+  return OkStatus();
+}
+
+StatusOr<GeneratedData> GenerateData(const DataGenParams& params) {
+  Rng rng(params.seed);
+  GeneratedData data;
+  data.schema = std::make_unique<Schema>();
+  CHASE_ASSIGN_OR_RETURN(
+      std::vector<PredId> preds,
+      DeclarePredicates(data.schema.get(), params.pred_prefix, params.preds,
+                        params.min_arity, params.max_arity, &rng));
+  data.database = std::make_unique<Database>(data.schema.get());
+  CHASE_RETURN_IF_ERROR(PopulateRelations(data.database.get(), preds,
+                                          params.dsize, params.rsize, &rng));
+  return data;
+}
+
+}  // namespace chase

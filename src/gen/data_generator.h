@@ -1,0 +1,68 @@
+// The paper's data generator (Section 6.1).
+//
+// Existing generators (TPC-H, DataFiller) cannot control the *shapes* of the
+// generated atoms, which is exactly what the dynamic-simplification
+// experiments need. This generator takes (preds, min, max, dsize, rsize) and
+// produces a database with `preds` predicates of arity in [min, max], a
+// domain of `dsize` constants, and `rsize` tuples per relation, where each
+// tuple is built by first drawing a random shape and then filling the shape's
+// blocks with distinct random domain values — so every relation exhibits a
+// controlled variety of shapes.
+
+#ifndef CHASE_GEN_DATA_GENERATOR_H_
+#define CHASE_GEN_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "logic/database.h"
+#include "logic/schema.h"
+
+namespace chase {
+
+struct DataGenParams {
+  uint32_t preds = 10;      // number of predicates
+  uint32_t min_arity = 1;   // inclusive
+  uint32_t max_arity = 5;   // inclusive
+  uint64_t dsize = 1000;    // |dom(D)|
+  uint64_t rsize = 100;     // tuples per relation
+  std::string pred_prefix = "p";
+  uint64_t seed = 1;
+};
+
+struct GeneratedData {
+  std::unique_ptr<Schema> schema;
+  std::unique_ptr<Database> database;
+};
+
+// Creates a fresh schema with `params.preds` predicates (random arities in
+// [min_arity, max_arity]) and a database over it.
+StatusOr<GeneratedData> GenerateData(const DataGenParams& params);
+
+// Declares `count` predicates named "<prefix><i>" with random arities into
+// `schema`; returns the new predicate ids. This is how the Section 8 setup
+// builds the 1000-predicate schema shared by D* and the TGD generator.
+StatusOr<std::vector<PredId>> DeclarePredicates(Schema* schema,
+                                                std::string_view prefix,
+                                                uint32_t count,
+                                                uint32_t min_arity,
+                                                uint32_t max_arity, Rng* rng);
+
+// Fills `rsize` shape-controlled tuples into each of `preds` (which must
+// belong to database->schema()), drawing constants from an anonymous domain
+// of `dsize` values.
+Status PopulateRelations(Database* database, std::span<const PredId> preds,
+                         uint64_t dsize, uint64_t rsize, Rng* rng);
+
+// Draws one random shape id-tuple of the given arity (uniform digit choice
+// over restricted-growth strings) and fills `tuple` with domain values:
+// distinct blocks receive distinct constants ("without repetition").
+void GenerateShapedTuple(uint32_t arity, uint64_t dsize, Rng* rng,
+                         std::vector<uint32_t>* tuple);
+
+}  // namespace chase
+
+#endif  // CHASE_GEN_DATA_GENERATOR_H_

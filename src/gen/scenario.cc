@@ -1,0 +1,300 @@
+#include "gen/scenario.h"
+
+#include <algorithm>
+
+#include "gen/data_generator.h"
+#include "storage/catalog.h"
+#include "storage/shape_finder.h"
+
+namespace chase {
+namespace {
+
+// Adds `count` tuples to `pred`, all with pairwise-distinct values (the
+// all-distinct shape), drawn from an anonymous domain of size `dsize`.
+Status AddDistinctTuples(Database* db, PredId pred, uint64_t count,
+                         uint64_t dsize, Rng* rng) {
+  db->EnsureAnonymousDomain(dsize);
+  const uint32_t arity = db->schema().Arity(pred);
+  std::vector<uint32_t> tuple(arity);
+  for (uint64_t row = 0; row < count; ++row) {
+    for (uint32_t i = 0; i < arity; ++i) {
+      while (true) {
+        const auto value = static_cast<uint32_t>(rng->Below(dsize));
+        bool duplicate = false;
+        for (uint32_t j = 0; j < i; ++j) {
+          if (tuple[j] == value) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) {
+          tuple[i] = value;
+          break;
+        }
+      }
+    }
+    CHASE_RETURN_IF_ERROR(db->AddFact(pred, tuple));
+  }
+  return OkStatus();
+}
+
+// A simple-linear rule body(x̄) -> head with each head position existential
+// with `existential_percent`% probability, non-empty frontier guaranteed.
+StatusOr<Tgd> MakeMappingRule(const Schema& schema, PredId body_pred,
+                              PredId head_pred, uint32_t existential_percent,
+                              Rng* rng) {
+  const uint32_t body_arity = schema.Arity(body_pred);
+  const uint32_t head_arity = schema.Arity(head_pred);
+  RuleAtom body(body_pred, {});
+  body.args.resize(body_arity);
+  for (uint32_t i = 0; i < body_arity; ++i) body.args[i] = i;
+  RuleAtom head(head_pred, {});
+  head.args.resize(head_arity);
+  uint32_t next_existential = body_arity;
+  bool has_frontier = false;
+  for (uint32_t i = 0; i < head_arity; ++i) {
+    if (rng->Percent(existential_percent)) {
+      head.args[i] = next_existential++;
+    } else {
+      head.args[i] = static_cast<VarId>(rng->Below(body_arity));
+      has_frontier = true;
+    }
+  }
+  if (!has_frontier) {
+    head.args[0] = static_cast<VarId>(rng->Below(body_arity));
+  }
+  return Tgd::Create({std::move(body)}, {std::move(head)});
+}
+
+}  // namespace
+
+StatusOr<Scenario> MakeDeepScenario(uint32_t rules, uint64_t seed) {
+  constexpr uint32_t kPreds = 1299;
+  constexpr uint32_t kArity = 4;
+  constexpr uint64_t kFacts = 1000;
+  constexpr uint64_t kDomain = 1000;
+
+  Rng rng(seed);
+  Scenario scenario;
+  scenario.name = "Deep-" + std::to_string(rules);
+  Schema* schema = scenario.program.schema.get();
+  std::vector<PredId> preds;
+  preds.reserve(kPreds);
+  for (uint32_t i = 0; i < kPreds; ++i) {
+    CHASE_ASSIGN_OR_RETURN(PredId pred,
+                           schema->AddPredicate("deep" + std::to_string(i),
+                                                kArity));
+    preds.push_back(pred);
+  }
+
+  // Rules always point from a lower-indexed predicate to a strictly
+  // higher-indexed one, so the dependency graph is a DAG and the set is
+  // weakly acyclic by construction — as the paper notes for the Deep family.
+  while (scenario.program.tgds.size() < rules) {
+    const auto body_index = static_cast<uint32_t>(rng.Below(kPreds - 1));
+    const auto head_index = static_cast<uint32_t>(
+        body_index + 1 + rng.Below(kPreds - body_index - 1));
+    CHASE_ASSIGN_OR_RETURN(
+        Tgd tgd, MakeMappingRule(*schema, preds[body_index],
+                                 preds[head_index],
+                                 /*existential_percent=*/20, &rng));
+    scenario.program.tgds.push_back(std::move(tgd));
+  }
+
+  // 1000 facts, one per relation, with shape-varied tuples: many singleton
+  // relations, which is what makes the in-memory shape finder win here.
+  Database* db = scenario.program.database.get();
+  db->EnsureAnonymousDomain(kDomain);
+  std::vector<uint32_t> tuple;
+  for (uint64_t i = 0; i < kFacts; ++i) {
+    GenerateShapedTuple(kArity, kDomain, &rng, &tuple);
+    CHASE_RETURN_IF_ERROR(db->AddFact(preds[i], tuple));
+  }
+  return scenario;
+}
+
+StatusOr<Scenario> MakeLubmScenario(const std::string& name, uint64_t atoms,
+                                    uint64_t seed) {
+  constexpr uint32_t kClasses = 60;  // unary predicates
+  constexpr uint32_t kRoles = 44;    // binary predicates
+  constexpr uint64_t kDomainPerAtom = 1;  // adom roughly tracks atom count
+
+  Rng rng(seed);
+  Scenario scenario;
+  scenario.name = name;
+  Schema* schema = scenario.program.schema.get();
+  std::vector<PredId> classes, roles;
+  for (uint32_t i = 0; i < kClasses; ++i) {
+    CHASE_ASSIGN_OR_RETURN(
+        PredId pred, schema->AddPredicate("Class" + std::to_string(i), 1));
+    classes.push_back(pred);
+  }
+  for (uint32_t i = 0; i < kRoles; ++i) {
+    CHASE_ASSIGN_OR_RETURN(
+        PredId pred, schema->AddPredicate("role" + std::to_string(i), 2));
+    roles.push_back(pred);
+  }
+
+  auto add_rule = [&](std::vector<RuleAtom> body,
+                      std::vector<RuleAtom> head) -> Status {
+    CHASE_ASSIGN_OR_RETURN(Tgd tgd,
+                           Tgd::Create(std::move(body), std::move(head)));
+    scenario.program.tgds.push_back(std::move(tgd));
+    return OkStatus();
+  };
+
+  // Class hierarchy: a tree, child implies parent (59 rules).
+  for (uint32_t i = 1; i < kClasses; ++i) {
+    const auto parent = static_cast<uint32_t>(rng.Below(i));
+    CHASE_RETURN_IF_ERROR(add_rule({RuleAtom(classes[i], {0})},
+                                   {RuleAtom(classes[parent], {0})}));
+  }
+  // Domain axioms for every role (44 rules), range axioms for the first 24
+  // (24 rules).
+  for (uint32_t i = 0; i < kRoles; ++i) {
+    const auto domain = static_cast<uint32_t>(rng.Below(kClasses));
+    CHASE_RETURN_IF_ERROR(add_rule({RuleAtom(roles[i], {0, 1})},
+                                   {RuleAtom(classes[domain], {0})}));
+    if (i < 24) {
+      const auto range = static_cast<uint32_t>(rng.Below(kClasses));
+      CHASE_RETURN_IF_ERROR(add_rule({RuleAtom(roles[i], {0, 1})},
+                                     {RuleAtom(classes[range], {1})}));
+    }
+  }
+  // Role hierarchy (6 rules).
+  for (uint32_t i = 0; i < 6; ++i) {
+    const auto sub = static_cast<uint32_t>(rng.Below(kRoles));
+    const auto super = static_cast<uint32_t>(rng.Below(kRoles));
+    CHASE_RETURN_IF_ERROR(add_rule({RuleAtom(roles[sub], {0, 1})},
+                                   {RuleAtom(roles[super], {0, 1})}));
+  }
+  // Mandatory participation: C(x) -> ∃z role(x,z) (4 rules). Total:
+  // 59 + 44 + 24 + 6 + 4 = 137 rules, matching Table 1.
+  for (uint32_t i = 0; i < 4; ++i) {
+    const auto cls = static_cast<uint32_t>(rng.Below(kClasses));
+    const auto role = static_cast<uint32_t>(rng.Below(kRoles));
+    CHASE_RETURN_IF_ERROR(add_rule({RuleAtom(classes[cls], {0})},
+                                   {RuleAtom(roles[role], {0, 1})}));
+  }
+
+  // UBA-style data: ~25 populated relations, 30 shapes (some roles also
+  // carry reflexive [1,1] tuples). Roles hold most of the data.
+  Database* db = scenario.program.database.get();
+  const uint64_t dsize = std::max<uint64_t>(1000, atoms * kDomainPerAtom / 4);
+  db->EnsureAnonymousDomain(dsize);
+  const uint64_t role_atoms = atoms * 4 / 5;
+  const uint64_t class_atoms = atoms - role_atoms;
+  constexpr uint32_t kPopulatedRoles = 15;
+  constexpr uint32_t kPopulatedClasses = 10;
+  std::vector<uint32_t> tuple(2);
+  for (uint32_t i = 0; i < kPopulatedRoles; ++i) {
+    const uint64_t rows = role_atoms / kPopulatedRoles;
+    CHASE_RETURN_IF_ERROR(
+        AddDistinctTuples(db, roles[i], rows, dsize, &rng));
+    if (i < 5) {  // five roles also exhibit the reflexive shape
+      tuple[0] = tuple[1] = static_cast<uint32_t>(rng.Below(dsize));
+      CHASE_RETURN_IF_ERROR(db->AddFact(roles[i], tuple));
+    }
+  }
+  std::vector<uint32_t> unary(1);
+  for (uint32_t i = 0; i < kPopulatedClasses; ++i) {
+    const uint64_t rows = class_atoms / kPopulatedClasses;
+    for (uint64_t row = 0; row < rows; ++row) {
+      unary[0] = static_cast<uint32_t>(rng.Below(dsize));
+      CHASE_RETURN_IF_ERROR(db->AddFact(classes[i], unary));
+    }
+  }
+  return scenario;
+}
+
+StatusOr<Scenario> MakeIBenchScenario(const IBenchParams& params) {
+  Rng rng(params.seed);
+  Scenario scenario;
+  scenario.name = params.name;
+  Schema* schema = scenario.program.schema.get();
+  // Predicate names must survive a print → parse round trip, so characters
+  // outside the identifier alphabet ("STB-128"'s dash) become underscores.
+  std::string prefix = params.name;
+  for (char& c : prefix) {
+    const bool identifier = (c >= 'a' && c <= 'z') ||
+                            (c >= 'A' && c <= 'Z') ||
+                            (c >= '0' && c <= '9') || c == '_';
+    if (!identifier) c = '_';
+  }
+  CHASE_ASSIGN_OR_RETURN(
+      std::vector<PredId> preds,
+      DeclarePredicates(schema, prefix + "_r", params.preds,
+                        params.min_arity, params.max_arity, &rng));
+
+  // Mapping rules: mostly forward (source index < target index, a DAG), with
+  // a few back-references like real iBench scenarios' self-joins.
+  while (scenario.program.tgds.size() < params.rules) {
+    auto body_index = static_cast<uint32_t>(rng.Below(params.preds));
+    auto head_index = static_cast<uint32_t>(rng.Below(params.preds));
+    if (rng.Percent(85) && body_index > head_index) {
+      std::swap(body_index, head_index);
+    }
+    CHASE_ASSIGN_OR_RETURN(
+        Tgd tgd, MakeMappingRule(*schema, preds[body_index],
+                                 preds[head_index],
+                                 /*existential_percent=*/15, &rng));
+    scenario.program.tgds.push_back(std::move(tgd));
+  }
+
+  // Source data: `populated_relations` relations with all-distinct tuples,
+  // so n-shapes == populated_relations.
+  Database* db = scenario.program.database.get();
+  const uint64_t dsize = std::max<uint64_t>(1000, params.atoms / 10);
+  const uint64_t rows_per_relation =
+      std::max<uint64_t>(1, params.atoms / params.populated_relations);
+  for (uint32_t i = 0; i < params.populated_relations; ++i) {
+    CHASE_RETURN_IF_ERROR(
+        AddDistinctTuples(db, preds[i], rows_per_relation, dsize, &rng));
+  }
+  return scenario;
+}
+
+StatusOr<Scenario> MakeStb128Scenario(double atom_scale, uint64_t seed) {
+  IBenchParams params;
+  params.name = "STB-128";
+  params.preds = 287;
+  params.min_arity = 1;
+  params.max_arity = 10;
+  params.rules = 231;
+  params.populated_relations = 129;
+  params.atoms = static_cast<uint64_t>(1'109'037 * atom_scale);
+  params.seed = seed;
+  return MakeIBenchScenario(params);
+}
+
+StatusOr<Scenario> MakeOnt256Scenario(double atom_scale, uint64_t seed) {
+  IBenchParams params;
+  params.name = "ONT-256";
+  params.preds = 662;
+  params.min_arity = 1;
+  params.max_arity = 11;
+  params.rules = 785;
+  params.populated_relations = 245;
+  params.atoms = static_cast<uint64_t>(2'146'490 * atom_scale);
+  params.seed = seed;
+  return MakeIBenchScenario(params);
+}
+
+ScenarioStats ComputeScenarioStats(const Scenario& scenario) {
+  ScenarioStats stats;
+  const Schema& schema = *scenario.program.schema;
+  stats.n_pred = schema.NumPredicates();
+  stats.min_arity = UINT32_MAX;
+  for (PredId pred = 0; pred < schema.NumPredicates(); ++pred) {
+    stats.min_arity = std::min(stats.min_arity, schema.Arity(pred));
+    stats.max_arity = std::max(stats.max_arity, schema.Arity(pred));
+  }
+  if (schema.NumPredicates() == 0) stats.min_arity = 0;
+  stats.n_atoms = scenario.program.database->TotalFacts();
+  storage::Catalog catalog(scenario.program.database.get());
+  stats.n_shapes = storage::FindShapesInMemory(catalog).size();
+  stats.n_rules = scenario.program.tgds.size();
+  return stats;
+}
+
+}  // namespace chase

@@ -1,0 +1,93 @@
+#include "gen/tgd_generator.h"
+
+#include <algorithm>
+
+namespace chase {
+
+const char* TgdClassName(TgdClass tclass) {
+  return tclass == TgdClass::kSimpleLinear ? "SL" : "L";
+}
+
+StatusOr<std::vector<Tgd>> GenerateTgds(const Schema& schema,
+                                        const TgdGenParams& params) {
+  if (params.min_arity == 0 || params.min_arity > params.max_arity) {
+    return InvalidArgumentError("invalid arity range");
+  }
+  // Candidate predicates with arity in range.
+  std::vector<PredId> candidates;
+  for (PredId pred = 0; pred < schema.NumPredicates(); ++pred) {
+    const uint32_t arity = schema.Arity(pred);
+    if (arity >= params.min_arity && arity <= params.max_arity) {
+      candidates.push_back(pred);
+    }
+  }
+  if (candidates.size() < params.ssize) {
+    return InvalidArgumentError(
+        "schema has only " + std::to_string(candidates.size()) +
+        " predicates in the arity range, need " +
+        std::to_string(params.ssize));
+  }
+
+  Rng rng(params.seed);
+  // Random subset S' of size ssize (partial Fisher–Yates).
+  for (uint32_t i = 0; i < params.ssize; ++i) {
+    const auto j = i + rng.Below(candidates.size() - i);
+    std::swap(candidates[i], candidates[j]);
+  }
+  candidates.resize(params.ssize);
+
+  std::vector<Tgd> tgds;
+  tgds.reserve(params.tsize);
+  for (uint64_t t = 0; t < params.tsize; ++t) {
+    // Body and head predicates, drawn with repetition.
+    const PredId body_pred = candidates[rng.Below(candidates.size())];
+    const PredId head_pred = candidates[rng.Below(candidates.size())];
+    const uint32_t body_arity = schema.Arity(body_pred);
+    const uint32_t head_arity = schema.Arity(head_pred);
+
+    RuleAtom body;
+    body.pred = body_pred;
+    body.args.resize(body_arity);
+    uint32_t num_body_vars;
+    if (params.tclass == TgdClass::kSimpleLinear) {
+      // Distinct variables 0..arity-1.
+      for (uint32_t i = 0; i < body_arity; ++i) body.args[i] = i;
+      num_body_vars = body_arity;
+    } else {
+      // Draw a random shape; variable = block index.
+      uint8_t max_block = 0;
+      for (uint32_t i = 0; i < body_arity; ++i) {
+        const auto block = static_cast<uint8_t>(rng.Range(1, max_block + 1));
+        body.args[i] = block - 1;
+        max_block = std::max(max_block, block);
+      }
+      num_body_vars = max_block;
+    }
+
+    RuleAtom head;
+    head.pred = head_pred;
+    head.args.resize(head_arity);
+    // Existential variables get fresh ids above the body variables.
+    uint32_t next_existential = num_body_vars;
+    bool has_frontier = false;
+    for (uint32_t i = 0; i < head_arity; ++i) {
+      if (rng.Percent(params.existential_percent)) {
+        head.args[i] = next_existential++;
+      } else {
+        head.args[i] = static_cast<VarId>(rng.Below(num_body_vars));
+        has_frontier = true;
+      }
+    }
+    if (!has_frontier) {
+      // Non-empty frontier (Section 3): force position 0 universal.
+      head.args[0] = static_cast<VarId>(rng.Below(num_body_vars));
+    }
+
+    CHASE_ASSIGN_OR_RETURN(Tgd tgd, Tgd::Create({std::move(body)},
+                                                {std::move(head)}));
+    tgds.push_back(std::move(tgd));
+  }
+  return tgds;
+}
+
+}  // namespace chase

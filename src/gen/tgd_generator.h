@@ -1,0 +1,54 @@
+// The paper's TGD generator (Section 6.2).
+//
+// Takes a set S of predicates (a schema) and (ssize, min, max, tsize,
+// tclass) and produces `tsize` single-head TGDs over a random subset of
+// `ssize` predicates with arity in [min, max]:
+//
+//  * Simple-linear: body variables are all distinct; each head position is
+//    existential with probability `existential_percent`%, otherwise it is a
+//    uniformly random body variable.
+//  * Linear: additionally draws a random shape for the body atom, so body
+//    variables repeat according to the shape.
+//
+// Every generated TGD has a non-empty frontier (if all head positions roll
+// existential, position 0 is re-rolled universal), matching the paper's
+// Section 3 assumption.
+
+#ifndef CHASE_GEN_TGD_GENERATOR_H_
+#define CHASE_GEN_TGD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "logic/schema.h"
+#include "logic/tgd.h"
+
+namespace chase {
+
+enum class TgdClass {
+  kSimpleLinear,  // SL
+  kLinear,        // L
+};
+
+const char* TgdClassName(TgdClass tclass);
+
+struct TgdGenParams {
+  uint32_t ssize = 10;     // |sch(Σ)|
+  uint32_t min_arity = 1;  // inclusive
+  uint32_t max_arity = 5;  // inclusive
+  uint64_t tsize = 100;    // |Σ|
+  TgdClass tclass = TgdClass::kSimpleLinear;
+  uint32_t existential_percent = 10;
+  uint64_t seed = 1;
+};
+
+// Generates `params.tsize` TGDs over `schema`. Fails if fewer than
+// `params.ssize` predicates of `schema` have arity in [min, max].
+StatusOr<std::vector<Tgd>> GenerateTgds(const Schema& schema,
+                                        const TgdGenParams& params);
+
+}  // namespace chase
+
+#endif  // CHASE_GEN_TGD_GENERATOR_H_

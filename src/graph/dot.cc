@@ -1,0 +1,64 @@
+#include "graph/dot.h"
+
+#include <sstream>
+#include <vector>
+
+#include "graph/tarjan.h"
+
+namespace chase {
+
+void WriteDot(const DependencyGraph& graph, std::ostream& os,
+              const DotOptions& options) {
+  const Digraph& digraph = graph.graph();
+  const Schema& schema = graph.schema();
+
+  std::vector<bool> in_special_scc(digraph.num_nodes(), false);
+  if (options.highlight_special_sccs) {
+    const SccResult scc = TarjanScc(digraph);
+    const SpecialSccs special = FindSpecialSccs(digraph, scc);
+    std::vector<bool> special_component(scc.num_components, false);
+    for (uint32_t component : special.components) {
+      special_component[component] = true;
+    }
+    for (uint32_t node = 0; node < digraph.num_nodes(); ++node) {
+      in_special_scc[node] = special_component[scc.component[node]];
+    }
+  }
+
+  auto label = [&](uint32_t node) {
+    const Position position = graph.PositionOf(node);
+    return schema.PredicateName(position.pred) + "." +
+           std::to_string(position.index + 1);
+  };
+
+  os << "digraph dg {\n  rankdir=LR;\n  node [shape=ellipse];\n";
+  for (uint32_t node = 0; node < digraph.num_nodes(); ++node) {
+    if (options.skip_isolated_nodes && digraph.OutArcs(node).empty() &&
+        digraph.InArcs(node).empty()) {
+      continue;
+    }
+    os << "  \"" << label(node) << "\"";
+    if (in_special_scc[node]) {
+      os << " [style=filled, fillcolor=\"#ffd0d0\"]";
+    }
+    os << ";\n";
+  }
+  for (uint32_t node = 0; node < digraph.num_nodes(); ++node) {
+    for (const Arc& arc : digraph.OutArcs(node)) {
+      os << "  \"" << label(node) << "\" -> \"" << label(arc.node) << "\"";
+      if (arc.special) {
+        os << " [style=dashed, color=red]";
+      }
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+std::string ToDot(const DependencyGraph& graph, const DotOptions& options) {
+  std::ostringstream os;
+  WriteDot(graph, os, options);
+  return os.str();
+}
+
+}  // namespace chase

@@ -1,0 +1,30 @@
+// Graphviz (dot) rendering of dependency graphs, for debugging rule sets
+// and for the figures in the documentation. Normal edges are solid, special
+// edges dashed and red; nodes in special SCCs (the witnesses of potential
+// non-termination) are filled.
+
+#ifndef CHASE_GRAPH_DOT_H_
+#define CHASE_GRAPH_DOT_H_
+
+#include <ostream>
+#include <string>
+
+#include "graph/dependency_graph.h"
+
+namespace chase {
+
+struct DotOptions {
+  // Drop isolated positions (no in/out edges); large schemas are unreadable
+  // otherwise.
+  bool skip_isolated_nodes = true;
+  // Highlight the nodes of special SCCs.
+  bool highlight_special_sccs = true;
+};
+
+void WriteDot(const DependencyGraph& graph, std::ostream& os,
+              const DotOptions& options = {});
+std::string ToDot(const DependencyGraph& graph, const DotOptions& options = {});
+
+}  // namespace chase
+
+#endif  // CHASE_GRAPH_DOT_H_

@@ -1,0 +1,65 @@
+#include "graph/kosaraju.h"
+
+namespace chase {
+
+SccResult KosarajuScc(const Digraph& graph) {
+  const uint32_t n = graph.num_nodes();
+
+  // Pass 1: iterative DFS on the forward graph, recording finish order.
+  std::vector<uint32_t> finish_order;
+  finish_order.reserve(n);
+  std::vector<bool> visited(n, false);
+  struct Frame {
+    uint32_t node;
+    uint32_t arc;
+  };
+  std::vector<Frame> stack;
+  for (uint32_t root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    visited[root] = true;
+    stack.push_back(Frame{root, 0});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto arcs = graph.OutArcs(frame.node);
+      bool descended = false;
+      while (frame.arc < arcs.size()) {
+        const uint32_t w = arcs[frame.arc].node;
+        ++frame.arc;
+        if (!visited[w]) {
+          visited[w] = true;
+          stack.push_back(Frame{w, 0});
+          descended = true;
+          break;
+        }
+      }
+      if (descended) continue;
+      finish_order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+
+  // Pass 2: DFS on the reverse graph in decreasing finish order.
+  SccResult result;
+  constexpr uint32_t kUnassigned = 0xffffffffu;
+  result.component.assign(n, kUnassigned);
+  std::vector<uint32_t> work;
+  for (auto it = finish_order.rbegin(); it != finish_order.rend(); ++it) {
+    if (result.component[*it] != kUnassigned) continue;
+    const uint32_t comp = result.num_components++;
+    work.push_back(*it);
+    result.component[*it] = comp;
+    while (!work.empty()) {
+      const uint32_t v = work.back();
+      work.pop_back();
+      for (const Arc& arc : graph.InArcs(v)) {
+        if (result.component[arc.node] == kUnassigned) {
+          result.component[arc.node] = comp;
+          work.push_back(arc.node);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace chase

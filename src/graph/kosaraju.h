@@ -1,0 +1,17 @@
+// Kosaraju–Sharir SCC decomposition. Slower than Tarjan in practice (two
+// passes) but structurally simple; used as the reference implementation in
+// property tests that validate the Tarjan implementation, mirroring the
+// paper's discussion of the two algorithms in Section 5.2.
+
+#ifndef CHASE_GRAPH_KOSARAJU_H_
+#define CHASE_GRAPH_KOSARAJU_H_
+
+#include "graph/tarjan.h"
+
+namespace chase {
+
+SccResult KosarajuScc(const Digraph& graph);
+
+}  // namespace chase
+
+#endif  // CHASE_GRAPH_KOSARAJU_H_

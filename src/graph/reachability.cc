@@ -1,0 +1,56 @@
+#include "graph/reachability.h"
+
+namespace chase {
+namespace {
+
+std::vector<bool> Reach(const Digraph& graph, std::span<const uint32_t> seeds,
+                        bool reverse) {
+  std::vector<bool> reached(graph.num_nodes(), false);
+  std::vector<uint32_t> work;
+  for (uint32_t seed : seeds) {
+    if (!reached[seed]) {
+      reached[seed] = true;
+      work.push_back(seed);
+    }
+  }
+  while (!work.empty()) {
+    const uint32_t v = work.back();
+    work.pop_back();
+    const auto arcs = reverse ? graph.InArcs(v) : graph.OutArcs(v);
+    for (const Arc& arc : arcs) {
+      if (!reached[arc.node]) {
+        reached[arc.node] = true;
+        work.push_back(arc.node);
+      }
+    }
+  }
+  return reached;
+}
+
+}  // namespace
+
+std::vector<bool> ReverseReachable(const Digraph& graph,
+                                   std::span<const uint32_t> seeds) {
+  return Reach(graph, seeds, /*reverse=*/true);
+}
+
+std::vector<bool> ForwardReachable(const Digraph& graph,
+                                   std::span<const uint32_t> seeds) {
+  return Reach(graph, seeds, /*reverse=*/false);
+}
+
+bool PredicateReachable(const DependencyGraph& graph, PredId from, PredId to) {
+  if (from == to) return true;
+  const Schema& schema = graph.schema();
+  std::vector<uint32_t> seeds;
+  for (uint32_t i = 0; i < schema.Arity(from); ++i) {
+    seeds.push_back(schema.PositionId(from, i));
+  }
+  std::vector<bool> reached = ForwardReachable(graph.graph(), seeds);
+  for (uint32_t i = 0; i < schema.Arity(to); ++i) {
+    if (reached[schema.PositionId(to, i)]) return true;
+  }
+  return false;
+}
+
+}  // namespace chase

@@ -1,0 +1,34 @@
+// Graph reachability helpers used by the Supports check (Section 5.3) and by
+// the predicate-level reachability notion of Section 2 ("P is reachable from
+// R w.r.t. Σ").
+
+#ifndef CHASE_GRAPH_REACHABILITY_H_
+#define CHASE_GRAPH_REACHABILITY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/dependency_graph.h"
+#include "graph/digraph.h"
+
+namespace chase {
+
+// Nodes from which some seed is reachable, i.e., the reachable set of `seeds`
+// in the reversed graph. This is the Section 5.3 traversal "in the reverse
+// order using the reverse links in the adjacency list".
+std::vector<bool> ReverseReachable(const Digraph& graph,
+                                   std::span<const uint32_t> seeds);
+
+// Forward reachable set of `seeds`.
+std::vector<bool> ForwardReachable(const Digraph& graph,
+                                   std::span<const uint32_t> seeds);
+
+// Predicate-level reachability w.r.t. a dependency graph: P is reachable
+// from R iff R == P or some position of P is forward-reachable from some
+// position of R (Section 2).
+bool PredicateReachable(const DependencyGraph& graph, PredId from, PredId to);
+
+}  // namespace chase
+
+#endif  // CHASE_GRAPH_REACHABILITY_H_

@@ -1,0 +1,107 @@
+#include "graph/tarjan.h"
+
+#include <algorithm>
+
+namespace chase {
+namespace {
+
+constexpr uint32_t kUnvisited = 0xffffffffu;
+
+}  // namespace
+
+SccResult TarjanScc(const Digraph& graph) {
+  const uint32_t n = graph.num_nodes();
+  SccResult result;
+  result.component.assign(n, kUnvisited);
+
+  std::vector<uint32_t> index(n, kUnvisited);  // DFS discovery order
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> scc_stack;  // the "SCC stack" of Section 5.2
+
+  // Explicit DFS frames: (node, next out-arc to explore).
+  struct Frame {
+    uint32_t node;
+    uint32_t arc;
+  };
+  std::vector<Frame> dfs_stack;
+  uint32_t next_index = 0;
+
+  for (uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs_stack.push_back(Frame{root, 0});
+    while (!dfs_stack.empty()) {
+      Frame& frame = dfs_stack.back();
+      const uint32_t v = frame.node;
+      if (frame.arc == 0) {
+        index[v] = lowlink[v] = next_index++;
+        scc_stack.push_back(v);
+        on_stack[v] = true;
+      }
+      const auto arcs = graph.OutArcs(v);
+      bool descended = false;
+      while (frame.arc < arcs.size()) {
+        const uint32_t w = arcs[frame.arc].node;
+        ++frame.arc;
+        if (index[w] == kUnvisited) {
+          dfs_stack.push_back(Frame{w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      }
+      if (descended) continue;
+      // All arcs of v explored: maybe emit an SCC, then propagate lowlink.
+      if (lowlink[v] == index[v]) {
+        const uint32_t comp = result.num_components++;
+        while (true) {
+          const uint32_t w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = false;
+          result.component[w] = comp;
+          if (w == v) break;
+        }
+      }
+      dfs_stack.pop_back();
+      if (!dfs_stack.empty()) {
+        const uint32_t parent = dfs_stack.back().node;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  return result;
+}
+
+SpecialSccs FindSpecialSccs(const Digraph& graph, const SccResult& scc) {
+  std::vector<bool> is_special(scc.num_components, false);
+  for (uint32_t v = 0; v < graph.num_nodes(); ++v) {
+    for (const Arc& arc : graph.OutArcs(v)) {
+      if (arc.special && scc.component[v] == scc.component[arc.node]) {
+        is_special[scc.component[v]] = true;
+      }
+    }
+  }
+  SpecialSccs out;
+  std::vector<uint32_t> representative(scc.num_components, kUnvisited);
+  for (uint32_t v = 0; v < graph.num_nodes(); ++v) {
+    const uint32_t comp = scc.component[v];
+    if (is_special[comp] && representative[comp] == kUnvisited) {
+      representative[comp] = v;
+    }
+  }
+  for (uint32_t comp = 0; comp < scc.num_components; ++comp) {
+    if (is_special[comp]) {
+      out.components.push_back(comp);
+      out.representatives.push_back(representative[comp]);
+    }
+  }
+  return out;
+}
+
+SpecialSccs FindSpecialSccs(const Digraph& graph) {
+  return FindSpecialSccs(graph, TarjanScc(graph));
+}
+
+}  // namespace chase

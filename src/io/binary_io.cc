@@ -1,0 +1,194 @@
+#include "io/binary_io.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "base/bytes.h"
+
+namespace chase {
+namespace io {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4e424843;  // "CHBN"
+constexpr uint32_t kVersion = 1;
+
+uint64_t Fnv1a(std::span<const uint8_t> bytes) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (uint8_t b : bytes) {
+    hash ^= b;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void PutAtoms(ByteWriter* writer, const std::vector<RuleAtom>& atoms) {
+  writer->PutU32(static_cast<uint32_t>(atoms.size()));
+  for (const RuleAtom& atom : atoms) {
+    writer->PutU32(atom.pred);
+    std::vector<uint32_t> args(atom.args.begin(), atom.args.end());
+    writer->PutU32Span(args);
+  }
+}
+
+StatusOr<std::vector<RuleAtom>> GetAtoms(ByteReader* reader,
+                                         const Schema& schema) {
+  CHASE_ASSIGN_OR_RETURN(uint32_t count, reader->GetU32());
+  std::vector<RuleAtom> atoms;
+  atoms.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    CHASE_ASSIGN_OR_RETURN(uint32_t pred, reader->GetU32());
+    if (pred >= schema.NumPredicates()) {
+      return FailedPreconditionError("atom references unknown predicate");
+    }
+    CHASE_ASSIGN_OR_RETURN(std::vector<uint32_t> args, reader->GetU32Span());
+    if (args.size() != schema.Arity(pred)) {
+      return FailedPreconditionError("atom arity mismatch");
+    }
+    atoms.emplace_back(pred, std::vector<VarId>(args.begin(), args.end()));
+  }
+  return atoms;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeProgram(const Schema& schema,
+                                      const Database& database,
+                                      const std::vector<Tgd>& tgds) {
+  ByteWriter payload;
+  // Schema.
+  payload.PutU32(static_cast<uint32_t>(schema.NumPredicates()));
+  for (PredId pred = 0; pred < schema.NumPredicates(); ++pred) {
+    payload.PutString(schema.PredicateName(pred));
+    payload.PutU32(schema.Arity(pred));
+  }
+  // Constants.
+  payload.PutU32(static_cast<uint32_t>(database.NumNamedConstants()));
+  for (uint32_t id = 0; id < database.NumNamedConstants(); ++id) {
+    payload.PutString(database.ConstantName(id));
+  }
+  payload.PutU64(database.NumConstants());
+  // Facts.
+  for (PredId pred = 0; pred < schema.NumPredicates(); ++pred) {
+    payload.PutU32Span(database.Tuples(pred));
+  }
+  // TGDs.
+  payload.PutU32(static_cast<uint32_t>(tgds.size()));
+  for (const Tgd& tgd : tgds) {
+    PutAtoms(&payload, tgd.body());
+    PutAtoms(&payload, tgd.head());
+  }
+
+  ByteWriter out;
+  out.PutU32(kMagic);
+  out.PutU32(kVersion);
+  out.PutU64(payload.bytes().size());
+  out.PutU64(Fnv1a(payload.bytes()));
+  std::vector<uint8_t> result = out.Take();
+  result.insert(result.end(), payload.bytes().begin(), payload.bytes().end());
+  return result;
+}
+
+StatusOr<Program> DeserializeProgram(std::span<const uint8_t> bytes) {
+  ByteReader header(bytes);
+  CHASE_ASSIGN_OR_RETURN(uint32_t magic, header.GetU32());
+  if (magic != kMagic) {
+    return FailedPreconditionError("not a chase binary program (bad magic)");
+  }
+  CHASE_ASSIGN_OR_RETURN(uint32_t version, header.GetU32());
+  if (version != kVersion) {
+    return FailedPreconditionError("unsupported binary program version " +
+                                   std::to_string(version));
+  }
+  CHASE_ASSIGN_OR_RETURN(uint64_t payload_size, header.GetU64());
+  CHASE_ASSIGN_OR_RETURN(uint64_t checksum, header.GetU64());
+  if (header.remaining() != payload_size) {
+    return OutOfRangeError("binary program payload truncated");
+  }
+  std::span<const uint8_t> payload = bytes.subspan(bytes.size() -
+                                                   payload_size);
+  if (Fnv1a(payload) != checksum) {
+    return FailedPreconditionError("binary program checksum mismatch");
+  }
+
+  ByteReader reader(payload);
+  Program program;
+  CHASE_ASSIGN_OR_RETURN(uint32_t num_preds, reader.GetU32());
+  for (uint32_t i = 0; i < num_preds; ++i) {
+    CHASE_ASSIGN_OR_RETURN(std::string name, reader.GetString());
+    CHASE_ASSIGN_OR_RETURN(uint32_t arity, reader.GetU32());
+    CHASE_ASSIGN_OR_RETURN(PredId pred,
+                           program.schema->AddPredicate(name, arity));
+    if (pred != i) return InternalError("predicate id mismatch");
+  }
+  CHASE_ASSIGN_OR_RETURN(uint32_t num_named, reader.GetU32());
+  for (uint32_t i = 0; i < num_named; ++i) {
+    CHASE_ASSIGN_OR_RETURN(std::string name, reader.GetString());
+    program.database->InternConstant(name);
+  }
+  CHASE_ASSIGN_OR_RETURN(uint64_t domain, reader.GetU64());
+  program.database->EnsureAnonymousDomain(domain);
+  for (PredId pred = 0; pred < num_preds; ++pred) {
+    CHASE_ASSIGN_OR_RETURN(std::vector<uint32_t> tuples,
+                           reader.GetU32Span());
+    const uint32_t arity = program.schema->Arity(pred);
+    if (tuples.size() % arity != 0) {
+      return FailedPreconditionError("relation payload not arity-strided");
+    }
+    for (size_t row = 0; row * arity < tuples.size(); ++row) {
+      CHASE_RETURN_IF_ERROR(program.database->AddFact(
+          pred, std::span<const uint32_t>(tuples).subspan(row * arity,
+                                                          arity)));
+    }
+  }
+  CHASE_ASSIGN_OR_RETURN(uint32_t num_tgds, reader.GetU32());
+  program.tgds.reserve(num_tgds);
+  for (uint32_t i = 0; i < num_tgds; ++i) {
+    CHASE_ASSIGN_OR_RETURN(std::vector<RuleAtom> body,
+                           GetAtoms(&reader, *program.schema));
+    CHASE_ASSIGN_OR_RETURN(std::vector<RuleAtom> head,
+                           GetAtoms(&reader, *program.schema));
+    CHASE_ASSIGN_OR_RETURN(Tgd tgd,
+                           Tgd::Create(std::move(body), std::move(head)));
+    program.tgds.push_back(std::move(tgd));
+  }
+  if (!reader.AtEnd()) {
+    return FailedPreconditionError("trailing bytes after program payload");
+  }
+  return program;
+}
+
+Status SaveProgram(const Schema& schema, const Database& database,
+                   const std::vector<Tgd>& tgds, const std::string& path) {
+  std::vector<uint8_t> bytes = SerializeProgram(schema, database, tgds);
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return InternalError("cannot create file: " + path);
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  if (written != bytes.size() || !closed) {
+    return InternalError("short write: " + path);
+  }
+  return OkStatus();
+}
+
+StatusOr<Program> LoadProgram(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return NotFoundError("cannot open file: " + path);
+  }
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  const size_t read = std::fread(bytes.data(), 1, bytes.size(), file);
+  std::fclose(file);
+  if (read != bytes.size()) {
+    return InternalError("short read: " + path);
+  }
+  return DeserializeProgram(bytes);
+}
+
+}  // namespace io
+}  // namespace chase

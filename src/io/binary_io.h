@@ -1,0 +1,46 @@
+// Binary serialization for programs (schema + database + TGDs).
+//
+// The text format (logic/parser.h) is the interchange format; this binary
+// format is the fast path for large generated workloads: loading skips
+// lexing, predicate interning by name, and TGD re-normalization. The
+// benches' 100K-rule inputs parse in seconds but load in tens of
+// milliseconds, and chasectl uses it to snapshot generated scenarios.
+//
+// Layout (little-endian):
+//   magic "CHBN" | format version | payload bytes | FNV-1a checksum
+//   schema   : predicate count, then (name, arity) per predicate
+//   constants: named-constant count + names, anonymous domain size
+//   facts    : per predicate, the flat arity-strided tuple array
+//   tgds     : per TGD, body and head atom lists (pred + variable ids)
+//
+// Loading validates the checksum before parsing, and every read is bounds-
+// checked (ByteReader), so corrupt or truncated files fail cleanly.
+
+#ifndef CHASE_IO_BINARY_IO_H_
+#define CHASE_IO_BINARY_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/parser.h"
+
+namespace chase {
+namespace io {
+
+// Serializes a program to bytes / a file.
+std::vector<uint8_t> SerializeProgram(const Schema& schema,
+                                      const Database& database,
+                                      const std::vector<Tgd>& tgds);
+Status SaveProgram(const Schema& schema, const Database& database,
+                   const std::vector<Tgd>& tgds, const std::string& path);
+
+// Deserializes; fails with kFailedPrecondition on bad magic/version/
+// checksum and kOutOfRange on truncation.
+StatusOr<Program> DeserializeProgram(std::span<const uint8_t> bytes);
+StatusOr<Program> LoadProgram(const std::string& path);
+
+}  // namespace io
+}  // namespace chase
+
+#endif  // CHASE_IO_BINARY_IO_H_

@@ -1,0 +1,22 @@
+#include "logic/atom.h"
+
+namespace chase {
+
+std::vector<uint32_t> RuleAtom::PositionsOf(VarId var) const {
+  std::vector<uint32_t> positions;
+  for (uint32_t i = 0; i < args.size(); ++i) {
+    if (args[i] == var) positions.push_back(i);
+  }
+  return positions;
+}
+
+bool RuleAtom::HasDistinctVars() const {
+  for (size_t i = 0; i < args.size(); ++i) {
+    for (size_t j = i + 1; j < args.size(); ++j) {
+      if (args[i] == args[j]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace chase

@@ -1,0 +1,36 @@
+#include "logic/database.h"
+
+namespace chase {
+
+Status Database::AddFact(PredId pred, std::span<const uint32_t> tuple) {
+  if (pred >= schema_->NumPredicates()) {
+    return InvalidArgumentError("unknown predicate id " + std::to_string(pred));
+  }
+  if (tuple.size() != schema_->Arity(pred)) {
+    return InvalidArgumentError(
+        "fact for '" + schema_->PredicateName(pred) + "' has " +
+        std::to_string(tuple.size()) + " arguments, expected " +
+        std::to_string(schema_->Arity(pred)));
+  }
+  if (pred >= relations_.size()) relations_.resize(pred + 1);
+  relations_[pred].insert(relations_[pred].end(), tuple.begin(), tuple.end());
+  return OkStatus();
+}
+
+std::vector<PredId> Database::NonEmptyPredicates() const {
+  std::vector<PredId> preds;
+  for (PredId pred = 0; pred < relations_.size(); ++pred) {
+    if (!relations_[pred].empty()) preds.push_back(pred);
+  }
+  return preds;
+}
+
+size_t Database::TotalFacts() const {
+  size_t total = 0;
+  for (PredId pred = 0; pred < relations_.size(); ++pred) {
+    total += NumTuples(pred);
+  }
+  return total;
+}
+
+}  // namespace chase

@@ -1,0 +1,40 @@
+// Textual rendering of atoms, TGDs, facts and whole programs. The output is
+// re-parseable by logic/parser.h, which the round-trip tests and the
+// benchmark harness (which times parsing of generated rule files) rely on.
+
+#ifndef CHASE_LOGIC_PRINTER_H_
+#define CHASE_LOGIC_PRINTER_H_
+
+#include <ostream>
+#include <string>
+
+#include "logic/atom.h"
+#include "logic/database.h"
+#include "logic/schema.h"
+#include "logic/tgd.h"
+
+namespace chase {
+
+// Variable names: universal variables print as X0, X1, ...; existential
+// variables as Z0, Z1, ... (relative to tgd.num_universal()).
+std::string VariableName(const Tgd& tgd, VarId var);
+
+std::string ToString(const Schema& schema, const Tgd& tgd,
+                     const RuleAtom& atom);
+std::string ToString(const Schema& schema, const Tgd& tgd);
+
+// Ground atoms; nulls print as _:n<k>.
+std::string ToString(const Schema& schema, const Database& database,
+                     const GroundAtom& atom);
+
+// Serializes all rules, one per line.
+void PrintTgds(const Schema& schema, const std::vector<Tgd>& tgds,
+               std::ostream& os);
+std::string TgdsToString(const Schema& schema, const std::vector<Tgd>& tgds);
+
+// Serializes all facts, one per line.
+void PrintDatabase(const Database& database, std::ostream& os);
+
+}  // namespace chase
+
+#endif  // CHASE_LOGIC_PRINTER_H_

@@ -1,0 +1,76 @@
+// Relational schema: a finite set of predicates with arities, plus the
+// predicate-position machinery (Section 2 of the paper). A position (R, i)
+// identifies the i-th argument of predicate R; positions are the nodes of the
+// dependency graph, so the schema provides a dense encoding of pos(S).
+
+#ifndef CHASE_LOGIC_SCHEMA_H_
+#define CHASE_LOGIC_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/symbols.h"
+
+namespace chase {
+
+using PredId = uint32_t;
+
+// A predicate position (R, i) with 0-based argument index i.
+struct Position {
+  PredId pred;
+  uint32_t index;
+
+  friend bool operator==(const Position& a, const Position& b) {
+    return a.pred == b.pred && a.index == b.index;
+  }
+};
+
+class Schema {
+ public:
+  Schema() = default;
+
+  // Registers a predicate. Fails with kAlreadyExists if `name` is already
+  // registered with a different arity.
+  StatusOr<PredId> AddPredicate(std::string_view name, uint32_t arity);
+
+  // Like AddPredicate but returns the existing id when the declaration
+  // matches; this is how the parser discovers the schema from use.
+  StatusOr<PredId> GetOrAddPredicate(std::string_view name, uint32_t arity);
+
+  std::optional<PredId> FindPredicate(std::string_view name) const;
+
+  const std::string& PredicateName(PredId pred) const {
+    return names_.NameOf(pred);
+  }
+  uint32_t Arity(PredId pred) const { return arities_[pred]; }
+
+  size_t NumPredicates() const { return arities_.size(); }
+
+  // Total number of predicate positions |pos(S)|.
+  size_t NumPositions() const { return total_positions_; }
+
+  // Dense encoding of positions into [0, NumPositions()).
+  uint32_t PositionId(PredId pred, uint32_t index) const {
+    return offsets_[pred] + index;
+  }
+  uint32_t PositionId(const Position& position) const {
+    return PositionId(position.pred, position.index);
+  }
+  Position PositionFromId(uint32_t position_id) const;
+
+  uint32_t MaxArity() const;
+
+ private:
+  SymbolTable names_;
+  std::vector<uint32_t> arities_;
+  std::vector<uint32_t> offsets_;  // prefix sums of arities_
+  uint32_t total_positions_ = 0;
+};
+
+}  // namespace chase
+
+#endif  // CHASE_LOGIC_SCHEMA_H_

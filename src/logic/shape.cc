@@ -1,0 +1,98 @@
+#include "logic/shape.h"
+
+#include <algorithm>
+
+namespace chase {
+
+Shape ShapeOfTuple(PredId pred, std::span<const uint32_t> tuple) {
+  return Shape(pred, IdOf(tuple));
+}
+
+std::string ShapeName(const Schema& schema, const Shape& shape) {
+  std::string out = schema.PredicateName(shape.pred);
+  out += "_[";
+  for (size_t i = 0; i < shape.id.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(shape.id[i]);
+  }
+  out += ']';
+  return out;
+}
+
+std::vector<IdTuple> EnumerateIdTuples(uint32_t arity) {
+  std::vector<IdTuple> out;
+  if (arity == 0) return out;
+  IdTuple prefix;
+  prefix.reserve(arity);
+  auto recurse = [&](auto&& self, uint8_t max_so_far) -> void {
+    if (prefix.size() == arity) {
+      out.push_back(prefix);
+      return;
+    }
+    const auto limit = static_cast<uint8_t>(max_so_far + 1);
+    for (uint8_t value = 1; value <= limit; ++value) {
+      prefix.push_back(value);
+      self(self, std::max(max_so_far, value));
+      prefix.pop_back();
+    }
+  };
+  recurse(recurse, 0);
+  return out;
+}
+
+uint64_t BellNumber(uint32_t n) {
+  if (n == 0) return 1;
+  auto saturating_add = [](uint64_t a, uint64_t b) {
+    return a > UINT64_MAX - b ? UINT64_MAX : a + b;
+  };
+  // Bell triangle: row i starts with the last entry of row i-1, and each
+  // entry adds its left neighbour and the entry above-left. B(i) is the
+  // first entry of row i.
+  std::vector<uint64_t> row = {1};  // row 0; B(0) = 1
+  for (uint32_t i = 1; i <= n; ++i) {
+    std::vector<uint64_t> next;
+    next.reserve(i + 1);
+    next.push_back(row.back());
+    for (uint64_t value : row) {
+      next.push_back(saturating_add(next.back(), value));
+    }
+    row = std::move(next);
+  }
+  return row.front();
+}
+
+bool CoarserOrEqual(const IdTuple& a, const IdTuple& b) {
+  // Every equality of b must hold in a: positions sharing a value in b must
+  // share a value in a. Compare each position against the first position of
+  // its b-block.
+  std::vector<uint32_t> first_of_block(b.size() + 1, UINT32_MAX);
+  for (uint32_t i = 0; i < b.size(); ++i) {
+    uint32_t& first = first_of_block[b[i]];
+    if (first == UINT32_MAX) {
+      first = i;
+    } else if (a[i] != a[first]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+IdTuple MergeBlocks(const IdTuple& id, uint32_t i, uint32_t j) {
+  const uint8_t block_i = id[i];
+  const uint8_t block_j = id[j];
+  IdTuple merged = id;
+  for (auto& value : merged) {
+    if (value == block_j) value = block_i;
+  }
+  // Re-canonicalize to a restricted-growth string.
+  IdTuple canonical(merged.size());
+  std::vector<uint8_t> relabel(id.size() + 1, 0);
+  uint8_t next = 1;
+  for (size_t k = 0; k < merged.size(); ++k) {
+    if (relabel[merged[k]] == 0) relabel[merged[k]] = next++;
+    canonical[k] = relabel[merged[k]];
+  }
+  return canonical;
+}
+
+}  // namespace chase

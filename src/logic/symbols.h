@@ -1,0 +1,37 @@
+// String interning. Predicate names and constant names are interned into
+// dense 32-bit ids so the rest of the library works on integers.
+
+#ifndef CHASE_LOGIC_SYMBOLS_H_
+#define CHASE_LOGIC_SYMBOLS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace chase {
+
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  // Returns the id of `name`, interning it on first use.
+  uint32_t Intern(std::string_view name);
+
+  // Returns the id of `name` if present.
+  std::optional<uint32_t> Find(std::string_view name) const;
+
+  const std::string& NameOf(uint32_t id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+}  // namespace chase
+
+#endif  // CHASE_LOGIC_SYMBOLS_H_

@@ -1,0 +1,33 @@
+// Ground terms. An instance term is either an interned constant or a labelled
+// null; both are packed into a tagged 64-bit integer so instances are flat
+// arrays of integers. Variables never appear in instances (they live in TGDs
+// as per-rule indices, see logic/tgd.h).
+
+#ifndef CHASE_LOGIC_TERM_H_
+#define CHASE_LOGIC_TERM_H_
+
+#include <cstdint>
+
+namespace chase {
+
+// Tagged ground term: top bit clear = constant id, top bit set = null id.
+using Term = uint64_t;
+
+inline constexpr Term kNullTag = uint64_t{1} << 63;
+
+inline constexpr Term MakeConstant(uint32_t constant_id) {
+  return constant_id;
+}
+inline constexpr Term MakeNull(uint64_t null_id) { return null_id | kNullTag; }
+
+inline constexpr bool IsNull(Term term) { return (term & kNullTag) != 0; }
+inline constexpr bool IsConstant(Term term) { return (term & kNullTag) == 0; }
+
+inline constexpr uint32_t ConstantId(Term term) {
+  return static_cast<uint32_t>(term);
+}
+inline constexpr uint64_t NullId(Term term) { return term & ~kNullTag; }
+
+}  // namespace chase
+
+#endif  // CHASE_LOGIC_TERM_H_

@@ -1,0 +1,134 @@
+#include "pager/buffer_pool.h"
+
+#include <cassert>
+#include <utility>
+
+namespace chase {
+namespace pager {
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = std::exchange(other.pool_, nullptr);
+    page_id_ = other.page_id_;
+    frame_ = other.frame_;
+  }
+  return *this;
+}
+
+const Page& PageGuard::page() const {
+  assert(valid());
+  return pool_->frames_[frame_].page;
+}
+
+Page& PageGuard::MutablePage() {
+  assert(valid());
+  pool_->MarkDirty(frame_);
+  return pool_->frames_[frame_].page;
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, uint32_t num_frames) : disk_(disk) {
+  assert(num_frames >= 1);
+  frames_.resize(num_frames);
+}
+
+StatusOr<PageGuard> BufferPool::Fetch(PageId page_id) {
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    Frame& frame = frames_[it->second];
+    ++frame.pin_count;
+    frame.referenced = true;
+    ++stats_.hits;
+    return PageGuard(this, page_id, it->second);
+  }
+  ++stats_.misses;
+  CHASE_ASSIGN_OR_RETURN(uint32_t slot, AcquireFrame());
+  Frame& frame = frames_[slot];
+  CHASE_RETURN_IF_ERROR(disk_->ReadPage(page_id, &frame.page));
+  frame.page_id = page_id;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  frame.referenced = true;
+  page_table_[page_id] = slot;
+  return PageGuard(this, page_id, slot);
+}
+
+StatusOr<PageGuard> BufferPool::Allocate() {
+  CHASE_ASSIGN_OR_RETURN(PageId page_id, disk_->AllocatePage());
+  CHASE_ASSIGN_OR_RETURN(uint32_t slot, AcquireFrame());
+  Frame& frame = frames_[slot];
+  frame.page.Zero();
+  // Stamp a default header so the page verifies even if the caller never
+  // writes one before the frame is evicted.
+  WritePageHeader(&frame.page, PageHeader{});
+  frame.page_id = page_id;
+  frame.pin_count = 1;
+  frame.dirty = true;
+  frame.referenced = true;
+  page_table_[page_id] = slot;
+  return PageGuard(this, page_id, slot);
+}
+
+Status BufferPool::Flush() {
+  for (Frame& frame : frames_) {
+    if (frame.page_id != kInvalidPageId && frame.dirty) {
+      CHASE_RETURN_IF_ERROR(disk_->WritePage(frame.page_id, &frame.page));
+      frame.dirty = false;
+      ++stats_.dirty_writebacks;
+    }
+  }
+  return disk_->Sync();
+}
+
+uint32_t BufferPool::pinned_frames() const {
+  uint32_t pinned = 0;
+  for (const Frame& frame : frames_) {
+    if (frame.pin_count > 0) ++pinned;
+  }
+  return pinned;
+}
+
+StatusOr<uint32_t> BufferPool::AcquireFrame() {
+  // Free frame first.
+  for (uint32_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].page_id == kInvalidPageId) return i;
+  }
+  // Clock sweep: two full passes guarantee a victim is found if any frame is
+  // unpinned (the first pass may only clear reference bits).
+  const uint32_t n = static_cast<uint32_t>(frames_.size());
+  for (uint32_t step = 0; step < 2 * n; ++step) {
+    uint32_t slot = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % n;
+    Frame& frame = frames_[slot];
+    if (frame.pin_count > 0) continue;
+    if (frame.referenced) {
+      frame.referenced = false;
+      continue;
+    }
+    if (frame.dirty) {
+      CHASE_RETURN_IF_ERROR(disk_->WritePage(frame.page_id, &frame.page));
+      ++stats_.dirty_writebacks;
+    }
+    page_table_.erase(frame.page_id);
+    frame.page_id = kInvalidPageId;
+    frame.dirty = false;
+    ++stats_.evictions;
+    return slot;
+  }
+  return ResourceExhaustedError("all buffer pool frames are pinned");
+}
+
+void BufferPool::Unpin(uint32_t frame) {
+  assert(frames_[frame].pin_count > 0);
+  --frames_[frame].pin_count;
+}
+
+}  // namespace pager
+}  // namespace chase

@@ -1,0 +1,115 @@
+// BufferPool: a fixed set of in-memory frames caching disk pages, with
+// clock (second-chance) eviction, pin counting, and dirty-page write-back.
+//
+// The pool is the single path between the disk-resident algorithms and the
+// DiskManager, so its hit/miss/eviction counters — together with the
+// DiskManager's page I/O counters — fully account for the cost of the
+// on-disk FindShapes variants. Pages are pinned through the RAII PageGuard;
+// a pinned page is never evicted, and the pool reports kResourceExhausted if
+// every frame is pinned.
+
+#ifndef CHASE_PAGER_BUFFER_POOL_H_
+#define CHASE_PAGER_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "pager/disk_manager.h"
+#include "pager/page.h"
+
+namespace chase {
+namespace pager {
+
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+
+  void Reset() { *this = BufferPoolStats(); }
+};
+
+class BufferPool;
+
+// Pins one page for the guard's lifetime. Mark dirty before mutating the
+// payload; the pool writes dirty frames back on eviction and on Flush.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  ~PageGuard() { Release(); }
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId page_id() const { return page_id_; }
+
+  const Page& page() const;
+  Page& MutablePage();  // marks the frame dirty
+
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageGuard(BufferPool* pool, PageId page_id, uint32_t frame)
+      : pool_(pool), page_id_(page_id), frame_(frame) {}
+
+  BufferPool* pool_ = nullptr;
+  PageId page_id_ = kInvalidPageId;
+  uint32_t frame_ = 0;
+};
+
+class BufferPool {
+ public:
+  // `disk` must outlive the pool. `num_frames` >= 1.
+  BufferPool(DiskManager* disk, uint32_t num_frames);
+
+  // Pins the page, reading it from disk on a miss.
+  StatusOr<PageGuard> Fetch(PageId page_id);
+
+  // Allocates a fresh page on disk and pins it (already counted dirty so the
+  // header written by the caller reaches disk).
+  StatusOr<PageGuard> Allocate();
+
+  // Writes back all dirty frames and syncs the file.
+  Status Flush();
+
+  uint32_t num_frames() const { return static_cast<uint32_t>(frames_.size()); }
+  uint32_t pinned_frames() const;
+
+  BufferPoolStats& stats() { return stats_; }
+  const BufferPoolStats& stats() const { return stats_; }
+  DiskManager& disk() { return *disk_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    Page page;
+    PageId page_id = kInvalidPageId;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    bool referenced = false;
+  };
+
+  // Finds a free or evictable frame, writing back a dirty victim.
+  StatusOr<uint32_t> AcquireFrame();
+
+  void Unpin(uint32_t frame);
+  void MarkDirty(uint32_t frame) { frames_[frame].dirty = true; }
+
+  DiskManager* disk_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, uint32_t> page_table_;
+  uint32_t clock_hand_ = 0;
+  BufferPoolStats stats_;
+};
+
+}  // namespace pager
+}  // namespace chase
+
+#endif  // CHASE_PAGER_BUFFER_POOL_H_

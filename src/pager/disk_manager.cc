@@ -1,0 +1,137 @@
+#include "pager/disk_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace chase {
+namespace pager {
+
+namespace {
+
+bool AllZero(const Page& page) {
+  return std::all_of(page.bytes.begin(), page.bytes.end(),
+                     [](uint8_t b) { return b == 0; });
+}
+
+}  // namespace
+
+StatusOr<DiskManager> DiskManager::Create(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb+");
+  if (file == nullptr) {
+    return InternalError("cannot create file: " + path);
+  }
+  DiskManager manager(file, path, 0);
+  CHASE_ASSIGN_OR_RETURN(PageId root, manager.AllocatePage());
+  Page page;
+  page.Zero();
+  PageHeader header;
+  header.kind = static_cast<uint32_t>(PageKind::kCatalog);
+  WritePageHeader(&page, header);
+  CHASE_RETURN_IF_ERROR(manager.WritePage(root, &page));
+  return manager;
+}
+
+StatusOr<DiskManager> DiskManager::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb+");
+  if (file == nullptr) {
+    return NotFoundError("cannot open file: " + path);
+  }
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return InternalError("seek failed: " + path);
+  }
+  long size = std::ftell(file);
+  if (size < 0 || size % kPageSize != 0) {
+    std::fclose(file);
+    return FailedPreconditionError(path + ": size is not page-aligned");
+  }
+  return DiskManager(file, path, static_cast<PageId>(size / kPageSize));
+}
+
+DiskManager::DiskManager(DiskManager&& other) noexcept
+    : file_(std::exchange(other.file_, nullptr)),
+      path_(std::move(other.path_)),
+      num_pages_(other.num_pages_),
+      stats_(other.stats_),
+      read_fault_(std::move(other.read_fault_)),
+      write_fault_(std::move(other.write_fault_)) {}
+
+DiskManager& DiskManager::operator=(DiskManager&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = std::exchange(other.file_, nullptr);
+    path_ = std::move(other.path_);
+    num_pages_ = other.num_pages_;
+    stats_ = other.stats_;
+    read_fault_ = std::move(other.read_fault_);
+    write_fault_ = std::move(other.write_fault_);
+  }
+  return *this;
+}
+
+DiskManager::~DiskManager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+StatusOr<PageId> DiskManager::AllocatePage() {
+  if (num_pages_ == kInvalidPageId) {
+    return ResourceExhaustedError("page id space exhausted");
+  }
+  PageId id = num_pages_;
+  Page zero;
+  zero.Zero();
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0 ||
+      std::fwrite(zero.bytes.data(), 1, kPageSize, file_) != kPageSize) {
+    return InternalError("allocation write failed at page " +
+                         std::to_string(id));
+  }
+  ++num_pages_;
+  ++stats_.pages_allocated;
+  return id;
+}
+
+Status DiskManager::ReadPage(PageId page_id, Page* page) {
+  if (page_id >= num_pages_) {
+    return OutOfRangeError("read of unallocated page " +
+                           std::to_string(page_id));
+  }
+  if (read_fault_) CHASE_RETURN_IF_ERROR(read_fault_(page_id));
+  if (std::fseek(file_, static_cast<long>(page_id) * kPageSize, SEEK_SET) !=
+          0 ||
+      std::fread(page->bytes.data(), 1, kPageSize, file_) != kPageSize) {
+    return InternalError("short read at page " + std::to_string(page_id));
+  }
+  ++stats_.pages_read;
+  if (!AllZero(*page) && !VerifyPage(*page)) {
+    return InternalError("checksum mismatch at page " +
+                         std::to_string(page_id));
+  }
+  return OkStatus();
+}
+
+Status DiskManager::WritePage(PageId page_id, Page* page) {
+  if (page_id >= num_pages_) {
+    return OutOfRangeError("write of unallocated page " +
+                           std::to_string(page_id));
+  }
+  if (write_fault_) CHASE_RETURN_IF_ERROR(write_fault_(page_id));
+  SealPage(page);
+  if (std::fseek(file_, static_cast<long>(page_id) * kPageSize, SEEK_SET) !=
+          0 ||
+      std::fwrite(page->bytes.data(), 1, kPageSize, file_) != kPageSize) {
+    return InternalError("short write at page " + std::to_string(page_id));
+  }
+  ++stats_.pages_written;
+  return OkStatus();
+}
+
+Status DiskManager::Sync() {
+  if (std::fflush(file_) != 0) {
+    return InternalError("fflush failed: " + path_);
+  }
+  ++stats_.syncs;
+  return OkStatus();
+}
+
+}  // namespace pager
+}  // namespace chase

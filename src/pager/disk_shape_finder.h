@@ -1,0 +1,32 @@
+// FindShapes over a DiskDatabase — the disk-resident counterparts of the
+// paper's two implementations (Section 5.4), plus the I/O accounting needed
+// to compare them against the in-memory row store:
+//
+//  * Scan mode mirrors the "in-memory" variant: one full heap scan per
+//    relation through the buffer pool, hashing every tuple's id-tuple.
+//  * Exists mode mirrors the "in-database" variant: one early-exit heap scan
+//    per candidate query, walking the shape lattice with the same
+//    Apriori-style pruning as storage::FindShapesInDatabase.
+//
+// Both return shape(D) sorted by (pred, id); a property test checks they
+// agree with each other and with the in-memory finders.
+
+#ifndef CHASE_PAGER_DISK_SHAPE_FINDER_H_
+#define CHASE_PAGER_DISK_SHAPE_FINDER_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "logic/shape.h"
+#include "pager/disk_database.h"
+
+namespace chase {
+namespace pager {
+
+StatusOr<std::vector<Shape>> FindShapesOnDiskScan(const DiskDatabase& db);
+StatusOr<std::vector<Shape>> FindShapesOnDiskExists(const DiskDatabase& db);
+
+}  // namespace pager
+}  // namespace chase
+
+#endif  // CHASE_PAGER_DISK_SHAPE_FINDER_H_

@@ -1,0 +1,40 @@
+#include "pager/page.h"
+
+namespace chase {
+namespace pager {
+
+uint64_t PageChecksum(const uint8_t* data, size_t size) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+PageHeader ReadPageHeader(const Page& page) {
+  PageHeader header;
+  std::memcpy(&header, page.bytes.data(), sizeof(header));
+  return header;
+}
+
+void WritePageHeader(Page* page, const PageHeader& header) {
+  std::memcpy(page->bytes.data(), &header, sizeof(header));
+}
+
+void SealPage(Page* page) {
+  PageHeader header = ReadPageHeader(*page);
+  header.checksum = PageChecksum(page->bytes.data() + kPageHeaderSize,
+                                 kPageSize - kPageHeaderSize);
+  WritePageHeader(page, header);
+}
+
+bool VerifyPage(const Page& page) {
+  PageHeader header = ReadPageHeader(page);
+  if (header.magic != PageHeader::kMagic) return false;
+  return header.checksum == PageChecksum(page.bytes.data() + kPageHeaderSize,
+                                         kPageSize - kPageHeaderSize);
+}
+
+}  // namespace pager
+}  // namespace chase

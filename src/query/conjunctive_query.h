@@ -1,0 +1,83 @@
+// Conjunctive queries over the library's schemas, and their evaluation on
+// databases and chase instances.
+//
+// The paper motivates chase termination through materialization-based
+// reasoning: once chase(D, Σ) is finite, it is a universal model, so the
+// certain answers of a conjunctive query q over (D, Σ) are exactly the
+// null-free answers of q on the materialized instance. This module supplies
+// that final step — the paper's downstream use case — on top of the chase
+// engine and the termination checkers.
+//
+// Syntax:   q(X, Y) :- r(X, Z), s(Z, Y).
+// Variables start with an upper-case letter, '_' or '?'; the head may also
+// repeat variables and must use only variables occurring in the body
+// (safety). A head with no arguments ("q() :- ...") is a Boolean query.
+
+#ifndef CHASE_QUERY_CONJUNCTIVE_QUERY_H_
+#define CHASE_QUERY_CONJUNCTIVE_QUERY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "chase/instance.h"
+#include "logic/atom.h"
+#include "logic/database.h"
+#include "logic/schema.h"
+#include "logic/tgd.h"
+
+namespace chase {
+namespace query {
+
+struct ConjunctiveQuery {
+  std::string name;                // the head predicate symbol ("q")
+  std::vector<VarId> answer_vars;  // head argument variables
+  std::vector<RuleAtom> body;      // joined atoms
+  uint32_t num_vars = 0;           // body variables are [0, num_vars)
+
+  bool IsBoolean() const { return answer_vars.empty(); }
+  size_t arity() const { return answer_vars.size(); }
+};
+
+// Parses one query, interning predicates into `schema` (arities are
+// discovered from use, consistent with the rule parser).
+StatusOr<ConjunctiveQuery> ParseQuery(std::string_view text, Schema* schema);
+
+// An answer is one term per answer variable. Answers over instances may
+// contain nulls; CertainAnswers filters them.
+using Answer = std::vector<Term>;
+
+// All homomorphic answers of `query` on `instance`, deduplicated and
+// sorted. For a Boolean query the result is empty (no match) or holds one
+// empty tuple (match).
+std::vector<Answer> Evaluate(const Instance& instance,
+                             const ConjunctiveQuery& query);
+
+// Convenience overload evaluating directly on a database.
+std::vector<Answer> Evaluate(const Database& database,
+                             const ConjunctiveQuery& query);
+
+struct CertainAnswersOptions {
+  // Bound on the materialized instance; kResourceExhausted beyond it.
+  uint64_t max_atoms = 1'000'000;
+};
+
+struct CertainAnswersResult {
+  std::vector<Answer> answers;  // null-free, sorted
+  uint64_t chase_atoms = 0;     // |chase(D, Σ)|
+};
+
+// The certain answers of `query` over (database, tgds), computed by
+// materializing the semi-oblivious chase and keeping the null-free answers.
+// Fails with kFailedPrecondition if chase(D, Σ) is infinite (detected with
+// IsChaseFinite[SL/L] when the TGDs are linear, and by the atom bound
+// otherwise).
+StatusOr<CertainAnswersResult> CertainAnswers(
+    const Database& database, const std::vector<Tgd>& tgds,
+    const ConjunctiveQuery& query, const CertainAnswersOptions& options = {});
+
+}  // namespace query
+}  // namespace chase
+
+#endif  // CHASE_QUERY_CONJUNCTIVE_QUERY_H_

@@ -1,0 +1,319 @@
+#include "query/rewriting.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+
+namespace chase {
+namespace query {
+
+namespace {
+
+// Renumbers a query's variables to [0, n) in first-occurrence order
+// (answer variables first, so equal queries with permuted body variables
+// canonicalize identically given the same atom order).
+ConjunctiveQuery Renumber(const ConjunctiveQuery& cq) {
+  ConjunctiveQuery out;
+  out.name = cq.name;
+  std::map<VarId, VarId> rename;
+  auto map = [&](VarId v) {
+    auto [it, inserted] = rename.emplace(v, out.num_vars);
+    if (inserted) ++out.num_vars;
+    return it->second;
+  };
+  for (VarId v : cq.answer_vars) out.answer_vars.push_back(map(v));
+  for (const RuleAtom& atom : cq.body) {
+    std::vector<VarId> args;
+    args.reserve(atom.args.size());
+    for (VarId v : atom.args) args.push_back(map(v));
+    out.body.emplace_back(atom.pred, std::move(args));
+  }
+  return out;
+}
+
+// A canonical key for duplicate elimination up to variable renaming. Atoms
+// are sorted by a variable-independent signature first, variables are then
+// renumbered in traversal order, and the result is serialized. Greedy tie-
+// breaking may distinguish some isomorphic queries; that only costs
+// redundant (subsumed) disjuncts, never soundness or completeness.
+std::string CanonicalKey(const ConjunctiveQuery& cq) {
+  // Variable-independent atom signature: predicate + equality pattern +
+  // answer-variable markers.
+  std::vector<bool> is_answer;
+  is_answer.resize(cq.num_vars, false);
+  std::map<VarId, int> answer_index;
+  for (size_t i = 0; i < cq.answer_vars.size(); ++i) {
+    is_answer[cq.answer_vars[i]] = true;
+    answer_index.emplace(cq.answer_vars[i], static_cast<int>(i));
+  }
+  auto signature = [&](const RuleAtom& atom) {
+    std::ostringstream os;
+    os << atom.pred << ':';
+    std::map<VarId, int> local;
+    for (VarId v : atom.args) {
+      auto it = answer_index.find(v);
+      if (it != answer_index.end()) {
+        os << 'a' << it->second << '.';
+      } else {
+        auto [lit, inserted] = local.emplace(v, static_cast<int>(local.size()));
+        os << 'v' << lit->second << '.';
+      }
+    }
+    return os.str();
+  };
+  std::vector<size_t> order(cq.body.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<std::string> sigs;
+  sigs.reserve(cq.body.size());
+  for (const RuleAtom& atom : cq.body) sigs.push_back(signature(atom));
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return sigs[a] != sigs[b] ? sigs[a] < sigs[b] : a < b;
+  });
+
+  std::map<VarId, int> rename;
+  for (size_t i = 0; i < cq.answer_vars.size(); ++i) {
+    rename.emplace(cq.answer_vars[i], -1000 - static_cast<int>(i));
+  }
+  std::ostringstream os;
+  os << cq.answer_vars.size() << '|';
+  for (size_t i = 0; i < cq.answer_vars.size(); ++i) {
+    os << rename[cq.answer_vars[i]] << ',';
+  }
+  for (size_t index : order) {
+    const RuleAtom& atom = cq.body[index];
+    os << '|' << atom.pred << '(';
+    for (VarId v : atom.args) {
+      auto [it, inserted] = rename.emplace(v, static_cast<int>(rename.size()));
+      os << it->second << ',';
+    }
+    os << ')';
+  }
+  return os.str();
+}
+
+// Union-find over query variables used by the resolution unifier.
+class VarUnion {
+ public:
+  explicit VarUnion(uint32_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  VarId Find(VarId v) {
+    while (parent_[v] != v) v = parent_[v] = parent_[parent_[v]];
+    return v;
+  }
+  void Union(VarId a, VarId b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<VarId> parent_;
+};
+
+ConjunctiveQuery ApplyRepresentatives(const ConjunctiveQuery& cq,
+                                      VarUnion* vars) {
+  ConjunctiveQuery out;
+  out.name = cq.name;
+  out.num_vars = cq.num_vars;  // renumbered later
+  for (VarId v : cq.answer_vars) out.answer_vars.push_back(vars->Find(v));
+  for (const RuleAtom& atom : cq.body) {
+    std::vector<VarId> args;
+    args.reserve(atom.args.size());
+    for (VarId v : atom.args) args.push_back(vars->Find(v));
+    out.body.emplace_back(atom.pred, std::move(args));
+  }
+  return out;
+}
+
+// Attempts the resolution step of atom `target` of `cq` with TGD `tgd`
+// (single-head, linear). Returns the rewritten query or nullopt if the
+// atom does not unify with the head.
+std::optional<ConjunctiveQuery> ResolveAtom(const ConjunctiveQuery& cq,
+                                            size_t target, const Tgd& tgd) {
+  const RuleAtom& head = tgd.head()[0];
+  const RuleAtom& alpha = cq.body[target];
+  if (alpha.pred != head.pred) return std::nullopt;
+
+  // Step 1: repeated frontier variables in the head merge query variables.
+  VarUnion vars(cq.num_vars);
+  for (size_t i = 0; i < head.args.size(); ++i) {
+    if (!tgd.IsUniversal(head.args[i])) continue;
+    for (size_t j = 0; j < i; ++j) {
+      if (head.args[j] == head.args[i]) {
+        vars.Union(alpha.args[i], alpha.args[j]);
+      }
+    }
+  }
+  ConjunctiveQuery merged = ApplyRepresentatives(cq, &vars);
+  const RuleAtom& malpha = merged.body[target];
+
+  // Step 2: existential positions absorb query variables. A query variable
+  // sitting under existential variable z is mapped to the chase witness
+  // ⊥_z, so it must be a non-answer variable whose every occurrence is in
+  // THIS atom occurrence, under the same z.
+  std::map<VarId, VarId> absorbed_by;  // query var -> existential var
+  for (size_t i = 0; i < head.args.size(); ++i) {
+    if (tgd.IsUniversal(head.args[i])) continue;
+    const VarId qvar = malpha.args[i];
+    auto [it, inserted] = absorbed_by.emplace(qvar, head.args[i]);
+    if (!inserted && it->second != head.args[i]) {
+      return std::nullopt;  // one variable under two distinct witnesses
+    }
+  }
+  if (!absorbed_by.empty()) {
+    for (VarId v : merged.answer_vars) {
+      if (absorbed_by.count(v) > 0) return std::nullopt;
+    }
+    for (size_t a = 0; a < merged.body.size(); ++a) {
+      const RuleAtom& atom = merged.body[a];
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        auto it = absorbed_by.find(atom.args[i]);
+        if (it == absorbed_by.end()) continue;
+        // Every occurrence must be inside the target atom at a position of
+        // the same existential variable.
+        if (a != target || tgd.IsUniversal(head.args[i]) ||
+            head.args[i] != it->second) {
+          return std::nullopt;
+        }
+      }
+    }
+  }
+
+  // Step 3: frontier images. Every frontier variable of the TGD occurs in
+  // the head; take its image from any head occurrence (consistent after
+  // step 1).
+  std::map<VarId, VarId> frontier_image;
+  for (size_t i = 0; i < head.args.size(); ++i) {
+    if (tgd.IsUniversal(head.args[i])) {
+      frontier_image.emplace(head.args[i], malpha.args[i]);
+    }
+  }
+
+  // Step 4: build the rewritten query: replace the target atom by the
+  // TGD's body atom; body-only variables become fresh.
+  ConjunctiveQuery out;
+  out.name = merged.name;
+  out.num_vars = merged.num_vars;
+  out.answer_vars = merged.answer_vars;
+  std::map<VarId, VarId> fresh;
+  const RuleAtom& body = tgd.body()[0];
+  std::vector<VarId> new_args;
+  new_args.reserve(body.args.size());
+  for (VarId x : body.args) {
+    auto it = frontier_image.find(x);
+    if (it != frontier_image.end()) {
+      new_args.push_back(it->second);
+    } else {
+      auto [fit, inserted] = fresh.emplace(x, out.num_vars);
+      if (inserted) ++out.num_vars;
+      new_args.push_back(fit->second);
+    }
+  }
+  for (size_t a = 0; a < merged.body.size(); ++a) {
+    if (a == target) {
+      out.body.emplace_back(body.pred, new_args);
+    } else {
+      out.body.push_back(merged.body[a]);
+    }
+  }
+  return Renumber(out);
+}
+
+// Factorization: merge two same-predicate atoms position-wise (queries are
+// variable-only, so the merge always succeeds unless it equates an answer
+// variable with... another variable, which is fine). The result is a
+// specialization of `cq` — sound to include — and may unlock resolution
+// steps blocked by the absorbed-occurrences condition.
+std::optional<ConjunctiveQuery> FactorizePair(const ConjunctiveQuery& cq,
+                                              size_t a, size_t b) {
+  const RuleAtom& atom_a = cq.body[a];
+  const RuleAtom& atom_b = cq.body[b];
+  if (atom_a.pred != atom_b.pred) return std::nullopt;
+  VarUnion vars(cq.num_vars);
+  for (size_t i = 0; i < atom_a.args.size(); ++i) {
+    vars.Union(atom_a.args[i], atom_b.args[i]);
+  }
+  ConjunctiveQuery merged = ApplyRepresentatives(cq, &vars);
+  merged.body.erase(merged.body.begin() + static_cast<ptrdiff_t>(b));
+  return Renumber(merged);
+}
+
+}  // namespace
+
+std::vector<Answer> UnionOfCqs::Evaluate(const Instance& instance) const {
+  std::set<Answer> all;
+  for (const ConjunctiveQuery& cq : disjuncts) {
+    for (Answer& answer : query::Evaluate(instance, cq)) {
+      const bool null_free = std::none_of(
+          answer.begin(), answer.end(), [](Term t) { return IsNull(t); });
+      if (null_free) all.insert(std::move(answer));
+    }
+  }
+  return {all.begin(), all.end()};
+}
+
+std::vector<Answer> UnionOfCqs::Evaluate(const Database& database) const {
+  return Evaluate(Instance::FromDatabase(database));
+}
+
+StatusOr<UnionOfCqs> RewriteUnderTgds(const ConjunctiveQuery& cq,
+                                      const std::vector<Tgd>& tgds,
+                                      const RewriteOptions& options) {
+  for (const Tgd& tgd : tgds) {
+    if (!tgd.IsLinear() || tgd.head().size() != 1) {
+      return InvalidArgumentError(
+          "RewriteUnderTgds requires single-head linear TGDs");
+    }
+    if (!tgd.HasNonEmptyFrontier()) {
+      return InvalidArgumentError(
+          "RewriteUnderTgds requires non-empty frontiers (normalize first)");
+    }
+  }
+
+  UnionOfCqs result;
+  std::unordered_set<std::string> seen;
+  std::vector<size_t> worklist;
+  auto add = [&](ConjunctiveQuery candidate) -> bool {
+    std::string key = CanonicalKey(candidate);
+    if (!seen.insert(std::move(key)).second) return true;
+    result.disjuncts.push_back(std::move(candidate));
+    worklist.push_back(result.disjuncts.size() - 1);
+    return result.disjuncts.size() <= options.max_queries;
+  };
+  if (!add(Renumber(cq))) {
+    return ResourceExhaustedError("rewriting exceeded max_queries");
+  }
+
+  while (!worklist.empty()) {
+    const size_t index = worklist.back();
+    worklist.pop_back();
+    // Copy: `add` may reallocate the disjunct vector.
+    const ConjunctiveQuery current = result.disjuncts[index];
+    // Resolution steps.
+    for (size_t target = 0; target < current.body.size(); ++target) {
+      for (const Tgd& tgd : tgds) {
+        std::optional<ConjunctiveQuery> rewritten =
+            ResolveAtom(current, target, tgd);
+        if (rewritten.has_value() && !add(std::move(*rewritten))) {
+          return ResourceExhaustedError("rewriting exceeded max_queries");
+        }
+      }
+    }
+    // Factorization steps.
+    for (size_t a = 0; a < current.body.size(); ++a) {
+      for (size_t b = a + 1; b < current.body.size(); ++b) {
+        std::optional<ConjunctiveQuery> factorized =
+            FactorizePair(current, a, b);
+        if (factorized.has_value() && !add(std::move(*factorized))) {
+          return ResourceExhaustedError("rewriting exceeded max_queries");
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace query
+}  // namespace chase

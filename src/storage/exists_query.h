@@ -1,0 +1,34 @@
+// Shape-existence queries (Section 5.4). Each candidate shape of a relation
+// R translates to
+//
+//   SELECT CASE WHEN EXISTS
+//     (SELECT * FROM R WHERE <equalities> AND <disequalities>)
+//   THEN 1 ELSE 0 END
+//
+// and its relaxed variant drops the disequality conditions. We execute these
+// as early-exit scans over the row store: a tuple satisfies the full
+// condition iff its id-tuple equals the shape's id-tuple, and the relaxed
+// condition iff its id-tuple is coarser than or equal to it.
+
+#ifndef CHASE_STORAGE_EXISTS_QUERY_H_
+#define CHASE_STORAGE_EXISTS_QUERY_H_
+
+#include "logic/shape.h"
+#include "storage/catalog.h"
+
+namespace chase {
+namespace storage {
+
+// The full query: does some tuple of `pred` have exactly this id-tuple?
+bool ExistsTupleWithShape(const Catalog& catalog, PredId pred,
+                          const IdTuple& id);
+
+// The relaxed query (equalities only): does some tuple of `pred` satisfy at
+// least the equalities of `id`?
+bool ExistsTupleSatisfyingEqualities(const Catalog& catalog, PredId pred,
+                                     const IdTuple& id);
+
+}  // namespace storage
+}  // namespace chase
+
+#endif  // CHASE_STORAGE_EXISTS_QUERY_H_

@@ -1,0 +1,31 @@
+// Parallel in-memory FindShapes: the paper's conclusion invites improving
+// the db-dependent component, and the in-memory scan is embarrassingly
+// parallel — relations are independent, and a single relation can be split
+// into row ranges with the per-thread shape sets unioned at the end
+// (shape(D) is a set union over tuples).
+//
+// The partitioning is by estimated work (tuples × arity) over both whole
+// relations and row ranges of large relations, so a single huge relation
+// (LUBM-1K's layout) still spreads across all threads.
+
+#ifndef CHASE_STORAGE_PARALLEL_SHAPE_FINDER_H_
+#define CHASE_STORAGE_PARALLEL_SHAPE_FINDER_H_
+
+#include <vector>
+
+#include "logic/shape.h"
+#include "storage/catalog.h"
+
+namespace chase {
+namespace storage {
+
+// Returns shape(D) sorted by (pred, id) — identical to FindShapesInMemory
+// (a property test enforces it). `num_threads` <= 1 degrades to the serial
+// scan. Access stats are metered like the serial variant.
+std::vector<Shape> FindShapesParallel(const Catalog& catalog,
+                                      unsigned num_threads);
+
+}  // namespace storage
+}  // namespace chase
+
+#endif  // CHASE_STORAGE_PARALLEL_SHAPE_FINDER_H_

@@ -1,0 +1,67 @@
+#include "storage/shape_finder.h"
+
+#include <algorithm>
+
+#include "storage/exists_query.h"
+#include "storage/shape_lattice.h"
+
+namespace chase {
+namespace storage {
+namespace {
+
+std::vector<Shape> Sorted(ShapeSet shapes) {
+  std::vector<Shape> out(std::make_move_iterator(shapes.begin()),
+                         std::make_move_iterator(shapes.end()));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+const char* ShapeFinderModeName(ShapeFinderMode mode) {
+  return mode == ShapeFinderMode::kInMemory ? "in-memory" : "in-database";
+}
+
+std::vector<Shape> FindShapesInMemory(const Catalog& catalog) {
+  const Database& db = catalog.database();
+  ShapeSet shapes;
+  for (PredId pred : catalog.ListNonEmptyRelations()) {
+    // "Load all the tuples of R into the main memory" — over the row store
+    // this is the full scan below; we meter it as one relation load.
+    ++catalog.stats().relations_loaded;
+    const uint32_t arity = db.schema().Arity(pred);
+    const auto tuples = db.Tuples(pred);
+    const size_t rows = tuples.size() / arity;
+    for (size_t row = 0; row < rows; ++row) {
+      ++catalog.stats().tuples_scanned;
+      shapes.insert(ShapeOfTuple(
+          pred, std::span<const uint32_t>(tuples.data() + row * arity, arity)));
+    }
+  }
+  return Sorted(std::move(shapes));
+}
+
+std::vector<Shape> FindShapesInDatabase(const Catalog& catalog) {
+  const Database& db = catalog.database();
+  ShapeSet shapes;
+  for (PredId pred : catalog.ListNonEmptyRelations()) {
+    WalkShapeLattice(
+        db.schema().Arity(pred),
+        [&](const IdTuple& id) {
+          return ExistsTupleSatisfyingEqualities(catalog, pred, id);
+        },
+        [&](const IdTuple& id) {
+          return ExistsTupleWithShape(catalog, pred, id);
+        },
+        [&](const IdTuple& id) { shapes.insert(Shape(pred, id)); });
+  }
+  return Sorted(std::move(shapes));
+}
+
+std::vector<Shape> FindShapes(const Catalog& catalog, ShapeFinderMode mode) {
+  return mode == ShapeFinderMode::kInMemory ? FindShapesInMemory(catalog)
+                                            : FindShapesInDatabase(catalog);
+}
+
+}  // namespace storage
+}  // namespace chase

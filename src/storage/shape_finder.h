@@ -1,0 +1,42 @@
+// FindShapes: computing shape(D), the set of shapes of the atoms of a
+// database (Section 5.4). Two interchangeable implementations, matching the
+// paper's in-memory and in-database variants:
+//
+//  * In-memory: load each relation and hash the id-tuple of every tuple.
+//    Cost: one full scan of the database plus hashing.
+//  * In-database: issue one EXISTS query pair per candidate shape, walking
+//    the shape lattice of each predicate from the all-distinct shape towards
+//    coarser shapes and applying the Apriori-style pruning of Section 5.4:
+//    a shape is only considered if some already-confirmed relaxed query
+//    covers it, and if the relaxed (equalities-only) query of a shape fails,
+//    every coarser shape is pruned without touching the data.
+//
+// Both return the same set; a property test enforces this.
+
+#ifndef CHASE_STORAGE_SHAPE_FINDER_H_
+#define CHASE_STORAGE_SHAPE_FINDER_H_
+
+#include <vector>
+
+#include "logic/shape.h"
+#include "storage/catalog.h"
+
+namespace chase {
+namespace storage {
+
+enum class ShapeFinderMode {
+  kInMemory,
+  kInDatabase,
+};
+
+const char* ShapeFinderModeName(ShapeFinderMode mode);
+
+// Returns shape(D) sorted by (pred, id).
+std::vector<Shape> FindShapesInMemory(const Catalog& catalog);
+std::vector<Shape> FindShapesInDatabase(const Catalog& catalog);
+std::vector<Shape> FindShapes(const Catalog& catalog, ShapeFinderMode mode);
+
+}  // namespace storage
+}  // namespace chase
+
+#endif  // CHASE_STORAGE_SHAPE_FINDER_H_

@@ -1,0 +1,44 @@
+#include "storage/shape_index.h"
+
+#include <algorithm>
+
+namespace chase {
+namespace storage {
+
+ShapeIndex ShapeIndex::Build(const Database& db) {
+  ShapeIndex index;
+  for (PredId pred : db.NonEmptyPredicates()) {
+    const uint32_t arity = db.schema().Arity(pred);
+    const auto tuples = db.Tuples(pred);
+    const size_t rows = tuples.size() / arity;
+    for (size_t row = 0; row < rows; ++row) {
+      index.Insert(pred, tuples.subspan(row * arity, arity));
+    }
+  }
+  return index;
+}
+
+void ShapeIndex::Insert(PredId pred, std::span<const uint32_t> tuple) {
+  ++counts_[ShapeOfTuple(pred, tuple)];
+}
+
+Status ShapeIndex::Remove(PredId pred, std::span<const uint32_t> tuple) {
+  Shape shape = ShapeOfTuple(pred, tuple);
+  auto it = counts_.find(shape);
+  if (it == counts_.end()) {
+    return FailedPreconditionError("removing a tuple whose shape is not indexed");
+  }
+  if (--it->second == 0) counts_.erase(it);
+  return OkStatus();
+}
+
+std::vector<Shape> ShapeIndex::CurrentShapes() const {
+  std::vector<Shape> shapes;
+  shapes.reserve(counts_.size());
+  for (const auto& [shape, count] : counts_) shapes.push_back(shape);
+  std::sort(shapes.begin(), shapes.end());
+  return shapes;
+}
+
+}  // namespace storage
+}  // namespace chase

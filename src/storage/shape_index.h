@@ -1,0 +1,72 @@
+// ShapeIndex: incrementally maintained shape(D).
+//
+// The paper's conclusion (Section 10) singles out "materialize and
+// incrementally keep updated the shapes in a database" as the way to
+// improve the db-dependent component, whose FindShapes scan dominates the
+// end-to-end runtime of IsChaseFinite[L]. This class is that materialized
+// view: a multiset of shapes with one counter per (predicate, id-tuple).
+//
+//  * Build: one scan of the database (same cost as in-memory FindShapes).
+//  * Insert/Remove: O(arity²) to compute the tuple's id-tuple plus one hash
+//    update — independent of the database size, which turns every
+//    subsequent termination check's t-shapes into a dictionary lookup.
+//  * CurrentShapes: the sorted shape set, interchangeable with the output
+//    of storage::FindShapes (a property test enforces agreement).
+//
+// The counters make deletions exact: a shape disappears only when the last
+// tuple carrying it is removed.
+
+#ifndef CHASE_STORAGE_SHAPE_INDEX_H_
+#define CHASE_STORAGE_SHAPE_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/database.h"
+#include "logic/shape.h"
+
+namespace chase {
+namespace storage {
+
+class ShapeIndex {
+ public:
+  ShapeIndex() = default;
+
+  // Builds the index with one scan of `db`.
+  static ShapeIndex Build(const Database& db);
+
+  // Records one inserted tuple of `pred`.
+  void Insert(PredId pred, std::span<const uint32_t> tuple);
+
+  // Records one deleted tuple of `pred`. Fails with kFailedPrecondition if
+  // no tuple with that shape is currently indexed (the index would go
+  // negative, i.e., the caller deleted a tuple that was never inserted).
+  Status Remove(PredId pred, std::span<const uint32_t> tuple);
+
+  bool Contains(const Shape& shape) const {
+    return counts_.find(shape) != counts_.end();
+  }
+
+  // Number of indexed tuples currently carrying `shape`.
+  uint64_t Count(const Shape& shape) const {
+    auto it = counts_.find(shape);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  // Distinct shapes currently present.
+  size_t NumShapes() const { return counts_.size(); }
+
+  // shape(D) sorted by (pred, id) — same contract as storage::FindShapes.
+  std::vector<Shape> CurrentShapes() const;
+
+ private:
+  std::unordered_map<Shape, uint64_t, ShapeHash> counts_;
+};
+
+}  // namespace storage
+}  // namespace chase
+
+#endif  // CHASE_STORAGE_SHAPE_INDEX_H_

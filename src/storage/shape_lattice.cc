@@ -1,0 +1,48 @@
+#include "storage/shape_lattice.h"
+
+#include <queue>
+#include <set>
+#include <vector>
+
+namespace chase {
+namespace storage {
+
+void WalkShapeLattice(
+    uint32_t arity,
+    const std::function<bool(const IdTuple&)>& relaxed_exists,
+    const std::function<bool(const IdTuple&)>& full_exists,
+    const std::function<void(const IdTuple&)>& emit) {
+  std::set<IdTuple> enqueued;
+  std::queue<IdTuple> frontier;
+  IdTuple all_distinct(arity);
+  for (uint32_t i = 0; i < arity; ++i) {
+    all_distinct[i] = static_cast<uint8_t>(i + 1);
+  }
+  frontier.push(all_distinct);
+  enqueued.insert(all_distinct);
+
+  while (!frontier.empty()) {
+    IdTuple id = std::move(frontier.front());
+    frontier.pop();
+    if (!relaxed_exists(id)) continue;
+    if (full_exists(id)) emit(id);
+
+    // Children: merge any two blocks (by their representatives).
+    uint8_t blocks = 0;
+    for (uint8_t v : id) blocks = v > blocks ? v : blocks;
+    if (blocks <= 1) continue;
+    std::vector<uint32_t> representative(blocks + 1, UINT32_MAX);
+    for (uint32_t i = 0; i < arity; ++i) {
+      if (representative[id[i]] == UINT32_MAX) representative[id[i]] = i;
+    }
+    for (uint8_t a = 1; a <= blocks; ++a) {
+      for (uint8_t b = a + 1; b <= blocks; ++b) {
+        IdTuple child = MergeBlocks(id, representative[a], representative[b]);
+        if (enqueued.insert(child).second) frontier.push(child);
+      }
+    }
+  }
+}
+
+}  // namespace storage
+}  // namespace chase

@@ -1,0 +1,32 @@
+// The Apriori-style walk of the shape (partition) lattice of Section 5.4,
+// factored out so the in-memory row store and the disk-backed pager can run
+// identical query plans with their own EXISTS evaluators.
+//
+// The walk starts at the all-distinct id-tuple and explores coarser tuples
+// breadth-first. For each candidate it first evaluates the relaxed query
+// (equalities only); if that fails, every coarser tuple also fails and the
+// subtree is pruned without touching the data. Otherwise the full query
+// (equalities and disequalities) decides whether the exact shape is present.
+
+#ifndef CHASE_STORAGE_SHAPE_LATTICE_H_
+#define CHASE_STORAGE_SHAPE_LATTICE_H_
+
+#include <functional>
+
+#include "logic/shape.h"
+
+namespace chase {
+namespace storage {
+
+// Calls `emit(id)` for every id-tuple of length `arity` whose full query
+// succeeds, pruning via the relaxed query as described above.
+void WalkShapeLattice(
+    uint32_t arity,
+    const std::function<bool(const IdTuple&)>& relaxed_exists,
+    const std::function<bool(const IdTuple&)>& full_exists,
+    const std::function<void(const IdTuple&)>& emit);
+
+}  // namespace storage
+}  // namespace chase
+
+#endif  // CHASE_STORAGE_SHAPE_LATTICE_H_

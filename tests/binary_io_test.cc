@@ -1,0 +1,132 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "gen/data_generator.h"
+#include "gen/tgd_generator.h"
+#include "io/binary_io.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+
+namespace chase {
+namespace io {
+namespace {
+
+Program MustParse(const std::string& text) {
+  auto program = ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status();
+  return std::move(program).value();
+}
+
+void ExpectSamePrograms(const Program& a, const Program& b) {
+  ASSERT_EQ(a.schema->NumPredicates(), b.schema->NumPredicates());
+  for (PredId pred = 0; pred < a.schema->NumPredicates(); ++pred) {
+    EXPECT_EQ(a.schema->PredicateName(pred), b.schema->PredicateName(pred));
+    EXPECT_EQ(a.schema->Arity(pred), b.schema->Arity(pred));
+    auto ta = a.database->Tuples(pred);
+    auto tb = b.database->Tuples(pred);
+    ASSERT_EQ(ta.size(), tb.size());
+    EXPECT_TRUE(std::equal(ta.begin(), ta.end(), tb.begin()));
+  }
+  EXPECT_EQ(a.database->NumConstants(), b.database->NumConstants());
+  ASSERT_EQ(a.tgds.size(), b.tgds.size());
+  for (size_t i = 0; i < a.tgds.size(); ++i) {
+    EXPECT_EQ(a.tgds[i], b.tgds[i]);
+  }
+}
+
+TEST(BinaryIoTest, RoundTripParsedProgram) {
+  Program p = MustParse(R"(
+    person(alice). person(bob). knows(alice, bob).
+    person(X) -> knows(X, Y), person(Y).
+    knows(X, Y) -> knows(Y, X).
+    r(A, A, B) -> s(B, A).
+  )");
+  std::vector<uint8_t> bytes =
+      SerializeProgram(*p.schema, *p.database, p.tgds);
+  auto loaded = DeserializeProgram(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectSamePrograms(p, *loaded);
+  // Constant names survive.
+  EXPECT_EQ(loaded->database->ConstantName(0), "alice");
+}
+
+TEST(BinaryIoTest, RoundTripGeneratedWorkload) {
+  DataGenParams data_params;
+  data_params.preds = 10;
+  data_params.min_arity = 1;
+  data_params.max_arity = 5;
+  data_params.dsize = 500;
+  data_params.rsize = 200;
+  data_params.seed = 5;
+  auto data = GenerateData(data_params);
+  ASSERT_TRUE(data.ok());
+  TgdGenParams tgd_params;
+  tgd_params.ssize = 10;
+  tgd_params.min_arity = 1;
+  tgd_params.max_arity = 5;
+  tgd_params.tsize = 300;
+  tgd_params.tclass = TgdClass::kLinear;
+  tgd_params.seed = 6;
+  auto tgds = GenerateTgds(*data->schema, tgd_params);
+  ASSERT_TRUE(tgds.ok());
+
+  std::vector<uint8_t> bytes =
+      SerializeProgram(*data->schema, *data->database, tgds.value());
+  auto loaded = DeserializeProgram(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->tgds.size(), tgds->size());
+  EXPECT_EQ(loaded->database->TotalFacts(), data->database->TotalFacts());
+}
+
+TEST(BinaryIoTest, FileRoundTrip) {
+  Program p = MustParse("r(a, b).\nr(X, Y) -> r(Y, Z).");
+  const std::string path = testing::TempDir() + "/bin_io_roundtrip.chbin";
+  ASSERT_TRUE(SaveProgram(*p.schema, *p.database, p.tgds, path).ok());
+  auto loaded = LoadProgram(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectSamePrograms(p, *loaded);
+}
+
+TEST(BinaryIoTest, BadMagicRejected) {
+  std::vector<uint8_t> bytes = {'n', 'o', 'p', 'e', 0, 0, 0, 0};
+  auto loaded = DeserializeProgram(bytes);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BinaryIoTest, TruncationRejected) {
+  Program p = MustParse("r(a, b).\nr(X, Y) -> r(Y, Z).");
+  std::vector<uint8_t> bytes =
+      SerializeProgram(*p.schema, *p.database, p.tgds);
+  bytes.resize(bytes.size() / 2);
+  auto loaded = DeserializeProgram(bytes);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(BinaryIoTest, CorruptionRejectedByChecksum) {
+  Program p = MustParse("r(a, b).\nr(X, Y) -> r(Y, Z).");
+  std::vector<uint8_t> bytes =
+      SerializeProgram(*p.schema, *p.database, p.tgds);
+  bytes[bytes.size() - 3] ^= 0xff;
+  auto loaded = DeserializeProgram(bytes);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BinaryIoTest, MissingFileIsNotFound) {
+  auto loaded = LoadProgram(testing::TempDir() + "/does_not_exist.chbin");
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(BinaryIoTest, EmptyProgramRoundTrips) {
+  Program p;
+  std::vector<uint8_t> bytes =
+      SerializeProgram(*p.schema, *p.database, p.tgds);
+  auto loaded = DeserializeProgram(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->schema->NumPredicates(), 0u);
+  EXPECT_TRUE(loaded->tgds.empty());
+}
+
+}  // namespace
+}  // namespace io
+}  // namespace chase

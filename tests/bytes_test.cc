@@ -1,0 +1,85 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/bytes.h"
+
+namespace chase {
+namespace {
+
+TEST(BytesTest, ScalarRoundTrip) {
+  ByteWriter writer;
+  writer.PutU8(7);
+  writer.PutU32(0xdeadbeef);
+  writer.PutU64(0x0123456789abcdefULL);
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.GetU8().value(), 7);
+  EXPECT_EQ(reader.GetU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(reader.GetU64().value(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BytesTest, StringRoundTrip) {
+  ByteWriter writer;
+  writer.PutString("hello");
+  writer.PutString("");
+  writer.PutString(std::string("with\0nul", 8));
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.GetString().value(), "hello");
+  EXPECT_EQ(reader.GetString().value(), "");
+  EXPECT_EQ(reader.GetString().value(), std::string("with\0nul", 8));
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BytesTest, SpanRoundTrip) {
+  ByteWriter writer;
+  std::vector<uint32_t> values = {1, 2, 3, 0xffffffff};
+  writer.PutU32Span(values);
+  writer.PutU32Span({});
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.GetU32Span().value(), values);
+  EXPECT_TRUE(reader.GetU32Span().value().empty());
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BytesTest, TruncatedReadsFailCleanly) {
+  ByteWriter writer;
+  writer.PutU32(42);
+  std::vector<uint8_t> bytes = writer.Take();
+  bytes.pop_back();
+  ByteReader reader(bytes);
+  EXPECT_EQ(reader.GetU32().status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BytesTest, TruncatedStringFails) {
+  ByteWriter writer;
+  writer.PutString("abcdef");
+  std::vector<uint8_t> bytes = writer.Take();
+  bytes.resize(bytes.size() - 3);
+  ByteReader reader(bytes);
+  EXPECT_EQ(reader.GetString().status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BytesTest, LyingLengthPrefixDoesNotOverflow) {
+  // Length prefixes far larger than the buffer must fail, not wrap —
+  // including counts whose byte size overflows uint64 exactly (2^62 * 4).
+  for (uint64_t count : {~uint64_t{0}, uint64_t{1} << 62, uint64_t{1} << 32}) {
+    ByteWriter writer;
+    writer.PutU64(count);
+    ByteReader reader(writer.bytes());
+    EXPECT_EQ(reader.GetU32Span().status().code(), StatusCode::kOutOfRange);
+  }
+}
+
+TEST(BytesTest, RemainingTracksPosition) {
+  ByteWriter writer;
+  writer.PutU32(1);
+  writer.PutU32(2);
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.remaining(), 8u);
+  ASSERT_TRUE(reader.GetU32().ok());
+  EXPECT_EQ(reader.remaining(), 4u);
+}
+
+}  // namespace
+}  // namespace chase

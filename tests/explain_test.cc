@@ -1,0 +1,185 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "core/explain.h"
+#include "core/is_chase_finite.h"
+#include "gen/tgd_generator.h"
+#include "logic/parser.h"
+
+namespace chase {
+namespace {
+
+Program MustParse(const std::string& text) {
+  auto program = ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status();
+  return std::move(program).value();
+}
+
+// Validates the structural invariants of a witness against the input.
+void CheckWitness(const Program& p, const NonTerminationWitness& witness) {
+  ASSERT_FALSE(witness.cycle.empty());
+  // The cycle closes.
+  EXPECT_EQ(witness.cycle.front().from, witness.cycle.back().to);
+  // Consecutive edges connect.
+  for (size_t i = 0; i + 1 < witness.cycle.size(); ++i) {
+    EXPECT_EQ(witness.cycle[i].to, witness.cycle[i + 1].from);
+  }
+  // At least one special edge.
+  bool any_special = false;
+  for (const WitnessEdge& edge : witness.cycle) any_special |= edge.special;
+  EXPECT_TRUE(any_special);
+  // Every edge is genuinely induced by its reported rule.
+  auto check_edge = [&](const WitnessEdge& edge) {
+    ASSERT_LT(edge.rule_index, p.tgds.size());
+    const Tgd& tgd = p.tgds[edge.rule_index];
+    const RuleAtom& body = tgd.body()[0];
+    ASSERT_EQ(body.pred, edge.from.pred);
+    const VarId x = body.args[edge.from.index];
+    EXPECT_TRUE(tgd.InFrontier(x));
+    bool induced = false;
+    for (const RuleAtom& head : tgd.head()) {
+      if (head.pred != edge.to.pred) continue;
+      const VarId target = head.args[edge.to.index];
+      induced |= edge.special ? tgd.IsExistential(target) : target == x;
+    }
+    EXPECT_TRUE(induced);
+  };
+  for (const WitnessEdge& edge : witness.cycle) check_edge(edge);
+  for (const WitnessEdge& edge : witness.support_path) check_edge(edge);
+  // The support path (or the cycle itself) starts at a non-empty relation.
+  const Position start = witness.support_path.empty()
+                             ? witness.cycle.front().from
+                             : witness.support_path.front().from;
+  EXPECT_FALSE(p.database->IsEmpty(start.pred));
+  // The support path connects and ends on the cycle.
+  if (!witness.support_path.empty()) {
+    for (size_t i = 0; i + 1 < witness.support_path.size(); ++i) {
+      EXPECT_EQ(witness.support_path[i].to,
+                witness.support_path[i + 1].from);
+    }
+    bool lands_on_cycle = false;
+    for (const WitnessEdge& edge : witness.cycle) {
+      lands_on_cycle |= witness.support_path.back().to == edge.from;
+    }
+    EXPECT_TRUE(lands_on_cycle);
+  }
+}
+
+TEST(ExplainTest, SelfLoopWitness) {
+  Program p = MustParse("e(a, b).\ne(X, Y) -> e(Y, Z).");
+  auto witness = ExplainNonTerminationSL(*p.database, p.tgds);
+  ASSERT_TRUE(witness.ok()) << witness.status();
+  CheckWitness(p, *witness);
+  EXPECT_TRUE(witness->support_path.empty());  // e itself is non-empty
+}
+
+TEST(ExplainTest, SupportPathFromDistantRelation) {
+  Program p = MustParse(R"(
+    start(a).
+    start(X) -> mid(X).
+    mid(X) -> e(X, X).
+    e(X, Y) -> e(Y, Z).
+  )");
+  auto witness = ExplainNonTerminationSL(*p.database, p.tgds);
+  ASSERT_TRUE(witness.ok()) << witness.status();
+  CheckWitness(p, *witness);
+  EXPECT_FALSE(witness->support_path.empty());
+  EXPECT_EQ(witness->support_path.front().from.pred,
+            p.schema->FindPredicate("start").value());
+}
+
+TEST(ExplainTest, MultiRuleCycle) {
+  Program p = MustParse(R"(
+    a(c).
+    a(X) -> b(X, Z).
+    b(X, Y) -> a(Y).
+  )");
+  auto witness = ExplainNonTerminationSL(*p.database, p.tgds);
+  ASSERT_TRUE(witness.ok()) << witness.status();
+  CheckWitness(p, *witness);
+  EXPECT_GE(witness->cycle.size(), 2u);
+}
+
+TEST(ExplainTest, FiniteChaseHasNothingToExplain) {
+  Program p = MustParse("q(a).\ne(X, Y) -> e(Y, Z).");  // cycle unsupported
+  auto witness = ExplainNonTerminationSL(*p.database, p.tgds);
+  EXPECT_EQ(witness.status().code(), StatusCode::kFailedPrecondition);
+
+  Program acyclic = MustParse("a(c).\na(X) -> b(X, Z).");
+  witness = ExplainNonTerminationSL(*acyclic.database, acyclic.tgds);
+  EXPECT_EQ(witness.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ExplainTest, NonSimpleLinearRejected) {
+  Program p = MustParse("r(X, X) -> r(Z, X).");
+  auto witness = ExplainNonTerminationSL(*p.database, p.tgds);
+  EXPECT_EQ(witness.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExplainTest, FormatMentionsRulesAndSpecialEdges) {
+  Program p = MustParse("e(a, b).\ne(X, Y) -> e(Y, Z).");
+  auto witness = ExplainNonTerminationSL(*p.database, p.tgds);
+  ASSERT_TRUE(witness.ok());
+  const std::string text = FormatWitness(*p.schema, *witness, p.tgds);
+  EXPECT_NE(text.find("cycle with a special edge"), std::string::npos);
+  EXPECT_NE(text.find("--(exists)-->"), std::string::npos);
+  EXPECT_NE(text.find("rule #0"), std::string::npos);
+}
+
+// Property: Explain succeeds exactly when IsChaseFinite[SL] says infinite,
+// and its witness always validates.
+class ExplainPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExplainPropertyTest, WitnessExistsIffChaseInfinite) {
+  Rng rng(GetParam());
+  int infinite = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    Program p;
+    const uint32_t num_preds = 2 + static_cast<uint32_t>(rng.Below(4));
+    for (uint32_t i = 0; i < num_preds; ++i) {
+      ASSERT_TRUE(p.schema
+                      ->AddPredicate("p" + std::to_string(i),
+                                     1 + static_cast<uint32_t>(rng.Below(3)))
+                      .ok());
+    }
+    TgdGenParams params;
+    params.ssize = num_preds;
+    params.min_arity = 1;
+    params.max_arity = 3;
+    params.tsize = 1 + rng.Below(5);
+    params.tclass = TgdClass::kSimpleLinear;
+    params.existential_percent = 30;
+    params.seed = rng.Next();
+    auto tgds = GenerateTgds(*p.schema, params);
+    ASSERT_TRUE(tgds.ok());
+    p.tgds = std::move(tgds).value();
+    // Populate a random subset of predicates.
+    p.database->EnsureAnonymousDomain(4);
+    for (PredId pred = 0; pred < num_preds; ++pred) {
+      if (rng.Below(2) == 0) continue;
+      std::vector<uint32_t> tuple(p.schema->Arity(pred));
+      for (uint32_t i = 0; i < tuple.size(); ++i) tuple[i] = i;
+      ASSERT_TRUE(p.database->AddFact(pred, tuple).ok());
+    }
+
+    auto finite = IsChaseFiniteSL(*p.database, p.tgds);
+    ASSERT_TRUE(finite.ok());
+    auto witness = ExplainNonTerminationSL(*p.database, p.tgds);
+    if (finite.value()) {
+      EXPECT_EQ(witness.status().code(), StatusCode::kFailedPrecondition);
+    } else {
+      ++infinite;
+      ASSERT_TRUE(witness.ok()) << witness.status();
+      CheckWitness(p, *witness);
+    }
+  }
+  EXPECT_GT(infinite, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExplainPropertyTest,
+                         testing::Values(91, 92, 93, 94));
+
+}  // namespace
+}  // namespace chase

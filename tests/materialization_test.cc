@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "core/materialization_checker.h"
+#include "logic/parser.h"
+
+namespace chase {
+namespace {
+
+Program MustParse(const std::string& text) {
+  auto program = ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status();
+  return std::move(program).value();
+}
+
+TEST(ChaseSizeBoundTest, GrowsWithInputs) {
+  Program small = MustParse("r(a,b).\nr(X,Y) -> s(X).");
+  Program large = MustParse(
+      "r(a,b). r(c,d). r(e,f).\n"
+      "r(X,Y) -> s(X).\n"
+      "s(X) -> t(X,X,X).");
+  EXPECT_GT(ChaseSizeBound(*large.database, large.tgds),
+            ChaseSizeBound(*small.database, small.tgds));
+}
+
+TEST(ChaseSizeBoundTest, SaturatesInsteadOfOverflowing) {
+  std::string rule = "r(A,B,C,D,E) -> s(A,B,C,D,E).\n";
+  std::string text = "r(a,b,c,d,e).\n";
+  for (int i = 0; i < 5; ++i) text += rule;
+  Program p = MustParse(text);
+  EXPECT_EQ(ChaseSizeBound(*p.database, p.tgds), UINT64_MAX);
+}
+
+TEST(MaterializationCheckTest, DecidesFiniteByFixpoint) {
+  Program p = MustParse(R"(
+    emp(a). emp(b).
+    emp(X) -> rep(X, Z).
+    rep(X, Y) -> emp(X).
+  )");
+  auto report = MaterializationCheck(*p.database, p.tgds);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->decided);
+  EXPECT_TRUE(report->finite);
+  EXPECT_EQ(report->outcome, ChaseOutcome::kFixpoint);
+  EXPECT_EQ(report->atoms, 4u);  // emp(a), emp(b), rep(a,_), rep(b,_)
+}
+
+TEST(MaterializationCheckTest, DecidesInfiniteByExceedingBound) {
+  // Tiny bound environment: one fact, one rule, positions = 4 -> the bound
+  // is small enough to exceed quickly.
+  Program p = MustParse("e(a,b).\ne(X,Y) -> e(Y,Z).");
+  auto report = MaterializationCheck(*p.database, p.tgds);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->decided);
+  EXPECT_FALSE(report->finite);
+  EXPECT_EQ(report->outcome, ChaseOutcome::kAtomLimit);
+  EXPECT_GT(report->atoms, report->bound);
+}
+
+TEST(MaterializationCheckTest, UndecidedWhenBudgetBelowBound) {
+  Program p = MustParse("e(a,b).\ne(X,Y) -> e(Y,Z).");
+  MaterializationOptions options;
+  options.atom_budget = 3;  // below the bound
+  auto report = MaterializationCheck(*p.database, p.tgds, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->decided);
+}
+
+TEST(MaterializationCheckTest, BudgetAboveBoundStillDecides) {
+  Program p = MustParse("e(a,b).\ne(X,Y) -> e(Y,Z).");
+  MaterializationOptions options;
+  options.atom_budget = ChaseSizeBound(*p.database, p.tgds) + 100;
+  auto report = MaterializationCheck(*p.database, p.tgds, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->decided);
+  EXPECT_FALSE(report->finite);
+}
+
+TEST(MaterializationCheckTest, EmptyDatabase) {
+  Program p = MustParse("e(X,Y) -> e(Y,Z).");
+  auto report = MaterializationCheck(*p.database, p.tgds);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->decided);
+  EXPECT_TRUE(report->finite);
+  EXPECT_EQ(report->atoms, 0u);
+}
+
+}  // namespace
+}  // namespace chase

@@ -1,0 +1,221 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "logic/parser.h"
+#include "query/conjunctive_query.h"
+
+namespace chase {
+namespace query {
+namespace {
+
+Program MustParse(const std::string& text) {
+  auto program = ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status();
+  return std::move(program).value();
+}
+
+ConjunctiveQuery MustParseQuery(const std::string& text, Schema* schema) {
+  auto cq = ParseQuery(text, schema);
+  EXPECT_TRUE(cq.ok()) << cq.status();
+  return std::move(cq).value();
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+TEST(QueryParseTest, SimpleQuery) {
+  Schema schema;
+  ConjunctiveQuery cq =
+      MustParseQuery("q(X, Y) :- r(X, Z), s(Z, Y).", &schema);
+  EXPECT_EQ(cq.name, "q");
+  EXPECT_EQ(cq.arity(), 2u);
+  EXPECT_EQ(cq.body.size(), 2u);
+  EXPECT_EQ(cq.num_vars, 3u);  // X, Y, Z
+  EXPECT_TRUE(schema.FindPredicate("r").has_value());
+  EXPECT_TRUE(schema.FindPredicate("s").has_value());
+}
+
+TEST(QueryParseTest, BooleanQuery) {
+  Schema schema;
+  ConjunctiveQuery cq = MustParseQuery("q() :- r(X, X).", &schema);
+  EXPECT_TRUE(cq.IsBoolean());
+  EXPECT_EQ(cq.body.size(), 1u);
+  EXPECT_EQ(cq.num_vars, 1u);
+}
+
+TEST(QueryParseTest, RepeatedVariablesShareIds) {
+  Schema schema;
+  ConjunctiveQuery cq = MustParseQuery("q(X) :- r(X, X).", &schema);
+  EXPECT_EQ(cq.num_vars, 1u);
+  EXPECT_EQ(cq.body[0].args[0], cq.body[0].args[1]);
+}
+
+TEST(QueryParseTest, UnsafeQueryRejected) {
+  Schema schema;
+  auto cq = ParseQuery("q(X, Y) :- r(X, Z).", &schema);
+  EXPECT_EQ(cq.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryParseTest, ConstantsRejected) {
+  Schema schema;
+  auto cq = ParseQuery("q(X) :- r(X, alice).", &schema);
+  EXPECT_EQ(cq.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryParseTest, MissingTurnstileRejected) {
+  Schema schema;
+  auto cq = ParseQuery("q(X) <- r(X).", &schema);
+  EXPECT_EQ(cq.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryParseTest, ArityMismatchRejected) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddPredicate("r", 3).ok());
+  auto cq = ParseQuery("q(X) :- r(X, Y).", &schema);
+  EXPECT_FALSE(cq.ok());
+}
+
+TEST(QueryParseTest, TrailingInputRejected) {
+  Schema schema;
+  auto cq = ParseQuery("q(X) :- r(X). extra", &schema);
+  EXPECT_EQ(cq.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation on databases
+
+TEST(QueryEvalTest, JoinOverDatabase) {
+  Program p = MustParse(R"(
+    parent(ann, bob). parent(bob, carl). parent(carl, dana).
+  )");
+  ConjunctiveQuery cq = MustParseQuery(
+      "grandparent(X, Z) :- parent(X, Y), parent(Y, Z).", p.schema.get());
+  std::vector<Answer> answers = Evaluate(*p.database, cq);
+  ASSERT_EQ(answers.size(), 2u);  // (ann,carl), (bob,dana)
+}
+
+TEST(QueryEvalTest, RepeatedVariableFiltersTuples) {
+  Program p = MustParse("r(a, a). r(a, b). r(b, b).");
+  ConjunctiveQuery cq = MustParseQuery("q(X) :- r(X, X).", p.schema.get());
+  std::vector<Answer> answers = Evaluate(*p.database, cq);
+  EXPECT_EQ(answers.size(), 2u);  // a and b
+}
+
+TEST(QueryEvalTest, BooleanQueryMatchesOnce) {
+  Program p = MustParse("r(a, b). r(c, d).");
+  ConjunctiveQuery cq = MustParseQuery("q() :- r(X, Y).", p.schema.get());
+  std::vector<Answer> answers = Evaluate(*p.database, cq);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_TRUE(answers[0].empty());
+}
+
+TEST(QueryEvalTest, EmptyWhenNoMatch) {
+  Program p = MustParse("r(a, b).");
+  ConjunctiveQuery cq = MustParseQuery("q(X) :- r(X, X).", p.schema.get());
+  EXPECT_TRUE(Evaluate(*p.database, cq).empty());
+}
+
+TEST(QueryEvalTest, CrossProductCounts) {
+  Program p = MustParse("r(a). r(b). s(c). s(d).");
+  ConjunctiveQuery cq =
+      MustParseQuery("q(X, Y) :- r(X), s(Y).", p.schema.get());
+  EXPECT_EQ(Evaluate(*p.database, cq).size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Certain answers
+
+TEST(CertainAnswersTest, OntologicalInference) {
+  // hasParent propagates person, and every person gets an invented ancestor
+  // witness; the certain answers include the derived person (bob) but not
+  // the invented witnesses (nulls).
+  Program p = MustParse(R"(
+    person(alice). hasParent(bob, alice).
+    hasParent(X, Y) -> person(X), person(Y).
+    person(X) -> hasAncestor(X, Y).
+  )");
+  ConjunctiveQuery cq = MustParseQuery("q(X) :- person(X).", p.schema.get());
+  auto result = CertainAnswers(*p.database, p.tgds, cq);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->answers.size(), 2u);  // alice, bob — nulls filtered
+}
+
+TEST(CertainAnswersTest, Example11PatternIsRejected) {
+  // The paper's Example 1.1 ontology pattern: every person has a parent who
+  // is a person — the semi-oblivious chase is infinite, and the checker
+  // refuses up front instead of materializing forever.
+  Program p = MustParse(R"(
+    person(alice).
+    person(X) -> hasParent(X, Y), person(Y).
+  )");
+  ConjunctiveQuery cq = MustParseQuery("q(X) :- person(X).", p.schema.get());
+  auto result = CertainAnswers(*p.database, p.tgds, cq);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CertainAnswersTest, NullsWitnessExistenceInBooleanQueries) {
+  Program p = MustParse(R"(
+    person(alice).
+    person(X) -> hasParent(X, Y).
+  )");
+  ConjunctiveQuery has_parent = MustParseQuery(
+      "q() :- hasParent(X, Y).", p.schema.get());
+  auto result = CertainAnswers(*p.database, p.tgds, has_parent);
+  ASSERT_TRUE(result.ok());
+  // The Boolean query is certain even though the witness is a null.
+  EXPECT_EQ(result->answers.size(), 1u);
+}
+
+TEST(CertainAnswersTest, InfiniteChaseRejected) {
+  Program p = MustParse("e(a, b).\ne(X, Y) -> e(Y, Z).");
+  ConjunctiveQuery cq = MustParseQuery("q(X) :- e(X, Y).", p.schema.get());
+  auto result = CertainAnswers(*p.database, p.tgds, cq);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CertainAnswersTest, AnswersOnDatabaseAreSubsetOfCertainAnswers) {
+  Program p = MustParse(R"(
+    emp(a). emp(b). works(a, d1).
+    emp(X) -> works(X, D).
+    works(X, D) -> dept(D).
+  )");
+  ConjunctiveQuery cq = MustParseQuery(
+      "q(X) :- works(X, D), dept(D).", p.schema.get());
+  std::vector<Answer> base = Evaluate(*p.database, cq);
+  auto certain = CertainAnswers(*p.database, p.tgds, cq);
+  ASSERT_TRUE(certain.ok());
+  // Monotonicity: evaluating before the chase only misses answers. Note the
+  // base evaluation lacks dept(d1).
+  EXPECT_TRUE(base.empty());
+  ASSERT_EQ(certain->answers.size(), 2u);
+}
+
+TEST(CertainAnswersTest, NonLinearGuardedByAtomBudget) {
+  Program p = MustParse(R"(
+    r(a, b). s(b, a).
+    r(X, Y), s(Y, X) -> t(X).
+  )");
+  ConjunctiveQuery cq = MustParseQuery("q(X) :- t(X).", p.schema.get());
+  auto result = CertainAnswers(*p.database, p.tgds, cq);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->answers.size(), 1u);
+}
+
+TEST(CertainAnswersTest, BudgetExhaustionReported) {
+  // Non-linear and non-terminating: the checkers do not apply, so the atom
+  // budget must stop the materialization.
+  Program p = MustParse(R"(
+    e(a, b). g(a).
+    e(X, Y), g(X) -> e(Y, Z), g(Y).
+  )");
+  ConjunctiveQuery cq = MustParseQuery("q(X) :- g(X).", p.schema.get());
+  CertainAnswersOptions options;
+  options.max_atoms = 50;
+  auto result = CertainAnswers(*p.database, p.tgds, cq, options);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace chase

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "core/is_chase_finite.h"
+#include "core/weak_acyclicity.h"
+#include "gen/scenario.h"
+
+namespace chase {
+namespace {
+
+TEST(DeepScenarioTest, MatchesTable1Statistics) {
+  auto scenario = MakeDeepScenario(4241, /*seed=*/1);
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  ScenarioStats stats = ComputeScenarioStats(scenario.value());
+  EXPECT_EQ(stats.n_pred, 1299u);
+  EXPECT_EQ(stats.min_arity, 4u);
+  EXPECT_EQ(stats.max_arity, 4u);
+  EXPECT_EQ(stats.n_atoms, 1000u);
+  EXPECT_EQ(stats.n_rules, 4241u);
+  // One fact per relation with varied shapes: close to 1000 shapes.
+  EXPECT_GE(stats.n_shapes, 900u);
+  EXPECT_LE(stats.n_shapes, 1000u);
+}
+
+TEST(DeepScenarioTest, IsWeaklyAcyclicByConstruction) {
+  auto scenario = MakeDeepScenario(4241, /*seed=*/2);
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_TRUE(AllSimpleLinear(scenario->program.tgds));
+  EXPECT_TRUE(IsWeaklyAcyclic(*scenario->program.schema,
+                              scenario->program.tgds));
+  auto finite = IsChaseFiniteL(*scenario->program.database,
+                               scenario->program.tgds);
+  ASSERT_TRUE(finite.ok()) << finite.status();
+  EXPECT_TRUE(finite.value());
+}
+
+TEST(DeepScenarioTest, VariantsDifferInRuleCount) {
+  for (uint32_t rules : {4241u, 4541u, 4841u}) {
+    auto scenario = MakeDeepScenario(rules, /*seed=*/3);
+    ASSERT_TRUE(scenario.ok());
+    EXPECT_EQ(scenario->program.tgds.size(), rules);
+    EXPECT_EQ(scenario->name, "Deep-" + std::to_string(rules));
+  }
+}
+
+TEST(LubmScenarioTest, MatchesTable1Statistics) {
+  auto scenario = MakeLubmScenario("LUBM-1", /*atoms=*/100000, /*seed=*/4);
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  ScenarioStats stats = ComputeScenarioStats(scenario.value());
+  EXPECT_EQ(stats.n_pred, 104u);
+  EXPECT_EQ(stats.min_arity, 1u);
+  EXPECT_EQ(stats.max_arity, 2u);
+  EXPECT_EQ(stats.n_rules, 137u);
+  EXPECT_NEAR(static_cast<double>(stats.n_atoms), 100000.0, 1000.0);
+  EXPECT_NEAR(static_cast<double>(stats.n_shapes), 30.0, 5.0);
+}
+
+TEST(LubmScenarioTest, RulesAreLinearWithNonEmptyFrontier) {
+  auto scenario = MakeLubmScenario("LUBM-1", 50000, /*seed=*/5);
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_TRUE(AllLinear(scenario->program.tgds));
+  EXPECT_TRUE(AllHaveNonEmptyFrontier(scenario->program.tgds));
+  auto finite = IsChaseFiniteL(*scenario->program.database,
+                               scenario->program.tgds);
+  EXPECT_TRUE(finite.ok()) << finite.status();
+}
+
+TEST(IBenchScenarioTest, Stb128MatchesTable1) {
+  auto scenario = MakeStb128Scenario(/*atom_scale=*/0.01, /*seed=*/6);
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  ScenarioStats stats = ComputeScenarioStats(scenario.value());
+  EXPECT_EQ(stats.n_pred, 287u);
+  EXPECT_EQ(stats.min_arity, 1u);
+  EXPECT_EQ(stats.max_arity, 10u);
+  EXPECT_EQ(stats.n_rules, 231u);
+  EXPECT_EQ(stats.n_shapes, 129u);
+}
+
+TEST(IBenchScenarioTest, Ont256MatchesTable1) {
+  auto scenario = MakeOnt256Scenario(/*atom_scale=*/0.01, /*seed=*/7);
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  ScenarioStats stats = ComputeScenarioStats(scenario.value());
+  EXPECT_EQ(stats.n_pred, 662u);
+  EXPECT_EQ(stats.max_arity, 11u);
+  EXPECT_EQ(stats.n_rules, 785u);
+  EXPECT_EQ(stats.n_shapes, 245u);
+}
+
+TEST(IBenchScenarioTest, CheckerRunsEndToEnd) {
+  auto scenario = MakeStb128Scenario(/*atom_scale=*/0.005, /*seed=*/8);
+  ASSERT_TRUE(scenario.ok());
+  LCheckStats stats;
+  auto finite = IsChaseFiniteL(*scenario->program.database,
+                               scenario->program.tgds, {}, &stats);
+  ASSERT_TRUE(finite.ok()) << finite.status();
+  EXPECT_GT(stats.num_initial_shapes, 0u);
+  EXPECT_GT(stats.num_simplified_tgds, 0u);
+}
+
+TEST(ScenarioStatsTest, AtomScaleScalesAtoms) {
+  auto small = MakeStb128Scenario(0.001, 9);
+  auto large = MakeStb128Scenario(0.01, 9);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_LT(small->program.database->TotalFacts(),
+            large->program.database->TotalFacts());
+}
+
+}  // namespace
+}  // namespace chase

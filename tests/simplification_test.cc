@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "core/simplification.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+
+namespace chase {
+namespace {
+
+Program MustParse(const std::string& text) {
+  auto program = ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status();
+  return std::move(program).value();
+}
+
+TEST(ShapeSchemaTest, InternIsIdempotentAndNamed) {
+  Schema base;
+  const PredId r = base.AddPredicate("r", 3).value();
+  ShapeSchema shapes(&base);
+  const PredId p1 = shapes.Intern(Shape(r, {1, 1, 2}));
+  const PredId p2 = shapes.Intern(Shape(r, {1, 1, 2}));
+  const PredId p3 = shapes.Intern(Shape(r, {1, 2, 3}));
+  EXPECT_EQ(p1, p2);
+  EXPECT_NE(p1, p3);
+  EXPECT_EQ(shapes.schema().PredicateName(p1), "r_[1,1,2]");
+  EXPECT_EQ(shapes.schema().Arity(p1), 2u);  // two distinct blocks
+  EXPECT_EQ(shapes.schema().Arity(p3), 3u);
+  EXPECT_EQ(shapes.ShapeOf(p1), Shape(r, {1, 1, 2}));
+  EXPECT_EQ(shapes.NumShapes(), 2u);
+}
+
+TEST(SimplifyTgdTest, IdentitySpecializationOnSimpleRule) {
+  Program p = MustParse("r(X,Y) -> s(Y,Z).");
+  ShapeSchema shapes(p.schema.get());
+  auto simplified = SimplifyTgd(p.tgds[0], {0, 1}, shapes, nullptr);
+  ASSERT_TRUE(simplified.ok()) << simplified.status();
+  EXPECT_TRUE(simplified->IsSimpleLinear());
+  EXPECT_EQ(ToString(shapes.schema(), *simplified),
+            "r_[1,2](X0,X1) -> s_[1,2](X1,Z0).");
+}
+
+TEST(SimplifyTgdTest, MergingSpecialization) {
+  // r(x,y) -> s(y,x) under f = {y -> x}: body becomes r_[1,1](x), head
+  // s_[1,1](x).
+  Program p = MustParse("r(X,Y) -> s(Y,X).");
+  ShapeSchema shapes(p.schema.get());
+  auto simplified = SimplifyTgd(p.tgds[0], {0, 0}, shapes, nullptr);
+  ASSERT_TRUE(simplified.ok());
+  EXPECT_EQ(ToString(shapes.schema(), *simplified),
+            "r_[1,1](X0) -> s_[1,1](X0).");
+}
+
+TEST(SimplifyTgdTest, NonSimpleBodyNormalizes) {
+  // r(x,y,x) -> s(x,z) under the identity: body shape [1,2,1].
+  Program p = MustParse("r(X,Y,X) -> s(X,Z).");
+  ShapeSchema shapes(p.schema.get());
+  auto simplified = SimplifyTgd(p.tgds[0], {0, 1}, shapes, nullptr);
+  ASSERT_TRUE(simplified.ok());
+  EXPECT_TRUE(simplified->IsSimpleLinear());
+  EXPECT_EQ(ToString(shapes.schema(), *simplified),
+            "r_[1,2,1](X0,X1) -> s_[1,2](X0,Z0).");
+}
+
+TEST(SimplifyTgdTest, HeadShapesReported) {
+  Program p = MustParse("r(X,Y) -> s(Y,Y,Z).");
+  ShapeSchema shapes(p.schema.get());
+  std::vector<Shape> head_shapes;
+  auto simplified = SimplifyTgd(p.tgds[0], {0, 1}, shapes, &head_shapes);
+  ASSERT_TRUE(simplified.ok());
+  const PredId s = p.schema->FindPredicate("s").value();
+  ASSERT_EQ(head_shapes.size(), 1u);
+  EXPECT_EQ(head_shapes[0], Shape(s, {1, 1, 2}));
+}
+
+TEST(SimplifyTgdTest, RejectsInvalidInputs) {
+  Program p = MustParse("r(X,Y), s(Y,Z) -> t(X,Z).\nr(X,Y) -> s(Y,Z).");
+  ShapeSchema shapes(p.schema.get());
+  EXPECT_FALSE(SimplifyTgd(p.tgds[0], {0, 1, 2}, shapes, nullptr).ok());
+  EXPECT_FALSE(SimplifyTgd(p.tgds[1], {0}, shapes, nullptr).ok());
+  EXPECT_FALSE(SimplifyTgd(p.tgds[1], {1, 1}, shapes, nullptr).ok());
+}
+
+TEST(StaticSimplificationTest, BellNumberManyOutputs) {
+  // One rule with 3 distinct body variables: Bell(3) = 5 simplifications.
+  Program p = MustParse("r(X,Y,W) -> s(X,W,Z).");
+  auto result = StaticSimplification(*p.schema, p.tgds);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->tgds.size(), 5u);
+  EXPECT_EQ(StaticSimplificationSize(p.tgds), 5u);
+  for (const Tgd& tgd : result->tgds) {
+    EXPECT_TRUE(tgd.IsSimpleLinear());
+  }
+}
+
+TEST(StaticSimplificationTest, RespectsOutputCap) {
+  Program p = MustParse("r(A,B,C,D,E) -> s(A,Z).");
+  auto result = StaticSimplification(*p.schema, p.tgds, /*max_output=*/10);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(StaticSimplificationTest, RejectsNonLinear) {
+  Program p = MustParse("r(X), s(X) -> t(X).");
+  EXPECT_FALSE(StaticSimplification(*p.schema, p.tgds).ok());
+}
+
+TEST(StaticSimplificationTest, SizeSaturates) {
+  Program p = MustParse(
+      "r(A,B,C,D,E,F,G,H,I,J,K,L,M,N,O,P,Q,R1,S1,T1,U,V,W,X,Y,Z1,A2,B2,C2,"
+      "D2,E2,F2,G2,H2,I2,J2,K2,L2,M2,N2,O2,P2,Q2,R2,S2,T2,U2,V2,W2,X2) -> "
+      "s(A).");
+  EXPECT_EQ(StaticSimplificationSize(p.tgds), UINT64_MAX);
+}
+
+TEST(SimplifyDatabaseTest, PaperDbExample) {
+  Program p = MustParse("r(a,a). r(a,b). q(c,c,d).");
+  ShapeSchema shapes(p.schema.get());
+  auto simple_db = SimplifyDatabase(*p.database, shapes);
+  // Three facts: r_[1,1](a), r_[1,2](a,b), q_[1,1,2](c,d).
+  EXPECT_EQ(simple_db->TotalFacts(), 3u);
+  const Schema& ss = shapes.schema();
+  ASSERT_TRUE(ss.FindPredicate("r_[1,1]").has_value());
+  ASSERT_TRUE(ss.FindPredicate("r_[1,2]").has_value());
+  ASSERT_TRUE(ss.FindPredicate("q_[1,1,2]").has_value());
+  EXPECT_EQ(ss.Arity(ss.FindPredicate("q_[1,1,2]").value()), 2u);
+  EXPECT_EQ(simple_db->NumTuples(ss.FindPredicate("r_[1,1]").value()), 1u);
+}
+
+TEST(SimplifyDatabaseTest, PreservesConstantsAcrossShapes) {
+  Program p = MustParse("r(a,b). r(b,a).");
+  ShapeSchema shapes(p.schema.get());
+  auto simple_db = SimplifyDatabase(*p.database, shapes);
+  const Schema& ss = shapes.schema();
+  const PredId r12 = ss.FindPredicate("r_[1,2]").value();
+  ASSERT_EQ(simple_db->NumTuples(r12), 2u);
+  auto t0 = simple_db->Tuple(r12, 0);
+  auto t1 = simple_db->Tuple(r12, 1);
+  EXPECT_EQ(simple_db->ConstantName(t0[0]), "a");
+  EXPECT_EQ(simple_db->ConstantName(t0[1]), "b");
+  EXPECT_EQ(simple_db->ConstantName(t1[0]), "b");
+  EXPECT_EQ(simple_db->ConstantName(t1[1]), "a");
+}
+
+}  // namespace
+}  // namespace chase

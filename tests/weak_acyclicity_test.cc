@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "core/weak_acyclicity.h"
+#include "graph/tarjan.h"
+#include "logic/parser.h"
+
+namespace chase {
+namespace {
+
+Program MustParse(const std::string& text) {
+  auto program = ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status();
+  return std::move(program).value();
+}
+
+TEST(WeakAcyclicityTest, AcyclicCopyRules) {
+  Program p = MustParse("r(X,Y) -> s(X,Y).\ns(X,Y) -> t(Y,X).");
+  EXPECT_TRUE(IsWeaklyAcyclic(*p.schema, p.tgds));
+}
+
+TEST(WeakAcyclicityTest, SpecialSelfLoopIsNotWeaklyAcyclic) {
+  Program p = MustParse("e(X,Y) -> e(Y,Z).");
+  EXPECT_FALSE(IsWeaklyAcyclic(*p.schema, p.tgds));
+}
+
+TEST(WeakAcyclicityTest, NormalCycleAloneIsFine) {
+  // A normal cycle without special edges does not break weak acyclicity.
+  Program p = MustParse("r(X,Y) -> s(Y,X).\ns(X,Y) -> r(Y,X).");
+  EXPECT_TRUE(IsWeaklyAcyclic(*p.schema, p.tgds));
+}
+
+TEST(WeakAcyclicityTest, SpecialEdgeIntoCycleIsFine) {
+  // Special edge enters a normal cycle but no cycle passes through it.
+  Program p = MustParse("a(X) -> r(X,Z).\nr(X,Y) -> s(Y,X).\ns(X,Y) -> r(X,Y).");
+  EXPECT_TRUE(IsWeaklyAcyclic(*p.schema, p.tgds));
+}
+
+TEST(WeakAcyclicityTest, CycleThroughSpecialEdge) {
+  // r feeds s with a fresh null, s feeds back into r at the same position.
+  Program p = MustParse("r(X) -> s(X,Z).\ns(X,Y) -> r(Y).");
+  EXPECT_FALSE(IsWeaklyAcyclic(*p.schema, p.tgds));
+}
+
+TEST(WeakAcyclicityTest, FaginDataExchangeExample) {
+  // Classic weakly-acyclic data-exchange mapping: source-to-target with
+  // existentials but no target recursion into the special positions.
+  Program p = MustParse(R"(
+    emp(X) -> rep(X, Z).
+    rep(X, Y) -> emp(X).
+  )");
+  // (emp,1)->(rep,1) normal, (emp,1)->(rep,2) special, (rep,1)->(emp,1)
+  // normal: the cycle (emp,1)<->(rep,1) has no special edge.
+  EXPECT_TRUE(IsWeaklyAcyclic(*p.schema, p.tgds));
+}
+
+TEST(WeakAcyclicityTest, FaginNonWeaklyAcyclicVariant) {
+  // Same mapping but the report's fresh value flows back: not weakly
+  // acyclic.
+  Program p = MustParse(R"(
+    emp(X) -> rep(X, Z).
+    rep(X, Y) -> emp(Y).
+  )");
+  EXPECT_FALSE(IsWeaklyAcyclic(*p.schema, p.tgds));
+}
+
+TEST(NonUniformWeakAcyclicityTest, UnsupportedCycleIsAccepted) {
+  // The bad cycle lives in predicate e, but the database only populates an
+  // unrelated predicate q from which e is unreachable.
+  Program p = MustParse("q(a).\ne(X,Y) -> e(Y,Z).\n");
+  EXPECT_TRUE(IsWeaklyAcyclicWrt(*p.database, p.tgds));
+  EXPECT_FALSE(IsWeaklyAcyclic(*p.schema, p.tgds));
+}
+
+TEST(NonUniformWeakAcyclicityTest, DirectlySupportedCycle) {
+  Program p = MustParse("e(a,b).\ne(X,Y) -> e(Y,Z).\n");
+  EXPECT_FALSE(IsWeaklyAcyclicWrt(*p.database, p.tgds));
+}
+
+TEST(NonUniformWeakAcyclicityTest, TransitivelySupportedCycle) {
+  // q reaches e through a chain, so the cycle is D-supported.
+  Program p = MustParse(R"(
+    q(a).
+    q(X) -> w(X).
+    w(X) -> e(X,X).
+    e(X,Y) -> e(Y,Z).
+  )");
+  EXPECT_FALSE(IsWeaklyAcyclicWrt(*p.database, p.tgds));
+}
+
+TEST(NonUniformWeakAcyclicityTest, EmptyDatabaseSupportsNothing) {
+  Program p = MustParse("e(X,Y) -> e(Y,Z).");
+  EXPECT_TRUE(IsWeaklyAcyclicWrt(*p.database, p.tgds));
+}
+
+TEST(SupportsTest, SeedReachabilityViaReverseEdges) {
+  Program p = MustParse(R"(
+    q(a).
+    q(X) -> e(X,X).
+    e(X,Y) -> e(Y,Z).
+  )");
+  DependencyGraph graph = BuildDependencyGraph(*p.schema, p.tgds);
+  SpecialSccs special = FindSpecialSccs(graph.graph());
+  ASSERT_FALSE(special.empty());
+  storage::Catalog catalog(p.database.get());
+  EXPECT_TRUE(Supports(catalog, graph, special.representatives));
+  EXPECT_FALSE(Supports(catalog, graph, {}));
+}
+
+TEST(SupportsTest, SeedOnExtensionalPredicateItself) {
+  // The R == P base case: the seed position's own predicate is extensional.
+  Program p = MustParse("e(a,b).\ne(X,Y) -> e(Y,Z).");
+  DependencyGraph graph = BuildDependencyGraph(*p.schema, p.tgds);
+  SpecialSccs special = FindSpecialSccs(graph.graph());
+  ASSERT_FALSE(special.empty());
+  storage::Catalog catalog(p.database.get());
+  EXPECT_TRUE(Supports(catalog, graph, special.representatives));
+}
+
+}  // namespace
+}  // namespace chase

@@ -1,0 +1,480 @@
+// chasectl — the command-line front end to the chase-termination library.
+//
+// Subcommands:
+//   check <file> [--mode=sl|l] [--shapes=mem|db]   termination check
+//   chase <file> [--variant=so|ob|re] [--max-atoms=N] [--print]
+//   query <file> "<q(X) :- ...>"                   certain answers
+//   stats <file>                                   Table-1-style statistics
+//   zoo <file>                                     acyclicity zoo verdicts
+//   generate <out> [--preds=N] [--tgds=N] [--tuples=N] [--arity=N]
+//            [--class=sl|l] [--seed=N] [--binary]  synthesize a workload
+//   convert <in> <out>                             text <-> binary (by
+//                                                  extension: .chbin)
+//
+// Files ending in .chbin are read/written with the binary format
+// (io/binary_io.h); anything else uses the Datalog± text syntax.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "acyclicity/joint_acyclicity.h"
+#include "acyclicity/mfa.h"
+#include "acyclicity/super_weak_acyclicity.h"
+#include "acyclicity/uniform.h"
+#include "base/timer.h"
+#include "chase/chase_engine.h"
+#include "core/explain.h"
+#include "core/is_chase_finite.h"
+#include "core/normalize.h"
+#include "core/weak_acyclicity.h"
+#include "gen/data_generator.h"
+#include "graph/dependency_graph.h"
+#include "graph/dot.h"
+#include "gen/tgd_generator.h"
+#include "io/binary_io.h"
+#include "logic/parser.h"
+#include "logic/printer.h"
+#include "query/conjunctive_query.h"
+#include "storage/catalog.h"
+#include "storage/shape_finder.h"
+
+namespace {
+
+using namespace chase;
+
+// ---------------------------------------------------------------------------
+// Small flag parser: positional arguments plus --key=value / --key.
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  static Args Parse(int argc, char** argv, int start) {
+    Args args;
+    for (int i = start; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const size_t eq = arg.find('=');
+        if (eq == std::string::npos) {
+          args.flags[arg.substr(2)] = "true";
+        } else {
+          args.flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+        }
+      } else {
+        args.positional.push_back(std::move(arg));
+      }
+    }
+    return args;
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  uint64_t GetInt(const std::string& key, uint64_t fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stoull(it->second);
+  }
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+};
+
+bool IsBinaryPath(const std::string& path) {
+  return path.size() > 6 && path.compare(path.size() - 6, 6, ".chbin") == 0;
+}
+
+StatusOr<Program> LoadAnyProgram(const std::string& path) {
+  if (IsBinaryPath(path)) return io::LoadProgram(path);
+  return ParseProgramFile(path);
+}
+
+Status SaveAnyProgram(const Program& program, const std::string& path) {
+  if (IsBinaryPath(path)) {
+    return io::SaveProgram(*program.schema, *program.database, program.tgds,
+                           path);
+  }
+  std::ofstream out(path);
+  if (!out) return InternalError("cannot create file: " + path);
+  PrintDatabase(*program.database, out);
+  PrintTgds(*program.schema, program.tgds, out);
+  return out.good() ? OkStatus() : InternalError("short write: " + path);
+}
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+// ---------------------------------------------------------------------------
+// check
+
+int CmdCheck(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: chasectl check <file> [--mode=sl|l] "
+                 "[--shapes=mem|db]\n";
+    return 2;
+  }
+  auto program = LoadAnyProgram(args.positional[0]);
+  if (!program.ok()) return Fail(program.status());
+
+  const std::string mode =
+      args.Get("mode", AllSimpleLinear(program->tgds) ? "sl" : "l");
+  Timer timer;
+  if (mode == "sl") {
+    SlCheckStats stats;
+    auto finite = IsChaseFiniteSL(*program->database, program->tgds, &stats);
+    if (!finite.ok()) return Fail(finite.status());
+    std::cout << (finite.value() ? "FINITE" : "INFINITE") << "\n"
+              << "  algorithm: IsChaseFinite[SL] (Algorithm 1)\n"
+              << "  t-graph: " << stats.graph_ms << " ms ("
+              << stats.graph_nodes << " nodes, " << stats.graph_edges
+              << " edges)\n"
+              << "  t-comp:  " << stats.comp_ms << " ms ("
+              << stats.special_sccs << " special SCCs)\n"
+              << "  t-total: " << timer.ElapsedMillis() << " ms\n";
+  } else if (mode == "l") {
+    LCheckOptions options;
+    options.shape_finder = args.Get("shapes", "mem") == "db"
+                               ? storage::ShapeFinderMode::kInDatabase
+                               : storage::ShapeFinderMode::kInMemory;
+    LCheckStats stats;
+    auto finite =
+        IsChaseFiniteL(*program->database, program->tgds, options, &stats);
+    if (!finite.ok()) return Fail(finite.status());
+    std::cout << (finite.value() ? "FINITE" : "INFINITE") << "\n"
+              << "  algorithm: IsChaseFinite[L] (Algorithm 3)\n"
+              << "  t-shapes: " << stats.shapes_ms << " ms ("
+              << stats.num_initial_shapes << " db shapes, "
+              << stats.num_derived_shapes << " derived)\n"
+              << "  t-graph:  " << stats.graph_ms << " ms ("
+              << stats.num_simplified_tgds << " simplified TGDs, "
+              << stats.graph_edges << " edges)\n"
+              << "  t-comp:   " << stats.comp_ms << " ms\n"
+              << "  t-total:  " << timer.ElapsedMillis() << " ms\n";
+  } else {
+    std::cerr << "unknown --mode=" << mode << " (want sl or l)\n";
+    return 2;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// chase
+
+int CmdChase(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: chasectl chase <file> [--variant=so|ob|re] "
+                 "[--max-atoms=N] [--print]\n";
+    return 2;
+  }
+  auto program = LoadAnyProgram(args.positional[0]);
+  if (!program.ok()) return Fail(program.status());
+
+  ChaseOptions options;
+  const std::string variant = args.Get("variant", "so");
+  if (variant == "so") {
+    options.variant = ChaseVariant::kSemiOblivious;
+  } else if (variant == "ob") {
+    options.variant = ChaseVariant::kOblivious;
+  } else if (variant == "re") {
+    options.variant = ChaseVariant::kRestricted;
+  } else {
+    std::cerr << "unknown --variant=" << variant << " (want so, ob, re)\n";
+    return 2;
+  }
+  options.max_atoms = args.GetInt("max-atoms", 1'000'000);
+
+  Timer timer;
+  auto result = RunChase(*program->database, program->tgds, options);
+  if (!result.ok()) return Fail(result.status());
+  std::cout << ChaseVariantName(options.variant) << " chase: "
+            << ChaseOutcomeName(result->outcome) << " after "
+            << result->rounds << " rounds, " << result->triggers_fired
+            << " triggers, " << result->instance.NumAtoms() << " atoms, "
+            << timer.ElapsedMillis() << " ms\n";
+  if (args.Has("print")) {
+    result->instance.ForEachAtom([&](const GroundAtom& atom) {
+      std::cout << ToString(*program->schema, *program->database, atom)
+                << ".\n";
+    });
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// query
+
+int CmdQuery(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::cerr << "usage: chasectl query <file> \"q(X) :- ...\"\n";
+    return 2;
+  }
+  auto program = LoadAnyProgram(args.positional[0]);
+  if (!program.ok()) return Fail(program.status());
+  auto cq = query::ParseQuery(args.positional[1], program->schema.get());
+  if (!cq.ok()) return Fail(cq.status());
+  auto result = query::CertainAnswers(*program->database, program->tgds, *cq);
+  if (!result.ok()) return Fail(result.status());
+  std::cout << result->answers.size() << " certain answer(s) over a chase of "
+            << result->chase_atoms << " atoms\n";
+  for (const query::Answer& answer : result->answers) {
+    if (answer.empty()) {
+      std::cout << "true\n";
+      continue;
+    }
+    for (size_t i = 0; i < answer.size(); ++i) {
+      std::cout << (i > 0 ? ", " : "")
+                << program->database->ConstantName(ConstantId(answer[i]));
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// stats
+
+int CmdStats(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: chasectl stats <file>\n";
+    return 2;
+  }
+  auto program = LoadAnyProgram(args.positional[0]);
+  if (!program.ok()) return Fail(program.status());
+
+  uint32_t min_arity = UINT32_MAX, max_arity = 0;
+  for (PredId pred = 0; pred < program->schema->NumPredicates(); ++pred) {
+    min_arity = std::min(min_arity, program->schema->Arity(pred));
+    max_arity = std::max(max_arity, program->schema->Arity(pred));
+  }
+  storage::Catalog catalog(program->database.get());
+  const size_t n_shapes = storage::FindShapesInMemory(catalog).size();
+  std::cout << "n-pred:   " << program->schema->NumPredicates() << "\n"
+            << "arity:    [" << (min_arity == UINT32_MAX ? 0 : min_arity)
+            << "," << max_arity << "]\n"
+            << "n-atoms:  " << program->database->TotalFacts() << "\n"
+            << "n-shapes: " << n_shapes << "\n"
+            << "n-rules:  " << program->tgds.size() << "\n"
+            << "class:    "
+            << (AllSimpleLinear(program->tgds)
+                    ? "simple-linear"
+                    : AllLinear(program->tgds) ? "linear" : "general")
+            << "\n";
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// zoo
+
+int CmdZoo(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: chasectl zoo <file>\n";
+    return 2;
+  }
+  auto program = LoadAnyProgram(args.positional[0]);
+  if (!program.ok()) return Fail(program.status());
+  const Schema& schema = *program->schema;
+  const std::vector<Tgd>& tgds = program->tgds;
+
+  auto report = [](const char* name, const char* verdict, double ms) {
+    std::cout << "  " << name << ": " << verdict << " (" << ms << " ms)\n";
+  };
+  std::cout << "uniform termination criteria (database-independent):\n";
+  Timer timer;
+  const bool wa = IsWeaklyAcyclic(schema, tgds);
+  report("weak acyclicity       ", wa ? "acyclic" : "cyclic",
+         timer.ElapsedMillis());
+  timer.Restart();
+  const bool ja = acyclicity::IsJointlyAcyclic(schema, tgds);
+  report("joint acyclicity      ", ja ? "acyclic" : "cyclic",
+         timer.ElapsedMillis());
+  timer.Restart();
+  const bool swa = acyclicity::IsSuperWeaklyAcyclic(schema, tgds);
+  report("super-weak acyclicity ", swa ? "acyclic" : "cyclic",
+         timer.ElapsedMillis());
+  timer.Restart();
+  auto mfa = acyclicity::IsModelFaithfulAcyclic(schema, tgds);
+  report("MFA                   ",
+         mfa.ok() ? (mfa.value() ? "acyclic" : "cyclic") : "budget exceeded",
+         timer.ElapsedMillis());
+  if (AllLinear(tgds) && AllHaveNonEmptyFrontier(tgds) && !tgds.empty()) {
+    timer.Restart();
+    auto exact = acyclicity::IsChaseFiniteUniform(schema, tgds);
+    if (exact.ok()) {
+      report("exact (linear)        ",
+             exact.value() ? "terminates for all D" : "diverges for some D",
+             timer.ElapsedMillis());
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// generate
+
+int CmdGenerate(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: chasectl generate <out> [--preds=N] [--tgds=N] "
+                 "[--tuples=N] [--arity=N] [--class=sl|l] [--seed=N]\n";
+    return 2;
+  }
+  DataGenParams data_params;
+  data_params.preds = static_cast<uint32_t>(args.GetInt("preds", 20));
+  data_params.min_arity = 1;
+  data_params.max_arity = static_cast<uint32_t>(args.GetInt("arity", 5));
+  data_params.dsize = args.GetInt("domain", 10'000);
+  data_params.rsize = args.GetInt("tuples", 1'000);
+  data_params.seed = args.GetInt("seed", 20230322);
+  auto data = GenerateData(data_params);
+  if (!data.ok()) return Fail(data.status());
+
+  TgdGenParams tgd_params;
+  tgd_params.ssize = data_params.preds;
+  tgd_params.min_arity = 1;
+  tgd_params.max_arity = data_params.max_arity;
+  tgd_params.tsize = args.GetInt("tgds", 100);
+  tgd_params.tclass = args.Get("class", "l") == "sl"
+                          ? TgdClass::kSimpleLinear
+                          : TgdClass::kLinear;
+  tgd_params.seed = data_params.seed + 1;
+  auto tgds = GenerateTgds(*data->schema, tgd_params);
+  if (!tgds.ok()) return Fail(tgds.status());
+
+  Program program;
+  program.schema = std::move(data->schema);
+  program.database = std::move(data->database);
+  program.tgds = std::move(tgds).value();
+  if (Status status = SaveAnyProgram(program, args.positional[0]);
+      !status.ok()) {
+    return Fail(status);
+  }
+  std::cout << "wrote " << program.database->TotalFacts() << " facts and "
+            << program.tgds.size() << " TGDs to " << args.positional[0]
+            << "\n";
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// explain
+
+int CmdExplain(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: chasectl explain <file>   (simple-linear TGDs)\n";
+    return 2;
+  }
+  auto program = LoadAnyProgram(args.positional[0]);
+  if (!program.ok()) return Fail(program.status());
+  auto witness = ExplainNonTerminationSL(*program->database, program->tgds);
+  if (!witness.ok()) return Fail(witness.status());
+  std::cout << "the semi-oblivious chase does not terminate; witness:\n"
+            << FormatWitness(*program->schema, *witness, program->tgds);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// graph
+
+int CmdGraph(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: chasectl graph <file> [--all-nodes] > dg.dot\n";
+    return 2;
+  }
+  auto program = LoadAnyProgram(args.positional[0]);
+  if (!program.ok()) return Fail(program.status());
+  const DependencyGraph graph =
+      BuildDependencyGraph(*program->schema, program->tgds);
+  DotOptions options;
+  options.skip_isolated_nodes = !args.Has("all-nodes");
+  WriteDot(graph, std::cout, options);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// normalize
+
+int CmdNormalize(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::cerr << "usage: chasectl normalize <in> <out>\n";
+    return 2;
+  }
+  auto program = LoadAnyProgram(args.positional[0]);
+  if (!program.ok()) return Fail(program.status());
+  auto normalized = NormalizeFrontiers(*program->database, program->tgds);
+  if (!normalized.ok()) return Fail(normalized.status());
+  Program out;
+  out.schema = std::move(program->schema);
+  out.database = std::move(normalized->database);
+  out.tgds = std::move(normalized->tgds);
+  if (Status status = SaveAnyProgram(out, args.positional[1]); !status.ok()) {
+    return Fail(status);
+  }
+  std::cout << "normalized " << args.positional[0] << " -> "
+            << args.positional[1] << " (materialized "
+            << normalized->rules_materialized << " one-shot rule(s), dropped "
+            << normalized->rules_dropped << " inapplicable)\n";
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// convert
+
+int CmdConvert(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::cerr << "usage: chasectl convert <in> <out>\n";
+    return 2;
+  }
+  auto program = LoadAnyProgram(args.positional[0]);
+  if (!program.ok()) return Fail(program.status());
+  if (Status status = SaveAnyProgram(*program, args.positional[1]);
+      !status.ok()) {
+    return Fail(status);
+  }
+  std::cout << "converted " << args.positional[0] << " -> "
+            << args.positional[1] << "\n";
+  return 0;
+}
+
+int Usage() {
+  std::cerr <<
+      "chasectl — semi-oblivious chase termination toolkit\n"
+      "\n"
+      "  chasectl check <file> [--mode=sl|l] [--shapes=mem|db]\n"
+      "  chasectl explain <file>               (non-termination witness)\n"
+      "  chasectl chase <file> [--variant=so|ob|re] [--max-atoms=N] "
+      "[--print]\n"
+      "  chasectl query <file> \"q(X) :- r(X, Y).\"\n"
+      "  chasectl stats <file>\n"
+      "  chasectl zoo <file>\n"
+      "  chasectl generate <out> [--preds=N] [--tgds=N] [--tuples=N] "
+      "[--arity=N] [--class=sl|l] [--seed=N]\n"
+      "  chasectl graph <file> [--all-nodes]   (Graphviz dot on stdout)\n"
+      "  chasectl normalize <in> <out>         (eliminate empty frontiers)\n"
+      "  chasectl convert <in> <out>\n"
+      "\n"
+      "Files ending in .chbin use the binary snapshot format; everything\n"
+      "else is Datalog± text (see README).\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args = Args::Parse(argc, argv, 2);
+  if (command == "check") return CmdCheck(args);
+  if (command == "explain") return CmdExplain(args);
+  if (command == "chase") return CmdChase(args);
+  if (command == "query") return CmdQuery(args);
+  if (command == "stats") return CmdStats(args);
+  if (command == "zoo") return CmdZoo(args);
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "graph") return CmdGraph(args);
+  if (command == "normalize") return CmdNormalize(args);
+  if (command == "convert") return CmdConvert(args);
+  return Usage();
+}
