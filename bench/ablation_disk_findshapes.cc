@@ -1,24 +1,60 @@
 // Ablation: FindShapes over the disk-backed pager vs the in-memory row
-// store.
+// store, all four plans through the unified ShapeSource API.
 //
 // The paper runs FindShapes either in memory or inside PostgreSQL; this
 // bench runs the same two query plans against the pager substrate (heap
-// files behind a buffer pool) and reports wall-clock plus exact I/O: pages
-// read and buffer hit rate. The crossover mirrors Section 9's discussion —
-// the per-query early-exit plan (exists mode) wins when every shape appears
-// early, and loses when absent shapes force full scans per query.
+// files behind a buffer pool) — plus the work-partitioned parallel scan the
+// ShapeSource layer added over the disk backend — and reports wall-clock
+// plus exact I/O: pages read and buffer hit rate. The crossover mirrors
+// Section 9's discussion — the per-query early-exit plan (exists mode) wins
+// when every shape appears early, and loses when absent shapes force full
+// scans per query.
 
 #include <cstdio>
 #include <iostream>
 
 #include "common.h"
 #include "pager/disk_database.h"
-#include "pager/disk_shape_finder.h"
+#include "pager/disk_shape_source.h"
 #include "storage/catalog.h"
 #include "storage/shape_finder.h"
+#include "storage/shape_source.h"
 
 using namespace chase;
 using namespace chase::bench;
+
+namespace {
+
+constexpr unsigned kParallelThreads = 4;
+
+// One timed unified-FindShapes run over a freshly opened (cold-pool) disk
+// database; accumulates wall-clock and returns the I/O counters.
+bool RunDiskPlan(const std::string& path, uint32_t frames,
+                 const storage::FindShapesOptions& options,
+                 const std::vector<Shape>& expected, double* total_ms,
+                 storage::IoCounters* io) {
+  auto disk_db = pager::DiskDatabase::Open(path, frames);
+  if (!disk_db.ok()) {
+    std::cerr << disk_db.status() << "\n";
+    return false;
+  }
+  pager::DiskShapeSource source(disk_db->get());
+  Timer timer;
+  auto shapes = storage::FindShapes(source, options);
+  *total_ms += timer.ElapsedMillis();
+  if (!shapes.ok() || *shapes != expected) {
+    std::cerr << "disk " << storage::ShapeFinderModeName(options.mode)
+              << " (threads=" << options.threads << ") mismatch\n";
+    return false;
+  }
+  const storage::IoCounters run_io = source.Io();
+  io->pages_read += run_io.pages_read;
+  io->pool_hits += run_io.pool_hits;
+  io->pool_misses += run_io.pool_misses;
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   BenchFlags flags = BenchFlags::Parse(argc, argv);
@@ -28,14 +64,15 @@ int main(int argc, char** argv) {
 
   Rng rng(flags.seed);
   TablePrinter table({"n-tuples", "n-shapes", "t-mem-ms", "t-disk-scan-ms",
-                      "t-disk-exists-ms", "scan-pages", "exists-pages",
-                      "hit-rate"});
+                      "t-disk-scan-p" + std::to_string(kParallelThreads) +
+                          "-ms",
+                      "t-disk-exists-ms", "scan-pages", "par-pages",
+                      "exists-pages", "hit-rate"});
   for (uint64_t size : sizes) {
     const uint64_t rsize =
         std::max<uint64_t>(1, static_cast<uint64_t>(size * flags.scale) / 20);
-    double mem_ms = 0, scan_ms = 0, exists_ms = 0;
-    uint64_t scan_pages = 0, exists_pages = 0;
-    double hit_rate = 0;
+    double mem_ms = 0, scan_ms = 0, parallel_ms = 0, exists_ms = 0;
+    storage::IoCounters scan_io, parallel_io, exists_io;
     size_t n_shapes = 0;
     uint64_t n_tuples = 0;
     for (uint32_t rep = 0; rep < reps; ++rep) {
@@ -54,66 +91,52 @@ int main(int argc, char** argv) {
       n_tuples = data->database->TotalFacts();
 
       storage::Catalog catalog(data->database.get());
+      storage::MemoryShapeSource memory(&catalog);
       Timer timer;
-      std::vector<Shape> expected = storage::FindShapesInMemory(catalog);
+      auto expected =
+          storage::FindShapes(memory, {storage::ShapeFinderMode::kScan, 1});
       mem_ms += timer.ElapsedMillis();
-      n_shapes = expected.size();
+      if (!expected.ok()) {
+        std::cerr << expected.status() << "\n";
+        return 1;
+      }
+      n_shapes = expected->size();
 
       const std::string path = "/tmp/chase_bench_disk_findshapes.db";
       {
-        auto created = pager::DiskDatabase::Create(path, *data->database,
-                                                   frames);
+        auto created =
+            pager::DiskDatabase::Create(path, *data->database, frames);
         if (!created.ok()) {
           std::cerr << created.status() << "\n";
           return 1;
         }
       }
-      // Reopen per finder so each starts from a cold buffer pool.
-      {
-        auto disk_db = pager::DiskDatabase::Open(path, frames);
-        if (!disk_db.ok()) {
-          std::cerr << disk_db.status() << "\n";
-          return 1;
-        }
-        timer.Restart();
-        auto scan = pager::FindShapesOnDiskScan(**disk_db);
-        scan_ms += timer.ElapsedMillis();
-        if (!scan.ok() || *scan != expected) {
-          std::cerr << "disk scan mismatch\n";
-          return 1;
-        }
-        scan_pages += (*disk_db)->disk().stats().pages_read;
-      }
-      {
-        auto disk_db = pager::DiskDatabase::Open(path, frames);
-        if (!disk_db.ok()) {
-          std::cerr << disk_db.status() << "\n";
-          return 1;
-        }
-        timer.Restart();
-        auto exists = pager::FindShapesOnDiskExists(**disk_db);
-        exists_ms += timer.ElapsedMillis();
-        if (!exists.ok() || *exists != expected) {
-          std::cerr << "disk exists mismatch\n";
-          return 1;
-        }
-        exists_pages += (*disk_db)->disk().stats().pages_read;
-        const auto& pool_stats = (*disk_db)->buffer_pool().stats();
-        hit_rate +=
-            static_cast<double>(pool_stats.hits) /
-            std::max<uint64_t>(1, pool_stats.hits + pool_stats.misses);
+      // Reopen per plan so each starts from a cold buffer pool.
+      if (!RunDiskPlan(path, frames, {storage::ShapeFinderMode::kScan, 1},
+                       *expected, &scan_ms, &scan_io) ||
+          !RunDiskPlan(path, frames,
+                       {storage::ShapeFinderMode::kScan, kParallelThreads},
+                       *expected, &parallel_ms, &parallel_io) ||
+          !RunDiskPlan(path, frames, {storage::ShapeFinderMode::kExists, 1},
+                       *expected, &exists_ms, &exists_io)) {
+        return 1;
       }
       std::remove(path.c_str());
     }
+    const double hit_rate =
+        static_cast<double>(exists_io.pool_hits) /
+        std::max<uint64_t>(1, exists_io.pool_hits + exists_io.pool_misses);
     table.AddRow({std::to_string(n_tuples), std::to_string(n_shapes),
                   FmtMs(mem_ms / reps), FmtMs(scan_ms / reps),
-                  FmtMs(exists_ms / reps), std::to_string(scan_pages / reps),
-                  std::to_string(exists_pages / reps),
-                  Fmt(100.0 * hit_rate / reps, 1) + "%"});
+                  FmtMs(parallel_ms / reps), FmtMs(exists_ms / reps),
+                  std::to_string(scan_io.pages_read / reps),
+                  std::to_string(parallel_io.pages_read / reps),
+                  std::to_string(exists_io.pages_read / reps),
+                  Fmt(100.0 * hit_rate, 1) + "%"});
   }
   Emit(flags,
-       "Ablation: FindShapes on the disk substrate (scan vs exists plans) "
-       "vs in-memory",
+       "Ablation: FindShapes on the disk substrate (scan, parallel scan, "
+       "exists plans) vs in-memory",
        table);
   return 0;
 }

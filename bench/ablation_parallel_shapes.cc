@@ -10,8 +10,8 @@
 
 #include "common.h"
 #include "storage/catalog.h"
-#include "storage/parallel_shape_finder.h"
 #include "storage/shape_finder.h"
+#include "storage/shape_source.h"
 
 using namespace chase;
 using namespace chase::bench;
@@ -34,12 +34,17 @@ int main(int argc, char** argv) {
     return 1;
   }
   storage::Catalog catalog(data->database.get());
+  storage::MemoryShapeSource source(&catalog);
   Timer timer;
-  std::vector<Shape> expected = storage::FindShapesInMemory(catalog);
+  std::vector<Shape> expected =
+      std::move(storage::FindShapes(source, {storage::ShapeFinderMode::kScan,
+                                             /*threads=*/1}))
+          .value();
   double serial_ms = timer.ElapsedMillis();
   for (uint32_t rep = 1; rep < reps; ++rep) {
     timer.Restart();
-    (void)storage::FindShapesInMemory(catalog);
+    (void)storage::FindShapes(source,
+                              {storage::ShapeFinderMode::kScan, 1});
     serial_ms = std::min(serial_ms, timer.ElapsedMillis());
   }
 
@@ -52,7 +57,9 @@ int main(int argc, char** argv) {
     for (uint32_t rep = 0; rep < reps; ++rep) {
       timer.Restart();
       std::vector<Shape> shapes =
-          storage::FindShapesParallel(catalog, threads);
+          std::move(storage::FindShapes(
+                        source, {storage::ShapeFinderMode::kScan, threads}))
+              .value();
       const double ms = timer.ElapsedMillis();
       if (shapes != expected) {
         std::cerr << "parallel/serial mismatch\n";

@@ -1,5 +1,6 @@
 #include "common.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -158,6 +159,26 @@ std::string Fmt(double value, int decimals) {
 }
 
 std::string FmtMs(double ms) { return Fmt(ms, 2); }
+
+std::vector<std::string> AccessColumnNames() {
+  return {"exists-q", "rel-loads", "tuples-scanned", "pages-read",
+          "pool-hit%"};
+}
+
+std::vector<std::string> AccessColumnValues(const storage::AccessStats& access,
+                                            const storage::IoCounters& io,
+                                            uint32_t reps) {
+  reps = std::max<uint32_t>(1, reps);
+  auto avg = [&](uint64_t total) { return std::to_string(total / reps); };
+  const uint64_t pool_accesses = io.pool_hits + io.pool_misses;
+  return {avg(access.exists_queries), avg(access.relations_loaded),
+          avg(access.tuples_scanned), avg(io.pages_read),
+          pool_accesses == 0
+              ? "-"
+              : Fmt(100.0 * static_cast<double>(io.pool_hits) /
+                        static_cast<double>(pool_accesses),
+                    1) + "%"};
+}
 
 void Emit(const BenchFlags& flags, const std::string& title,
           const TablePrinter& table) {

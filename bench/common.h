@@ -28,6 +28,7 @@
 #include "gen/data_generator.h"
 #include "gen/tgd_generator.h"
 #include "logic/parser.h"
+#include "storage/shape_source.h"
 
 namespace chase {
 namespace bench {
@@ -112,6 +113,15 @@ StatusOr<LRun> RunLExperiment(const Schema& base_schema,
 // Formatting helpers.
 std::string Fmt(double value, int decimals = 2);
 std::string FmtMs(double ms);
+
+// Uniform per-backend metering columns for the FindShapes benches: logical
+// accesses from ShapeSource::stats() plus physical I/O from
+// ShapeSource::Io(), so memory and disk rows of the fig3/fig4 ablations are
+// directly comparable. Pass `reps` > 1 to report per-repetition averages.
+std::vector<std::string> AccessColumnNames();
+std::vector<std::string> AccessColumnValues(const storage::AccessStats& access,
+                                            const storage::IoCounters& io,
+                                            uint32_t reps = 1);
 
 // Prints `table` per flags (table or CSV) with a heading.
 void Emit(const BenchFlags& flags, const std::string& title,

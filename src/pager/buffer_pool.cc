@@ -40,6 +40,7 @@ BufferPool::BufferPool(DiskManager* disk, uint32_t num_frames) : disk_(disk) {
 }
 
 StatusOr<PageGuard> BufferPool::Fetch(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {
     Frame& frame = frames_[it->second];
@@ -61,6 +62,7 @@ StatusOr<PageGuard> BufferPool::Fetch(PageId page_id) {
 }
 
 StatusOr<PageGuard> BufferPool::Allocate() {
+  std::lock_guard<std::mutex> lock(mu_);
   CHASE_ASSIGN_OR_RETURN(PageId page_id, disk_->AllocatePage());
   CHASE_ASSIGN_OR_RETURN(uint32_t slot, AcquireFrame());
   Frame& frame = frames_[slot];
@@ -77,6 +79,7 @@ StatusOr<PageGuard> BufferPool::Allocate() {
 }
 
 Status BufferPool::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (Frame& frame : frames_) {
     if (frame.page_id != kInvalidPageId && frame.dirty) {
       CHASE_RETURN_IF_ERROR(disk_->WritePage(frame.page_id, &frame.page));
@@ -88,6 +91,7 @@ Status BufferPool::Flush() {
 }
 
 uint32_t BufferPool::pinned_frames() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint32_t pinned = 0;
   for (const Frame& frame : frames_) {
     if (frame.pin_count > 0) ++pinned;
@@ -126,8 +130,14 @@ StatusOr<uint32_t> BufferPool::AcquireFrame() {
 }
 
 void BufferPool::Unpin(uint32_t frame) {
+  std::lock_guard<std::mutex> lock(mu_);
   assert(frames_[frame].pin_count > 0);
   --frames_[frame].pin_count;
+}
+
+void BufferPool::MarkDirty(uint32_t frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  frames_[frame].dirty = true;
 }
 
 }  // namespace pager

@@ -7,12 +7,18 @@
 // on-disk FindShapes variants. Pages are pinned through the RAII PageGuard;
 // a pinned page is never evicted, and the pool reports kResourceExhausted if
 // every frame is pinned.
+//
+// The pool is thread-safe: Fetch/Allocate/Flush and guard release serialize
+// on an internal mutex, so the parallel shape scanner can issue concurrent
+// read-only scans through one pool. Reading a pinned page's payload needs
+// no lock.
 
 #ifndef CHASE_PAGER_BUFFER_POOL_H_
 #define CHASE_PAGER_BUFFER_POOL_H_
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -96,12 +102,18 @@ class BufferPool {
     bool referenced = false;
   };
 
-  // Finds a free or evictable frame, writing back a dirty victim.
+  // Finds a free or evictable frame, writing back a dirty victim. Requires
+  // mu_ held.
   StatusOr<uint32_t> AcquireFrame();
 
   void Unpin(uint32_t frame);
-  void MarkDirty(uint32_t frame) { frames_[frame].dirty = true; }
+  void MarkDirty(uint32_t frame);
 
+  // Guards the page table, frame bookkeeping, and DiskManager access.
+  // Pinned frames' page payloads are read outside the lock (a pinned page
+  // is never evicted, and read-only scans never mutate it), which is what
+  // lets concurrent ScanRange workers overlap their hashing work.
+  mutable std::mutex mu_;
   DiskManager* disk_;
   std::vector<Frame> frames_;
   std::unordered_map<PageId, uint32_t> page_table_;

@@ -58,6 +58,10 @@ class DiskDatabase {
     return relations_[pred].Scan(visit);
   }
 
+  // The heap chain backing `pred` — DiskShapeSource seeks through it for
+  // row-range scans.
+  const HeapFile& relation(PredId pred) const { return relations_[pred]; }
+
   // Appends a tuple and updates the catalog's in-memory view; call
   // SaveCatalog (or Close) to persist the new counts and chain tails.
   Status Append(PredId pred, std::span<const uint32_t> tuple);

@@ -1,74 +1,21 @@
 #include "pager/disk_shape_finder.h"
 
-#include <algorithm>
-
-#include "storage/shape_lattice.h"
+#include "pager/disk_shape_source.h"
+#include "storage/shape_finder.h"
 
 namespace chase {
 namespace pager {
 
-namespace {
-
-std::vector<Shape> Sorted(ShapeSet shapes) {
-  std::vector<Shape> out(std::make_move_iterator(shapes.begin()),
-                         std::make_move_iterator(shapes.end()));
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
-// True iff `tuple` satisfies the equalities of `id` (relaxed query), i.e.,
-// its id-tuple is coarser than or equal to `id`.
-bool SatisfiesEqualities(std::span<const uint32_t> tuple, const IdTuple& id) {
-  for (size_t i = 0; i < id.size(); ++i) {
-    for (size_t j = 0; j < i; ++j) {
-      if (id[j] == id[i] && tuple[j] != tuple[i]) return false;
-    }
-  }
-  return true;
-}
-
-}  // namespace
-
 StatusOr<std::vector<Shape>> FindShapesOnDiskScan(const DiskDatabase& db) {
-  ShapeSet shapes;
-  for (PredId pred : db.NonEmptyPredicates()) {
-    Status status = db.Scan(pred, [&](std::span<const uint32_t> tuple) {
-      shapes.insert(ShapeOfTuple(pred, tuple));
-      return true;
-    });
-    CHASE_RETURN_IF_ERROR(status);
-  }
-  return Sorted(std::move(shapes));
+  DiskShapeSource source(&db);
+  return storage::FindShapes(source,
+                             {storage::ShapeFinderMode::kScan, /*threads=*/1});
 }
 
 StatusOr<std::vector<Shape>> FindShapesOnDiskExists(const DiskDatabase& db) {
-  ShapeSet shapes;
-  for (PredId pred : db.NonEmptyPredicates()) {
-    Status scan_status = OkStatus();
-    // Each query is an early-exit scan of the relation's heap chain, the
-    // same plan the paper's EXISTS queries execute in PostgreSQL.
-    auto exists = [&](const IdTuple& id, bool exact) {
-      bool found = false;
-      Status status = db.Scan(pred, [&](std::span<const uint32_t> tuple) {
-        const bool match = exact ? IdOf(tuple) == id
-                                 : SatisfiesEqualities(tuple, id);
-        if (match) {
-          found = true;
-          return false;  // stop the scan
-        }
-        return true;
-      });
-      if (!status.ok()) scan_status = status;
-      return found;
-    };
-    storage::WalkShapeLattice(
-        db.schema().Arity(pred),
-        [&](const IdTuple& id) { return exists(id, /*exact=*/false); },
-        [&](const IdTuple& id) { return exists(id, /*exact=*/true); },
-        [&](const IdTuple& id) { shapes.insert(Shape(pred, id)); });
-    CHASE_RETURN_IF_ERROR(scan_status);
-  }
-  return Sorted(std::move(shapes));
+  DiskShapeSource source(&db);
+  return storage::FindShapes(
+      source, {storage::ShapeFinderMode::kExists, /*threads=*/1});
 }
 
 }  // namespace pager

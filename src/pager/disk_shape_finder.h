@@ -1,15 +1,16 @@
-// FindShapes over a DiskDatabase — the disk-resident counterparts of the
-// paper's two implementations (Section 5.4), plus the I/O accounting needed
-// to compare them against the in-memory row store:
+// FindShapes over a DiskDatabase — legacy entry points, now thin shims over
+// the unified ShapeSource-based implementation (storage/shape_finder.h) via
+// pager::DiskShapeSource:
 //
 //  * Scan mode mirrors the "in-memory" variant: one full heap scan per
 //    relation through the buffer pool, hashing every tuple's id-tuple.
 //  * Exists mode mirrors the "in-database" variant: one early-exit heap scan
 //    per candidate query, walking the shape lattice with the same
-//    Apriori-style pruning as storage::FindShapesInDatabase.
+//    Apriori-style pruning as the row-store exists plan.
 //
-// Both return shape(D) sorted by (pred, id); a property test checks they
-// agree with each other and with the in-memory finders.
+// Prefer FindShapes(DiskShapeSource, {mode, threads}) directly — it also
+// offers the parallel plans these shims predate. Both return shape(D)
+// sorted by (pred, id); a property test checks all combinations agree.
 
 #ifndef CHASE_PAGER_DISK_SHAPE_FINDER_H_
 #define CHASE_PAGER_DISK_SHAPE_FINDER_H_

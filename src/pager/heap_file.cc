@@ -54,8 +54,14 @@ Status HeapFile::Append(std::span<const uint32_t> tuple) {
 
 Status HeapFile::Scan(
     const std::function<bool(std::span<const uint32_t>)>& visit) const {
-  PageId current = first_page_;
-  while (current != kInvalidPageId) {
+  return ScanFrom(first_page_, 0, num_tuples_, visit);
+}
+
+Status HeapFile::ScanFrom(
+    PageId start_page, uint64_t skip_rows, uint64_t num_rows,
+    const std::function<bool(std::span<const uint32_t>)>& visit) const {
+  PageId current = start_page;
+  while (current != kInvalidPageId && num_rows > 0) {
     CHASE_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(current));
     const Page& page = guard.page();
     PageHeader header = ReadPageHeader(page);
@@ -65,9 +71,31 @@ Status HeapFile::Scan(
     }
     const uint32_t* tuples = reinterpret_cast<const uint32_t*>(
         page.bytes.data() + kPageHeaderSize);
-    for (uint32_t row = 0; row < header.count; ++row) {
-      if (!visit({tuples + row * arity_, arity_})) return OkStatus();
+    uint32_t row = 0;
+    if (skip_rows >= header.count) {
+      skip_rows -= header.count;
+    } else {
+      row = static_cast<uint32_t>(skip_rows);
+      skip_rows = 0;
+      for (; row < header.count && num_rows > 0; ++row, --num_rows) {
+        if (!visit({tuples + row * arity_, arity_})) return OkStatus();
+      }
     }
+    current = header.next;
+  }
+  return OkStatus();
+}
+
+Status HeapFile::CollectPageIds(std::vector<PageId>* out) const {
+  PageId current = first_page_;
+  while (current != kInvalidPageId) {
+    CHASE_ASSIGN_OR_RETURN(PageGuard guard, pool_->Fetch(current));
+    PageHeader header = ReadPageHeader(guard.page());
+    if (header.kind != static_cast<uint32_t>(PageKind::kHeap)) {
+      return InternalError("heap chain reached a non-heap page " +
+                           std::to_string(current));
+    }
+    out->push_back(current);
     current = header.next;
   }
   return OkStatus();

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <vector>
 
 #include "base/status.h"
 #include "pager/buffer_pool.h"
@@ -40,6 +41,21 @@ class HeapFile {
   // OK) when `visit` returns false.
   Status Scan(
       const std::function<bool(std::span<const uint32_t>)>& visit) const;
+
+  // Visits at most `num_rows` tuples starting from `skip_rows` tuples after
+  // the beginning of `start_page` (which must be a page of this chain).
+  // With `start_page` = first_page() and `skip_rows` counted from the head,
+  // this is a plain row-range scan; callers holding a page directory (see
+  // CollectPageIds) jump straight to `skip_rows / TuplesPerPage(arity)`.
+  Status ScanFrom(
+      PageId start_page, uint64_t skip_rows, uint64_t num_rows,
+      const std::function<bool(std::span<const uint32_t>)>& visit) const;
+
+  // Appends the chain's page ids in order to `*out` — the page directory a
+  // ranged scan seeks through. Appends only write to the tail page, and
+  // every non-tail page is full, so row r lives in page
+  // out[r / TuplesPerPage(arity)] at offset r % TuplesPerPage(arity).
+  Status CollectPageIds(std::vector<PageId>* out) const;
 
   uint32_t arity() const { return arity_; }
   PageId first_page() const { return first_page_; }

@@ -20,9 +20,18 @@ struct AccessStats {
   uint64_t catalog_queries = 0;
   uint64_t exists_queries = 0;
   uint64_t tuples_scanned = 0;
-  uint64_t relations_loaded = 0;  // in-memory FindShapes bulk loads
+  uint64_t relations_loaded = 0;  // scan-mode FindShapes bulk loads
 
   void Reset() { *this = AccessStats(); }
+
+  // Adds `other`'s counters; the parallel shape finders accumulate into
+  // thread-local stats and merge them here.
+  void MergeFrom(const AccessStats& other) {
+    catalog_queries += other.catalog_queries;
+    exists_queries += other.exists_queries;
+    tuples_scanned += other.tuples_scanned;
+    relations_loaded += other.relations_loaded;
+  }
 };
 
 class Catalog {

@@ -1,65 +1,23 @@
 #include "storage/exists_query.h"
 
+#include "storage/shape_source.h"
+
 namespace chase {
 namespace storage {
-namespace {
-
-// For each position, the first position carrying the same id value; the
-// equality conditions are t[i] == t[first[i]].
-void FirstOfBlock(const IdTuple& id, uint32_t* first) {
-  uint32_t first_seen[256];
-  for (size_t i = 0; i < id.size(); ++i) first_seen[id[i]] = UINT32_MAX;
-  for (uint32_t i = 0; i < id.size(); ++i) {
-    if (first_seen[id[i]] == UINT32_MAX) first_seen[id[i]] = i;
-    first[i] = first_seen[id[i]];
-  }
-}
-
-template <bool kEnforceDisequalities>
-bool ScanForShape(const Catalog& catalog, PredId pred, const IdTuple& id) {
-  const Database& db = catalog.database();
-  const uint32_t arity = db.schema().Arity(pred);
-  const auto tuples = db.Tuples(pred);
-  const size_t rows = tuples.size() / (arity == 0 ? 1 : arity);
-
-  uint32_t first[256];
-  FirstOfBlock(id, first);
-
-  ++catalog.stats().exists_queries;
-  for (size_t row = 0; row < rows; ++row) {
-    ++catalog.stats().tuples_scanned;
-    const uint32_t* tuple = tuples.data() + row * arity;
-    bool match = true;
-    for (uint32_t i = 0; i < arity && match; ++i) {
-      if (first[i] != i) {
-        // Equality condition: position i repeats the block representative.
-        match = tuple[i] == tuple[first[i]];
-      } else if constexpr (kEnforceDisequalities) {
-        // Disequality conditions: a block representative must differ from
-        // all earlier representatives.
-        for (uint32_t j = 0; j < i; ++j) {
-          if (first[j] == j && tuple[j] == tuple[i]) {
-            match = false;
-            break;
-          }
-        }
-      }
-    }
-    if (match) return true;  // EXISTS: early exit on first witness
-  }
-  return false;
-}
-
-}  // namespace
 
 bool ExistsTupleWithShape(const Catalog& catalog, PredId pred,
                           const IdTuple& id) {
-  return ScanForShape</*kEnforceDisequalities=*/true>(catalog, pred, id);
+  MemoryShapeSource source(&catalog);
+  // The in-memory backend cannot fail.
+  return ProbeShapeExists(source, pred, id, /*exact=*/true, &source.stats())
+      .value();
 }
 
 bool ExistsTupleSatisfyingEqualities(const Catalog& catalog, PredId pred,
                                      const IdTuple& id) {
-  return ScanForShape</*kEnforceDisequalities=*/false>(catalog, pred, id);
+  MemoryShapeSource source(&catalog);
+  return ProbeShapeExists(source, pred, id, /*exact=*/false, &source.stats())
+      .value();
 }
 
 }  // namespace storage

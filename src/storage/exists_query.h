@@ -9,6 +9,10 @@
 // as early-exit scans over the row store: a tuple satisfies the full
 // condition iff its id-tuple equals the shape's id-tuple, and the relaxed
 // condition iff its id-tuple is coarser than or equal to it.
+//
+// These are now thin shims over the backend-independent probe,
+// storage::ProbeShapeExists (shape_source.h), kept for callers wedded to
+// the Catalog API.
 
 #ifndef CHASE_STORAGE_EXISTS_QUERY_H_
 #define CHASE_STORAGE_EXISTS_QUERY_H_

@@ -1,80 +1,17 @@
 #include "storage/parallel_shape_finder.h"
 
-#include <algorithm>
-#include <atomic>
-#include <thread>
-
-#include "storage/shape_finder.h"
+#include "storage/shape_source.h"
 
 namespace chase {
 namespace storage {
 
-namespace {
-
-// One unit of scan work: a row range of one relation.
-struct Chunk {
-  PredId pred;
-  size_t first_row;
-  size_t num_rows;
-};
-
-}  // namespace
-
 std::vector<Shape> FindShapesParallel(const Catalog& catalog,
                                       unsigned num_threads) {
-  if (num_threads <= 1) return FindShapesInMemory(catalog);
-  const Database& db = catalog.database();
-
-  // Split into chunks of roughly equal tuple counts. Target a few chunks
-  // per thread so uneven arities still balance.
-  uint64_t total_rows = 0;
-  std::vector<PredId> preds = catalog.ListNonEmptyRelations();
-  for (PredId pred : preds) total_rows += db.NumTuples(pred);
-  const uint64_t target =
-      std::max<uint64_t>(1, total_rows / (4 * num_threads));
-  std::vector<Chunk> chunks;
-  for (PredId pred : preds) {
-    ++catalog.stats().relations_loaded;
-    const size_t rows = db.NumTuples(pred);
-    for (size_t first = 0; first < rows; first += target) {
-      chunks.push_back(
-          {pred, first, std::min<size_t>(target, rows - first)});
-    }
-  }
-
-  std::vector<ShapeSet> local(num_threads);
-  std::vector<uint64_t> scanned(num_threads, 0);
-  std::vector<std::thread> workers;
-  std::atomic<size_t> next_chunk{0};
-  workers.reserve(num_threads);
-  for (unsigned t = 0; t < num_threads; ++t) {
-    workers.emplace_back([&, t] {
-      while (true) {
-        const size_t index = next_chunk.fetch_add(1);
-        if (index >= chunks.size()) break;
-        const Chunk& chunk = chunks[index];
-        const uint32_t arity = db.schema().Arity(chunk.pred);
-        const auto tuples = db.Tuples(chunk.pred);
-        for (size_t row = chunk.first_row;
-             row < chunk.first_row + chunk.num_rows; ++row) {
-          ++scanned[t];
-          local[t].insert(ShapeOfTuple(
-              chunk.pred, tuples.subspan(row * arity, arity)));
-        }
-      }
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
-
-  ShapeSet merged;
-  for (unsigned t = 0; t < num_threads; ++t) {
-    merged.merge(local[t]);
-    catalog.stats().tuples_scanned += scanned[t];
-  }
-  std::vector<Shape> out(std::make_move_iterator(merged.begin()),
-                         std::make_move_iterator(merged.end()));
-  std::sort(out.begin(), out.end());
-  return out;
+  MemoryShapeSource source(&catalog);
+  // The in-memory backend cannot fail.
+  return std::move(FindShapes(
+                       source, {ShapeFinderMode::kScan, num_threads}))
+      .value();
 }
 
 }  // namespace storage

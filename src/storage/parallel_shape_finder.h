@@ -1,12 +1,6 @@
-// Parallel in-memory FindShapes: the paper's conclusion invites improving
-// the db-dependent component, and the in-memory scan is embarrassingly
-// parallel — relations are independent, and a single relation can be split
-// into row ranges with the per-thread shape sets unioned at the end
-// (shape(D) is a set union over tuples).
-//
-// The partitioning is by estimated work (tuples × arity) over both whole
-// relations and row ranges of large relations, so a single huge relation
-// (LUBM-1K's layout) still spreads across all threads.
+// Parallel in-memory FindShapes — legacy entry point, now a thin shim over
+// the unified work-partitioned scanner in shape_finder.h (which also runs
+// over the disk backend). Prefer FindShapes(source, {mode, threads}).
 
 #ifndef CHASE_STORAGE_PARALLEL_SHAPE_FINDER_H_
 #define CHASE_STORAGE_PARALLEL_SHAPE_FINDER_H_
@@ -15,6 +9,7 @@
 
 #include "logic/shape.h"
 #include "storage/catalog.h"
+#include "storage/shape_finder.h"
 
 namespace chase {
 namespace storage {

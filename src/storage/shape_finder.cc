@@ -1,8 +1,9 @@
 #include "storage/shape_finder.h"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
-#include "storage/exists_query.h"
 #include "storage/shape_lattice.h"
 
 namespace chase {
@@ -16,51 +17,188 @@ std::vector<Shape> Sorted(ShapeSet shapes) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Scan plan: full strided scans, hashing every tuple's id-tuple.
+
+// One unit of parallel scan work: a row range of one relation.
+struct Chunk {
+  PredId pred;
+  uint64_t first_row;
+  uint64_t num_rows;
+};
+
+Status ScanShapesSerial(const ShapeSource& source,
+                        const std::vector<PredId>& preds, ShapeSet* shapes) {
+  for (PredId pred : preds) {
+    // "Load all the tuples of R into the main memory" — one full strided
+    // scan, metered as one relation load.
+    ++source.stats().relations_loaded;
+    uint64_t scanned = 0;
+    Status status =
+        source.ScanAll(pred, [&](std::span<const uint32_t> tuple) {
+          ++scanned;
+          shapes->insert(ShapeOfTuple(pred, tuple));
+          return true;
+        });
+    source.stats().tuples_scanned += scanned;
+    CHASE_RETURN_IF_ERROR(status);
+  }
+  return OkStatus();
+}
+
+Status ScanShapesParallel(const ShapeSource& source,
+                          const std::vector<PredId>& preds, unsigned threads,
+                          ShapeSet* shapes) {
+  // Split into chunks of roughly equal tuple counts. Target a few chunks
+  // per thread so uneven relation sizes still balance.
+  uint64_t total_rows = 0;
+  for (PredId pred : preds) total_rows += source.NumTuples(pred);
+  const uint64_t target = std::max<uint64_t>(1, total_rows / (4 * threads));
+  std::vector<Chunk> chunks;
+  for (PredId pred : preds) {
+    ++source.stats().relations_loaded;
+    const uint64_t rows = source.NumTuples(pred);
+    for (uint64_t first = 0; first < rows; first += target) {
+      chunks.push_back(
+          {pred, first, std::min<uint64_t>(target, rows - first)});
+    }
+  }
+
+  std::vector<ShapeSet> local(threads);
+  std::vector<uint64_t> scanned(threads, 0);
+  std::vector<Status> worker_status(threads);
+  std::vector<std::thread> workers;
+  std::atomic<size_t> next_chunk{0};
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      while (worker_status[t].ok()) {
+        const size_t index = next_chunk.fetch_add(1);
+        if (index >= chunks.size()) break;
+        const Chunk& chunk = chunks[index];
+        worker_status[t] = source.ScanRange(
+            chunk.pred, chunk.first_row, chunk.num_rows,
+            [&](std::span<const uint32_t> tuple) {
+              ++scanned[t];
+              local[t].insert(ShapeOfTuple(chunk.pred, tuple));
+              return true;
+            });
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  for (unsigned t = 0; t < threads; ++t) {
+    source.stats().tuples_scanned += scanned[t];
+  }
+  for (unsigned t = 0; t < threads; ++t) {
+    CHASE_RETURN_IF_ERROR(worker_status[t]);
+  }
+  for (unsigned t = 0; t < threads; ++t) shapes->merge(local[t]);
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Exists plan: the Apriori lattice walk over EXISTS probes.
+
+Status WalkShapesForPred(const ShapeSource& source, PredId pred,
+                         AccessStats* stats, ShapeSet* shapes) {
+  Status failure = OkStatus();
+  auto probe = [&](const IdTuple& id, bool exact) {
+    if (!failure.ok()) return false;  // abort the walk on the first error
+    StatusOr<bool> found = ProbeShapeExists(source, pred, id, exact, stats);
+    if (!found.ok()) {
+      failure = found.status();
+      return false;
+    }
+    return *found;
+  };
+  WalkShapeLattice(
+      source.schema().Arity(pred),
+      [&](const IdTuple& id) { return probe(id, /*exact=*/false); },
+      [&](const IdTuple& id) { return probe(id, /*exact=*/true); },
+      [&](const IdTuple& id) { shapes->insert(Shape(pred, id)); });
+  return failure;
+}
+
+Status WalkShapesParallel(const ShapeSource& source, std::vector<PredId> preds,
+                          unsigned threads, ShapeSet* shapes) {
+  // Deal whole predicates to workers — each predicate's lattice walk is
+  // independent — biggest relations first so they don't trail the rest.
+  std::stable_sort(preds.begin(), preds.end(), [&](PredId a, PredId b) {
+    return source.NumTuples(a) > source.NumTuples(b);
+  });
+
+  std::vector<ShapeSet> local(threads);
+  std::vector<AccessStats> local_stats(threads);
+  std::vector<Status> worker_status(threads);
+  std::vector<std::thread> workers;
+  std::atomic<size_t> next_pred{0};
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      while (worker_status[t].ok()) {
+        const size_t index = next_pred.fetch_add(1);
+        if (index >= preds.size()) break;
+        worker_status[t] = WalkShapesForPred(source, preds[index],
+                                             &local_stats[t], &local[t]);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  for (unsigned t = 0; t < threads; ++t) {
+    source.stats().MergeFrom(local_stats[t]);
+  }
+  for (unsigned t = 0; t < threads; ++t) {
+    CHASE_RETURN_IF_ERROR(worker_status[t]);
+  }
+  for (unsigned t = 0; t < threads; ++t) shapes->merge(local[t]);
+  return OkStatus();
+}
+
 }  // namespace
 
 const char* ShapeFinderModeName(ShapeFinderMode mode) {
-  return mode == ShapeFinderMode::kInMemory ? "in-memory" : "in-database";
+  return mode == ShapeFinderMode::kScan ? "scan" : "exists";
+}
+
+StatusOr<std::vector<Shape>> FindShapes(const ShapeSource& source,
+                                        const FindShapesOptions& options) {
+  const std::vector<PredId> preds = source.NonEmptyRelations();
+  const unsigned threads = std::max(1u, options.threads);
+  ShapeSet shapes;
+  Status status = OkStatus();
+  if (options.mode == ShapeFinderMode::kScan) {
+    status = threads == 1
+                 ? ScanShapesSerial(source, preds, &shapes)
+                 : ScanShapesParallel(source, preds, threads, &shapes);
+  } else if (threads == 1) {
+    for (PredId pred : preds) {
+      status = WalkShapesForPred(source, pred, &source.stats(), &shapes);
+      if (!status.ok()) break;
+    }
+  } else {
+    status = WalkShapesParallel(source, preds, threads, &shapes);
+  }
+  CHASE_RETURN_IF_ERROR(status);
+  return Sorted(std::move(shapes));
 }
 
 std::vector<Shape> FindShapesInMemory(const Catalog& catalog) {
-  const Database& db = catalog.database();
-  ShapeSet shapes;
-  for (PredId pred : catalog.ListNonEmptyRelations()) {
-    // "Load all the tuples of R into the main memory" — over the row store
-    // this is the full scan below; we meter it as one relation load.
-    ++catalog.stats().relations_loaded;
-    const uint32_t arity = db.schema().Arity(pred);
-    const auto tuples = db.Tuples(pred);
-    const size_t rows = tuples.size() / arity;
-    for (size_t row = 0; row < rows; ++row) {
-      ++catalog.stats().tuples_scanned;
-      shapes.insert(ShapeOfTuple(
-          pred, std::span<const uint32_t>(tuples.data() + row * arity, arity)));
-    }
-  }
-  return Sorted(std::move(shapes));
+  MemoryShapeSource source(&catalog);
+  // The in-memory backend cannot fail.
+  return std::move(FindShapes(source, {ShapeFinderMode::kScan, 1})).value();
 }
 
 std::vector<Shape> FindShapesInDatabase(const Catalog& catalog) {
-  const Database& db = catalog.database();
-  ShapeSet shapes;
-  for (PredId pred : catalog.ListNonEmptyRelations()) {
-    WalkShapeLattice(
-        db.schema().Arity(pred),
-        [&](const IdTuple& id) {
-          return ExistsTupleSatisfyingEqualities(catalog, pred, id);
-        },
-        [&](const IdTuple& id) {
-          return ExistsTupleWithShape(catalog, pred, id);
-        },
-        [&](const IdTuple& id) { shapes.insert(Shape(pred, id)); });
-  }
-  return Sorted(std::move(shapes));
+  MemoryShapeSource source(&catalog);
+  return std::move(FindShapes(source, {ShapeFinderMode::kExists, 1})).value();
 }
 
 std::vector<Shape> FindShapes(const Catalog& catalog, ShapeFinderMode mode) {
-  return mode == ShapeFinderMode::kInMemory ? FindShapesInMemory(catalog)
-                                            : FindShapesInDatabase(catalog);
+  MemoryShapeSource source(&catalog);
+  return std::move(FindShapes(source, {mode, 1})).value();
 }
 
 }  // namespace storage

@@ -1,39 +1,73 @@
 // FindShapes: computing shape(D), the set of shapes of the atoms of a
-// database (Section 5.4). Two interchangeable implementations, matching the
-// paper's in-memory and in-database variants:
+// database (Section 5.4), against any ShapeSource backend. The two query
+// plans of the paper, each implemented exactly once:
 //
-//  * In-memory: load each relation and hash the id-tuple of every tuple.
-//    Cost: one full scan of the database plus hashing.
-//  * In-database: issue one EXISTS query pair per candidate shape, walking
-//    the shape lattice of each predicate from the all-distinct shape towards
-//    coarser shapes and applying the Apriori-style pruning of Section 5.4:
-//    a shape is only considered if some already-confirmed relaxed query
-//    covers it, and if the relaxed (equalities-only) query of a shape fails,
-//    every coarser shape is pruned without touching the data.
+//  * Scan mode (the paper's "in-memory" variant): one full strided scan per
+//    relation, hashing the id-tuple of every tuple.
+//  * Exists mode (the paper's "in-database" variant): one EXISTS query pair
+//    per candidate shape, walking the shape lattice of each predicate from
+//    the all-distinct shape towards coarser shapes with the Apriori-style
+//    pruning of Section 5.4: a shape is only considered if some already-
+//    confirmed relaxed query covers it, and if the relaxed (equalities-only)
+//    query of a shape fails, every coarser shape is pruned without touching
+//    the data.
 //
-// Both return the same set; a property test enforces this.
+// Both modes also run work-partitioned in parallel (`threads` > 1): scan
+// mode splits relations into row ranges of roughly equal estimated work and
+// unions per-thread shape sets; exists mode deals whole predicates to
+// workers (each predicate's lattice walk is independent). This works over
+// both backends — including parallel shape-finding over pager::DiskDatabase.
+//
+// All mode × backend × thread combinations return the same sorted set; a
+// property test (tests/shape_source_test.cc) enforces this.
 
 #ifndef CHASE_STORAGE_SHAPE_FINDER_H_
 #define CHASE_STORAGE_SHAPE_FINDER_H_
 
 #include <vector>
 
+#include "base/status.h"
 #include "logic/shape.h"
 #include "storage/catalog.h"
+#include "storage/shape_source.h"
 
 namespace chase {
 namespace storage {
 
+// The two query plans. The legacy names predate the ShapeSource layer,
+// when each plan was welded to one backend; they alias the plan that
+// backend used.
 enum class ShapeFinderMode {
-  kInMemory,
-  kInDatabase,
+  kScan,
+  kExists,
+  kInMemory = kScan,
+  kInDatabase = kExists,
 };
 
 const char* ShapeFinderModeName(ShapeFinderMode mode);
 
-// Returns shape(D) sorted by (pred, id).
+struct FindShapesOptions {
+  ShapeFinderMode mode = ShapeFinderMode::kScan;
+  unsigned threads = 1;  // <= 1 runs serially
+};
+
+// The unified entry point: returns shape(D) sorted by (pred, id), computed
+// over `source` with the requested plan and parallelism. Errors surface
+// only from fallible backends (disk I/O); the in-memory backend never
+// fails.
+StatusOr<std::vector<Shape>> FindShapes(const ShapeSource& source,
+                                        const FindShapesOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Legacy entry points, kept as thin shims over the unified implementation.
+
+// Scan plan over the in-memory row store.
 std::vector<Shape> FindShapesInMemory(const Catalog& catalog);
+
+// Exists plan over the in-memory row store.
 std::vector<Shape> FindShapesInDatabase(const Catalog& catalog);
+
+// Plan dispatch over the in-memory row store.
 std::vector<Shape> FindShapes(const Catalog& catalog, ShapeFinderMode mode);
 
 }  // namespace storage

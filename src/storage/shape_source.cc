@@ -1,0 +1,81 @@
+#include "storage/shape_source.h"
+
+#include <algorithm>
+
+namespace chase {
+namespace storage {
+namespace {
+
+// For each position, the first position carrying the same id value; the
+// equality conditions of the EXISTS queries are t[i] == t[first[i]].
+void FirstOfBlock(const IdTuple& id, uint32_t* first) {
+  uint32_t first_seen[256];
+  for (size_t i = 0; i < id.size(); ++i) first_seen[id[i]] = UINT32_MAX;
+  for (uint32_t i = 0; i < id.size(); ++i) {
+    if (first_seen[id[i]] == UINT32_MAX) first_seen[id[i]] = i;
+    first[i] = first_seen[id[i]];
+  }
+}
+
+// One tuple against one compiled shape condition. `exact` additionally
+// enforces the disequalities between block representatives.
+bool MatchesShape(std::span<const uint32_t> tuple, const uint32_t* first,
+                  bool exact) {
+  for (uint32_t i = 0; i < tuple.size(); ++i) {
+    if (first[i] != i) {
+      // Equality condition: position i repeats the block representative.
+      if (tuple[i] != tuple[first[i]]) return false;
+    } else if (exact) {
+      // Disequality conditions: a block representative must differ from
+      // all earlier representatives.
+      for (uint32_t j = 0; j < i; ++j) {
+        if (first[j] == j && tuple[j] == tuple[i]) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<bool> ProbeShapeExists(const ShapeSource& source, PredId pred,
+                                const IdTuple& id, bool exact,
+                                AccessStats* stats) {
+  uint32_t first[256];
+  FirstOfBlock(id, first);
+
+  ++stats->exists_queries;
+  bool found = false;
+  uint64_t scanned = 0;
+  Status status =
+      source.ScanAll(pred, [&](std::span<const uint32_t> tuple) {
+        ++scanned;
+        if (MatchesShape(tuple, first, exact)) {
+          found = true;
+          return false;  // EXISTS: early exit on first witness
+        }
+        return true;
+      });
+  stats->tuples_scanned += scanned;
+  CHASE_RETURN_IF_ERROR(status);
+  return found;
+}
+
+Status MemoryShapeSource::ScanRange(PredId pred, uint64_t first_row,
+                                    uint64_t num_rows,
+                                    const TupleVisitor& visit) const {
+  const Database& db = catalog_->database();
+  const uint32_t arity = db.schema().Arity(pred);
+  if (arity == 0) return OkStatus();
+  const auto tuples = db.Tuples(pred);
+  const uint64_t rows = tuples.size() / arity;
+  const uint64_t begin = std::min<uint64_t>(first_row, rows);
+  const uint64_t last = std::min<uint64_t>(rows, begin + num_rows);
+  for (uint64_t row = begin; row < last; ++row) {
+    if (!visit(tuples.subspan(row * arity, arity))) return OkStatus();
+  }
+  return OkStatus();
+}
+
+}  // namespace storage
+}  // namespace chase

@@ -1,0 +1,127 @@
+// ShapeSource: the narrow storage seam the FindShapes algorithms run
+// against (Section 5.4). The paper evaluates its db-dependent component
+// twice — in memory and inside PostgreSQL — and this repo adds a
+// disk-resident pager; ShapeSource is the one interface all of them
+// implement, so the scanning, lattice-walking, and work-partitioned
+// parallel algorithms in shape_finder.{h,cc} are written exactly once:
+//
+//   * relation metadata: schema, non-empty relations (the catalog query of
+//     Section 5.3), per-relation tuple counts;
+//   * strided tuple scans, full and row-range, with early exit — the
+//     row-range form is what the parallel scanner partitions over;
+//   * access metering: logical counters (AccessStats) written by the
+//     algorithms, physical I/O counters (IoCounters) reported by the
+//     backend.
+//
+// Backends: MemoryShapeSource (below) over storage::Catalog, and
+// pager::DiskShapeSource over pager::DiskDatabase.
+
+#ifndef CHASE_STORAGE_SHAPE_SOURCE_H_
+#define CHASE_STORAGE_SHAPE_SOURCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "base/status.h"
+#include "logic/schema.h"
+#include "logic/shape.h"
+#include "storage/catalog.h"
+
+namespace chase {
+namespace storage {
+
+// Physical I/O performed by a backend. The in-memory row store does no I/O
+// and reports zeros; the disk backend maps these onto its DiskManager and
+// BufferPool counters. Snapshot semantics: Io() returns cumulative totals
+// for the underlying store, so benches diff before/after a run.
+struct IoCounters {
+  uint64_t pages_read = 0;
+  uint64_t pages_written = 0;
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+};
+
+// Visits one tuple (stride = arity); return false to stop the scan early.
+using TupleVisitor = std::function<bool(std::span<const uint32_t>)>;
+
+class ShapeSource {
+ public:
+  virtual ~ShapeSource() = default;
+
+  // "memory" or "disk" — used in diagnostics and bench tables.
+  virtual const char* Name() const = 0;
+
+  virtual const Schema& schema() const = 0;
+
+  // The catalog query of Section 5.3: the non-empty relations, answered
+  // from metadata only. Metered as one catalog query in stats().
+  virtual std::vector<PredId> NonEmptyRelations() const = 0;
+
+  virtual uint64_t NumTuples(PredId pred) const = 0;
+
+  // Visits rows [first_row, first_row + num_rows) of `pred` in storage
+  // order; stops early (and returns OK) once `visit` returns false. Rows
+  // past the end of the relation are silently clamped.
+  //
+  // Thread safety: concurrent ScanRange calls on one source must be safe —
+  // the parallel scanner issues them from worker threads.
+  virtual Status ScanRange(PredId pred, uint64_t first_row, uint64_t num_rows,
+                           const TupleVisitor& visit) const = 0;
+
+  // Full scan of `pred`.
+  Status ScanAll(PredId pred, const TupleVisitor& visit) const {
+    return ScanRange(pred, 0, NumTuples(pred), visit);
+  }
+
+  // Logical access metering (queries issued, tuples scanned, relations
+  // loaded). Written by the FindShapes algorithms, not by ScanRange, so
+  // parallel workers can accumulate into thread-local stats and merge.
+  virtual AccessStats& stats() const = 0;
+
+  // Physical I/O metering; zeros for backends that do no I/O.
+  virtual IoCounters Io() const { return {}; }
+};
+
+// The early-exit shape-existence probe both query plans of Section 5.4
+// compile to. With `exact` set it answers the full EXISTS query (equalities
+// and disequalities: some tuple has exactly this id-tuple); without it, the
+// relaxed query (equalities only: some tuple is coarser than or equal to
+// `id`). Meters one exists query plus the visited tuples into `stats`
+// (pass the source's own stats for the serial path, a thread-local copy for
+// parallel walkers).
+StatusOr<bool> ProbeShapeExists(const ShapeSource& source, PredId pred,
+                                const IdTuple& id, bool exact,
+                                AccessStats* stats);
+
+// In-memory backend: the row store behind storage::Catalog. Shares the
+// catalog's AccessStats, so existing benches keep reading their counters
+// from the catalog.
+class MemoryShapeSource final : public ShapeSource {
+ public:
+  // `catalog` must outlive the source.
+  explicit MemoryShapeSource(const Catalog* catalog) : catalog_(catalog) {}
+
+  const char* Name() const override { return "memory"; }
+  const Schema& schema() const override {
+    return catalog_->database().schema();
+  }
+  std::vector<PredId> NonEmptyRelations() const override {
+    return catalog_->ListNonEmptyRelations();
+  }
+  uint64_t NumTuples(PredId pred) const override {
+    return catalog_->database().NumTuples(pred);
+  }
+  Status ScanRange(PredId pred, uint64_t first_row, uint64_t num_rows,
+                   const TupleVisitor& visit) const override;
+  AccessStats& stats() const override { return catalog_->stats(); }
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace storage
+}  // namespace chase
+
+#endif  // CHASE_STORAGE_SHAPE_SOURCE_H_

@@ -111,10 +111,13 @@ TEST(ShapeFinderTest, ModeDispatchAndNames) {
   Catalog catalog(p.database.get());
   EXPECT_EQ(FindShapes(catalog, ShapeFinderMode::kInMemory).size(), 1u);
   EXPECT_EQ(FindShapes(catalog, ShapeFinderMode::kInDatabase).size(), 1u);
-  EXPECT_STREQ(storage::ShapeFinderModeName(ShapeFinderMode::kInMemory),
-               "in-memory");
-  EXPECT_STREQ(storage::ShapeFinderModeName(ShapeFinderMode::kInDatabase),
-               "in-database");
+  // The plans are backend-independent since the ShapeSource layer; the
+  // legacy enumerators alias the plan their backend used.
+  EXPECT_STREQ(storage::ShapeFinderModeName(ShapeFinderMode::kScan), "scan");
+  EXPECT_STREQ(storage::ShapeFinderModeName(ShapeFinderMode::kExists),
+               "exists");
+  EXPECT_EQ(ShapeFinderMode::kInMemory, ShapeFinderMode::kScan);
+  EXPECT_EQ(ShapeFinderMode::kInDatabase, ShapeFinderMode::kExists);
 }
 
 TEST(ShapeFinderTest, AgreeOnRandomDatabases) {

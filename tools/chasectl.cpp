@@ -4,6 +4,8 @@
 //   check <file> [--mode=sl|l] [--shapes=mem|db]   termination check
 //   chase <file> [--variant=so|ob|re] [--max-atoms=N] [--print]
 //   query <file> "<q(X) :- ...>"                   certain answers
+//   findshapes <file> [--backend=memory|disk]
+//              [--mode=scan|exists] [--threads=N]  shape(D) via ShapeSource
 //   stats <file>                                   Table-1-style statistics
 //   zoo <file>                                     acyclicity zoo verdicts
 //   generate <out> [--preds=N] [--tgds=N] [--tuples=N] [--arity=N]
@@ -14,8 +16,12 @@
 // Files ending in .chbin are read/written with the binary format
 // (io/binary_io.h); anything else uses the Datalog± text syntax.
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -39,9 +45,12 @@
 #include "io/binary_io.h"
 #include "logic/parser.h"
 #include "logic/printer.h"
+#include "pager/disk_database.h"
+#include "pager/disk_shape_source.h"
 #include "query/conjunctive_query.h"
 #include "storage/catalog.h"
 #include "storage/shape_finder.h"
+#include "storage/shape_source.h"
 
 namespace {
 
@@ -268,6 +277,98 @@ int CmdStats(const Args& args) {
 }
 
 // ---------------------------------------------------------------------------
+// findshapes
+
+int CmdFindShapes(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: chasectl findshapes <file> "
+                 "[--backend=memory|disk] [--mode=scan|exists] "
+                 "[--threads=N] [--store=path.db] [--print]\n";
+    return 2;
+  }
+  auto program = LoadAnyProgram(args.positional[0]);
+  if (!program.ok()) return Fail(program.status());
+
+  storage::FindShapesOptions options;
+  const std::string mode = args.Get("mode", "scan");
+  if (mode == "scan") {
+    options.mode = storage::ShapeFinderMode::kScan;
+  } else if (mode == "exists") {
+    options.mode = storage::ShapeFinderMode::kExists;
+  } else {
+    std::cerr << "unknown --mode=" << mode << " (want scan or exists)\n";
+    return 2;
+  }
+  const std::string threads_arg = args.Get("threads", "1");
+  char* threads_end = nullptr;
+  const unsigned long long threads = std::strtoull(
+      threads_arg.c_str(), &threads_end, 10);
+  if (threads_end == threads_arg.c_str() || *threads_end != '\0' ||
+      threads_arg[0] == '-' || threads > 1024) {
+    std::cerr << "bad --threads=" << threads_arg
+              << " (want an integer in [1, 1024])\n";
+    return 2;
+  }
+  options.threads = static_cast<unsigned>(threads);
+
+  const std::string backend = args.Get("backend", "memory");
+  storage::Catalog catalog(program->database.get());
+  storage::MemoryShapeSource memory_source(&catalog);
+  std::unique_ptr<pager::DiskDatabase> disk_db;
+  std::unique_ptr<pager::DiskShapeSource> disk_source;
+  const storage::ShapeSource* source = &memory_source;
+  const bool keep_store = args.Has("store");
+  const std::string store_path =
+      args.Get("store", "/tmp/chasectl_findshapes.db");
+  if (backend == "disk") {
+    auto created = pager::DiskDatabase::Create(store_path,
+                                               *program->database);
+    if (!created.ok()) return Fail(created.status());
+    disk_db = std::move(created).value();
+    disk_source = std::make_unique<pager::DiskShapeSource>(disk_db.get());
+    source = disk_source.get();
+  } else if (backend != "memory") {
+    std::cerr << "unknown --backend=" << backend
+              << " (want memory or disk)\n";
+    return 2;
+  }
+
+  // Io() reports cumulative store-lifetime counters; snapshot before the
+  // run so the report excludes the Create-phase load above.
+  const storage::IoCounters io_before = source->Io();
+  Timer timer;
+  auto shapes = storage::FindShapes(*source, options);
+  const double elapsed_ms = timer.ElapsedMillis();
+  if (!shapes.ok()) return Fail(shapes.status());
+
+  const storage::AccessStats& access = source->stats();
+  const storage::IoCounters io_after = source->Io();
+  storage::IoCounters io;
+  io.pages_read = io_after.pages_read - io_before.pages_read;
+  io.pages_written = io_after.pages_written - io_before.pages_written;
+  io.pool_hits = io_after.pool_hits - io_before.pool_hits;
+  io.pool_misses = io_after.pool_misses - io_before.pool_misses;
+  std::cout << shapes->size() << " shape(s) over "
+            << program->database->TotalFacts() << " tuples\n"
+            << "  backend: " << source->Name() << ", plan: "
+            << storage::ShapeFinderModeName(options.mode)
+            << ", threads: " << std::max(1u, options.threads) << "\n"
+            << "  t-shapes: " << elapsed_ms << " ms\n"
+            << "  accesses: " << access.exists_queries << " exists queries, "
+            << access.relations_loaded << " relation loads, "
+            << access.tuples_scanned << " tuples scanned\n"
+            << "  io: " << io.pages_read << " pages read, " << io.pool_hits
+            << " pool hits / " << io.pool_misses << " misses\n";
+  if (args.Has("print")) {
+    for (const Shape& shape : *shapes) {
+      std::cout << ShapeName(*program->schema, shape) << "\n";
+    }
+  }
+  if (disk_db != nullptr && !keep_store) std::remove(store_path.c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // zoo
 
 int CmdZoo(const Args& args) {
@@ -447,6 +548,8 @@ int Usage() {
       "  chasectl chase <file> [--variant=so|ob|re] [--max-atoms=N] "
       "[--print]\n"
       "  chasectl query <file> \"q(X) :- r(X, Y).\"\n"
+      "  chasectl findshapes <file> [--backend=memory|disk] "
+      "[--mode=scan|exists] [--threads=N] [--store=path.db] [--print]\n"
       "  chasectl stats <file>\n"
       "  chasectl zoo <file>\n"
       "  chasectl generate <out> [--preds=N] [--tgds=N] [--tuples=N] "
@@ -470,6 +573,7 @@ int main(int argc, char** argv) {
   if (command == "explain") return CmdExplain(args);
   if (command == "chase") return CmdChase(args);
   if (command == "query") return CmdQuery(args);
+  if (command == "findshapes") return CmdFindShapes(args);
   if (command == "stats") return CmdStats(args);
   if (command == "zoo") return CmdZoo(args);
   if (command == "generate") return CmdGenerate(args);
