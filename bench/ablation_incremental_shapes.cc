@@ -79,8 +79,10 @@ int main(int argc, char** argv) {
 
       // The recomputation path scans the (now larger) database.
       storage::Catalog catalog(&db);
+      storage::MemoryShapeSource source(&catalog);
       timer.Restart();
-      std::vector<Shape> recomputed = storage::FindShapesInMemory(catalog);
+      std::vector<Shape> recomputed =
+          std::move(storage::FindShapes(source, {})).value();
       recompute_ms += timer.ElapsedMillis();
 
       if (recomputed != index.CurrentShapes()) {

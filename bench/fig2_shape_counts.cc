@@ -12,6 +12,7 @@
 #include "common.h"
 #include "storage/catalog.h"
 #include "storage/shape_finder.h"
+#include "storage/shape_source.h"
 
 using namespace chase;
 using namespace chase::bench;
@@ -46,8 +47,9 @@ int main(int argc, char** argv) {
           return 1;
         }
         storage::Catalog catalog(data->database.get());
-        total_shapes +=
-            static_cast<double>(storage::FindShapesInMemory(catalog).size());
+        storage::MemoryShapeSource source(&catalog);
+        total_shapes += static_cast<double>(
+            storage::FindShapes(source, {}).value().size());
         total_tuples = data->database->TotalFacts();
       }
       table.AddRow({profile.Label(), std::to_string(n_preds),

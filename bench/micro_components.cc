@@ -17,6 +17,7 @@
 #include "gen/tgd_generator.h"
 #include "graph/dependency_graph.h"
 #include "graph/tarjan.h"
+#include "index/sharded_shape_index.h"
 #include "io/binary_io.h"
 #include "logic/parser.h"
 #include "logic/printer.h"
@@ -103,31 +104,36 @@ void BM_ShapeOfTuple(benchmark::State& state) {
 }
 BENCHMARK(BM_ShapeOfTuple);
 
-void BM_FindShapesInMemory(benchmark::State& state) {
+void BM_FindShapesScan(benchmark::State& state) {
   const Fixture& f = Fixture::Get(10000);
   storage::Catalog catalog(f.database.get());
+  storage::MemoryShapeSource source(&catalog);
   for (auto _ : state) {
-    auto shapes = storage::FindShapesInMemory(catalog);
-    benchmark::DoNotOptimize(shapes.size());
+    auto shapes =
+        storage::FindShapes(source, {storage::ShapeFinderMode::kScan, 1});
+    benchmark::DoNotOptimize(shapes->size());
   }
   state.SetItemsProcessed(state.iterations() * f.database->TotalFacts());
 }
-BENCHMARK(BM_FindShapesInMemory);
+BENCHMARK(BM_FindShapesScan);
 
-void BM_FindShapesInDatabase(benchmark::State& state) {
+void BM_FindShapesExists(benchmark::State& state) {
   const Fixture& f = Fixture::Get(10000);
   storage::Catalog catalog(f.database.get());
+  storage::MemoryShapeSource source(&catalog);
   for (auto _ : state) {
-    auto shapes = storage::FindShapesInDatabase(catalog);
-    benchmark::DoNotOptimize(shapes.size());
+    auto shapes =
+        storage::FindShapes(source, {storage::ShapeFinderMode::kExists, 1});
+    benchmark::DoNotOptimize(shapes->size());
   }
 }
-BENCHMARK(BM_FindShapesInDatabase);
+BENCHMARK(BM_FindShapesExists);
 
 void BM_DynamicSimplification(benchmark::State& state) {
   const Fixture& f = Fixture::Get(state.range(0));
   storage::Catalog catalog(f.database.get());
-  auto shapes = storage::FindShapesInMemory(catalog);
+  storage::MemoryShapeSource source(&catalog);
+  auto shapes = std::move(storage::FindShapes(source, {})).value();
   for (auto _ : state) {
     auto result =
         DynamicSimplificationFromShapes(*f.schema, f.l_tgds, shapes);
@@ -174,6 +180,26 @@ void BM_ShapeIndexInsert(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ShapeIndexInsert);
+
+// Single-threaded insert cost of the sharded index: the per-shard latch is
+// uncontended here, so the delta vs BM_ShapeIndexInsert is the latching
+// overhead the sharding pays for multi-threaded maintenance.
+void BM_ShardedShapeIndexInsert(benchmark::State& state) {
+  const Fixture& f = Fixture::Get(1000);
+  index::ShardedShapeIndex index =
+      index::ShardedShapeIndex::Build(*f.database);
+  Rng rng(3);
+  std::vector<uint32_t> tuple;
+  const uint32_t num_preds =
+      static_cast<uint32_t>(f.schema->NumPredicates());
+  for (auto _ : state) {
+    const PredId pred = static_cast<PredId>(rng.Below(num_preds));
+    GenerateShapedTuple(f.schema->Arity(pred), 10000, &rng, &tuple);
+    index.Insert(pred, tuple);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardedShapeIndexInsert);
 
 void BM_JointAcyclicity(benchmark::State& state) {
   const Fixture& f = Fixture::Get(state.range(0));

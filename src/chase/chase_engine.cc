@@ -2,6 +2,9 @@
 
 #include <unordered_set>
 
+#include "index/sharded_shape_index.h"
+#include "logic/shape.h"
+
 namespace chase {
 namespace {
 
@@ -241,9 +244,19 @@ StatusOr<ChaseResult> RunChase(const Database& database,
             // Apply eagerly so the restricted variant's satisfaction check
             // sees atoms added earlier in this round (a sequential order).
             for (GroundAtom& atom : pending) {
+              Shape shape;
+              if (options.shape_index != nullptr) {
+                // Shapes depend only on the equality pattern, so nulls and
+                // constants index alike; compute before AddAtom consumes
+                // the atom.
+                shape = Shape(atom.pred, IdOf<Term>(atom.args));
+              }
               if (instance.AddAtom(std::move(atom))) {
                 grew = true;
                 ++atoms_now;
+                if (options.shape_index != nullptr) {
+                  options.shape_index->AddShape(shape);
+                }
               }
             }
             pending.clear();

@@ -32,6 +32,10 @@
 
 namespace chase {
 
+namespace index {
+class ShardedShapeIndex;
+}  // namespace index
+
 enum class ChaseVariant {
   kOblivious,
   kSemiOblivious,
@@ -46,6 +50,13 @@ struct ChaseOptions {
   uint64_t max_atoms = 1'000'000;
   // Stop after this many rounds.
   uint64_t max_rounds = UINT64_MAX;
+  // Write-through shape maintenance (Section 10): when set, every atom the
+  // chase adds to the instance also records its shape here, so the
+  // materialized shape(chase_i(D)) stays current round by round and a
+  // repeated IsChaseFinite[L] check reads the index instead of scanning.
+  // The index must already reflect `database` when RunChase is called
+  // (e.g. index::ShardedShapeIndex::Build) and must outlive the run.
+  index::ShardedShapeIndex* shape_index = nullptr;
 };
 
 enum class ChaseOutcome {

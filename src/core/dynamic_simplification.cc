@@ -3,6 +3,7 @@
 #include <deque>
 
 #include "storage/catalog.h"
+#include "storage/shape_source.h"
 
 namespace chase {
 namespace {
@@ -88,7 +89,9 @@ StatusOr<DynamicSimplificationResult> DynamicSimplification(
     const Database& database, const std::vector<Tgd>& tgds,
     storage::ShapeFinderMode mode) {
   storage::Catalog catalog(&database);
-  std::vector<Shape> shapes = storage::FindShapes(catalog, mode);
+  storage::MemoryShapeSource source(&catalog);
+  CHASE_ASSIGN_OR_RETURN(std::vector<Shape> shapes,
+                         storage::FindShapes(source, {.mode = mode}));
   return DynamicSimplificationFromShapes(database.schema(), tgds, shapes);
 }
 

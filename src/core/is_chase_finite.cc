@@ -6,6 +6,8 @@
 #include "core/weak_acyclicity.h"
 #include "graph/dependency_graph.h"
 #include "graph/tarjan.h"
+#include "index/sharded_shape_index.h"
+#include "storage/shape_source.h"
 
 namespace chase {
 namespace {
@@ -66,12 +68,21 @@ StatusOr<bool> IsChaseFiniteL(const Database& database,
   LCheckStats& out = stats != nullptr ? *stats : local;
 
   // The db-dependent component: FindShapes (Section 8's t-shapes), unless
-  // the caller maintains the shapes incrementally (Section 10).
+  // the caller maintains the shapes incrementally (Section 10) — either as
+  // a pre-extracted vector or as a live sharded index.
   Timer timer;
   storage::Catalog catalog(&database);
   std::vector<Shape> computed;
   if (options.precomputed_shapes == nullptr) {
-    computed = storage::FindShapes(catalog, options.shape_finder);
+    if (options.shape_index != nullptr) {
+      computed = options.shape_index->CurrentShapes();
+    } else {
+      storage::MemoryShapeSource source(&catalog);
+      CHASE_ASSIGN_OR_RETURN(
+          computed,
+          storage::FindShapes(
+              source, {options.shape_finder, options.shape_threads}));
+    }
   }
   const std::vector<Shape>& shapes = options.precomputed_shapes != nullptr
                                          ? *options.precomputed_shapes

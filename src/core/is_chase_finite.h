@@ -26,6 +26,10 @@
 
 namespace chase {
 
+namespace index {
+class ShardedShapeIndex;
+}  // namespace index
+
 struct SlCheckStats {
   double graph_ms = 0;    // t-graph: build dg(Σ)
   double comp_ms = 0;     // t-comp: find special SCCs
@@ -44,10 +48,18 @@ StatusOr<bool> IsChaseFiniteSL(const Database& database,
 struct LCheckOptions {
   storage::ShapeFinderMode shape_finder =
       storage::ShapeFinderMode::kInMemory;
+  // Worker threads for the db-dependent FindShapes component (<= 1 runs it
+  // serially). Ignored when the shapes come precomputed.
+  unsigned shape_threads = 1;
+  // When set, shape(D) is extracted from this incrementally maintained
+  // index (index::ShardedShapeIndex::CurrentShapes) instead of scanning
+  // the database — the Section 10 "materialize the shapes" deployment with
+  // write-through maintenance. Must outlive the call.
+  const index::ShardedShapeIndex* shape_index = nullptr;
   // When set, shape(D) is taken from here (sorted by (pred, id), the
   // contract of storage::FindShapes and storage::ShapeIndex::CurrentShapes)
-  // and the db-dependent component is skipped entirely — the Section 10
-  // "materialize the shapes" deployment. Must outlive the call.
+  // and the db-dependent component is skipped entirely. Takes precedence
+  // over shape_index. Must outlive the call.
   const std::vector<Shape>* precomputed_shapes = nullptr;
 };
 

@@ -5,6 +5,7 @@
 #include "gen/data_generator.h"
 #include "storage/catalog.h"
 #include "storage/shape_finder.h"
+#include "storage/shape_source.h"
 
 namespace chase {
 namespace {
@@ -292,7 +293,9 @@ ScenarioStats ComputeScenarioStats(const Scenario& scenario) {
   if (schema.NumPredicates() == 0) stats.min_arity = 0;
   stats.n_atoms = scenario.program.database->TotalFacts();
   storage::Catalog catalog(scenario.program.database.get());
-  stats.n_shapes = storage::FindShapesInMemory(catalog).size();
+  storage::MemoryShapeSource source(&catalog);
+  // The in-memory scan cannot fail.
+  stats.n_shapes = storage::FindShapes(source, {}).value().size();
   stats.n_rules = scenario.program.tgds.size();
   return stats;
 }

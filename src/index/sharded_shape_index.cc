@@ -1,0 +1,212 @@
+#include "index/sharded_shape_index.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "io/binary_io.h"
+
+namespace chase {
+namespace index {
+
+static_assert(ShardedShapeIndex::kMaxShards == io::kMaxSnapshotShards,
+              "snapshot validation must accept every buildable shard count");
+
+namespace {
+
+unsigned ClampShards(unsigned shards) {
+  if (shards == 0) return ShardedShapeIndex::kDefaultShards;
+  return std::min(shards, ShardedShapeIndex::kMaxShards);
+}
+
+}  // namespace
+
+ShardedShapeIndex::ShardedShapeIndex(unsigned shards) {
+  shards_.reserve(ClampShards(shards));
+  for (unsigned i = 0; i < ClampShards(shards); ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+size_t ShardedShapeIndex::ShardOf(const Shape& shape) const {
+  uint64_t h = ShapeHash{}(shape);
+  // Fibonacci-style final mix: ShapeHash's low bits also pick the bucket
+  // inside the shard map, so shard selection reads the high bits instead.
+  h *= 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 32;
+  return static_cast<size_t>(h % shards_.size());
+}
+
+void ShardedShapeIndex::AddShape(const Shape& shape, uint64_t count) {
+  if (count == 0) return;
+  Shard& shard = *shards_[ShardOf(shape)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.counts[shape] += count;
+  shard.tuples += count;
+}
+
+Status ShardedShapeIndex::RemoveShape(const Shape& shape) {
+  Shard& shard = *shards_[ShardOf(shape)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.counts.find(shape);
+  if (it == shard.counts.end()) {
+    return FailedPreconditionError(
+        "removing a tuple whose shape is not indexed");
+  }
+  if (--it->second == 0) shard.counts.erase(it);
+  --shard.tuples;
+  return OkStatus();
+}
+
+bool ShardedShapeIndex::Contains(const Shape& shape) const {
+  const Shard& shard = *shards_[ShardOf(shape)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.counts.find(shape) != shard.counts.end();
+}
+
+uint64_t ShardedShapeIndex::Count(const Shape& shape) const {
+  const Shard& shard = *shards_[ShardOf(shape)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.counts.find(shape);
+  return it == shard.counts.end() ? 0 : it->second;
+}
+
+size_t ShardedShapeIndex::NumShapes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->counts.size();
+  }
+  return total;
+}
+
+uint64_t ShardedShapeIndex::NumIndexedTuples() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->tuples;
+  }
+  return total;
+}
+
+size_t ShardedShapeIndex::ShardNumShapes(unsigned shard) const {
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->counts.size();
+}
+
+void ShardedShapeIndex::MergeCounts(const CountMap& counts) {
+  // Group by destination shard first so each shard latch is taken once per
+  // fold, not once per shape.
+  std::vector<std::vector<const CountMap::value_type*>> by_shard(
+      shards_.size());
+  for (const auto& entry : counts) {
+    by_shard[ShardOf(entry.first)].push_back(&entry);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto* entry : by_shard[s]) {
+      shard.counts[entry->first] += entry->second;
+      shard.tuples += entry->second;
+    }
+  }
+}
+
+std::vector<Shape> ShardedShapeIndex::CurrentShapes() const {
+  // Per-shard sorted extraction.
+  std::vector<std::vector<Shape>> runs;
+  runs.reserve(shards_.size());
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::vector<Shape> run;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      run.reserve(shard->counts.size());
+      for (const auto& [shape, count] : shard->counts) run.push_back(shape);
+    }
+    std::sort(run.begin(), run.end());
+    total += run.size();
+    if (!run.empty()) runs.push_back(std::move(run));
+  }
+
+  // K-way merge of the runs. Shards partition the shape space, so the runs
+  // are duplicate-free and so is the merge.
+  std::vector<Shape> merged;
+  merged.reserve(total);
+  using Cursor = std::pair<size_t, size_t>;  // (run, offset)
+  auto greater = [&](const Cursor& a, const Cursor& b) {
+    return runs[b.first][b.second] < runs[a.first][a.second];
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(greater)> heap(
+      greater);
+  for (size_t r = 0; r < runs.size(); ++r) heap.push({r, 0});
+  while (!heap.empty()) {
+    auto [run, offset] = heap.top();
+    heap.pop();
+    merged.push_back(std::move(runs[run][offset]));
+    if (offset + 1 < runs[run].size()) heap.push({run, offset + 1});
+  }
+  return merged;
+}
+
+StatusOr<ShardedShapeIndex> ShardedShapeIndex::Build(
+    const storage::ShapeSource& source, const IndexBuildOptions& options) {
+  ShardedShapeIndex index(ClampShards(options.shards));
+  const unsigned threads = std::max(1u, options.threads);
+
+  // The range-partitioned scan driver is shared with the scan-mode shape
+  // finder; workers count into thread-local maps, folded in per worker.
+  std::vector<CountMap> local(threads);
+  CHASE_RETURN_IF_ERROR(storage::ParallelTupleScan(
+      source, source.NonEmptyRelations(), threads,
+      [&](unsigned t, PredId pred, std::span<const uint32_t> tuple) {
+        ++local[t][Shape(pred, IdOf(tuple))];
+      }));
+  for (unsigned t = 0; t < threads; ++t) index.MergeCounts(local[t]);
+  return index;
+}
+
+ShardedShapeIndex ShardedShapeIndex::Build(const Database& db,
+                                           unsigned shards) {
+  ShardedShapeIndex index(shards);
+  for (PredId pred : db.NonEmptyPredicates()) {
+    const uint32_t arity = db.schema().Arity(pred);
+    const auto tuples = db.Tuples(pred);
+    const size_t rows = tuples.size() / arity;
+    for (size_t row = 0; row < rows; ++row) {
+      index.Insert(pred, tuples.subspan(row * arity, arity));
+    }
+  }
+  return index;
+}
+
+Status ShardedShapeIndex::Save(const std::string& path) const {
+  io::ShapeSnapshot snapshot;
+  snapshot.num_shards = num_shards();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [shape, count] : shard->counts) {
+      snapshot.counts.push_back({shape, count});
+    }
+  }
+  // Snapshot bytes are deterministic: entries sorted by shape.
+  std::sort(snapshot.counts.begin(), snapshot.counts.end(),
+            [](const io::ShapeCount& a, const io::ShapeCount& b) {
+              return a.shape < b.shape;
+            });
+  return io::SaveShapeSnapshot(snapshot, path);
+}
+
+StatusOr<ShardedShapeIndex> ShardedShapeIndex::Load(const std::string& path) {
+  CHASE_ASSIGN_OR_RETURN(io::ShapeSnapshot snapshot,
+                         io::LoadShapeSnapshot(path));
+  ShardedShapeIndex index(snapshot.num_shards);
+  for (const io::ShapeCount& entry : snapshot.counts) {
+    index.AddShape(entry.shape, entry.count);
+  }
+  return index;
+}
+
+}  // namespace index
+}  // namespace chase

@@ -1,5 +1,6 @@
 #include "io/binary_io.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 
@@ -12,6 +13,8 @@ namespace {
 
 constexpr uint32_t kMagic = 0x4e424843;  // "CHBN"
 constexpr uint32_t kVersion = 1;
+constexpr uint32_t kSnapshotMagic = 0x49534843;  // "CHSI"
+constexpr uint32_t kSnapshotVersion = 1;
 
 uint64_t Fnv1a(std::span<const uint8_t> bytes) {
   uint64_t hash = 0xcbf29ce484222325ULL;
@@ -20,6 +23,78 @@ uint64_t Fnv1a(std::span<const uint8_t> bytes) {
     hash *= 0x100000001b3ULL;
   }
   return hash;
+}
+
+// The shared artifact envelope: magic | version | payload size | checksum.
+std::vector<uint8_t> WrapPayload(uint32_t magic, uint32_t version,
+                                 const ByteWriter& payload) {
+  ByteWriter out;
+  out.PutU32(magic);
+  out.PutU32(version);
+  out.PutU64(payload.bytes().size());
+  out.PutU64(Fnv1a(payload.bytes()));
+  std::vector<uint8_t> result = out.Take();
+  result.insert(result.end(), payload.bytes().begin(), payload.bytes().end());
+  return result;
+}
+
+// Validates the envelope and returns the checksummed payload span.
+StatusOr<std::span<const uint8_t>> UnwrapPayload(
+    uint32_t magic, uint32_t version, std::span<const uint8_t> bytes,
+    const char* what) {
+  ByteReader header(bytes);
+  CHASE_ASSIGN_OR_RETURN(uint32_t got_magic, header.GetU32());
+  if (got_magic != magic) {
+    return FailedPreconditionError(std::string("not a ") + what +
+                                   " (bad magic)");
+  }
+  CHASE_ASSIGN_OR_RETURN(uint32_t got_version, header.GetU32());
+  if (got_version != version) {
+    return FailedPreconditionError(std::string("unsupported ") + what +
+                                   " version " + std::to_string(got_version));
+  }
+  CHASE_ASSIGN_OR_RETURN(uint64_t payload_size, header.GetU64());
+  CHASE_ASSIGN_OR_RETURN(uint64_t checksum, header.GetU64());
+  if (header.remaining() != payload_size) {
+    return OutOfRangeError(std::string(what) + " payload truncated");
+  }
+  std::span<const uint8_t> payload =
+      bytes.subspan(bytes.size() - payload_size);
+  if (Fnv1a(payload) != checksum) {
+    return FailedPreconditionError(std::string(what) + " checksum mismatch");
+  }
+  return payload;
+}
+
+Status WriteFileBytes(std::span<const uint8_t> bytes,
+                      const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return InternalError("cannot create file: " + path);
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  if (written != bytes.size() || !closed) {
+    return InternalError("short write: " + path);
+  }
+  return OkStatus();
+}
+
+StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return NotFoundError("cannot open file: " + path);
+  }
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  const size_t read = std::fread(bytes.data(), 1, bytes.size(), file);
+  std::fclose(file);
+  if (read != bytes.size()) {
+    return InternalError("short read: " + path);
+  }
+  return bytes;
 }
 
 void PutAtoms(ByteWriter* writer, const std::vector<RuleAtom>& atoms) {
@@ -79,37 +154,13 @@ std::vector<uint8_t> SerializeProgram(const Schema& schema,
     PutAtoms(&payload, tgd.head());
   }
 
-  ByteWriter out;
-  out.PutU32(kMagic);
-  out.PutU32(kVersion);
-  out.PutU64(payload.bytes().size());
-  out.PutU64(Fnv1a(payload.bytes()));
-  std::vector<uint8_t> result = out.Take();
-  result.insert(result.end(), payload.bytes().begin(), payload.bytes().end());
-  return result;
+  return WrapPayload(kMagic, kVersion, payload);
 }
 
 StatusOr<Program> DeserializeProgram(std::span<const uint8_t> bytes) {
-  ByteReader header(bytes);
-  CHASE_ASSIGN_OR_RETURN(uint32_t magic, header.GetU32());
-  if (magic != kMagic) {
-    return FailedPreconditionError("not a chase binary program (bad magic)");
-  }
-  CHASE_ASSIGN_OR_RETURN(uint32_t version, header.GetU32());
-  if (version != kVersion) {
-    return FailedPreconditionError("unsupported binary program version " +
-                                   std::to_string(version));
-  }
-  CHASE_ASSIGN_OR_RETURN(uint64_t payload_size, header.GetU64());
-  CHASE_ASSIGN_OR_RETURN(uint64_t checksum, header.GetU64());
-  if (header.remaining() != payload_size) {
-    return OutOfRangeError("binary program payload truncated");
-  }
-  std::span<const uint8_t> payload = bytes.subspan(bytes.size() -
-                                                   payload_size);
-  if (Fnv1a(payload) != checksum) {
-    return FailedPreconditionError("binary program checksum mismatch");
-  }
+  CHASE_ASSIGN_OR_RETURN(
+      std::span<const uint8_t> payload,
+      UnwrapPayload(kMagic, kVersion, bytes, "chase binary program"));
 
   ByteReader reader(payload);
   Program program;
@@ -160,34 +211,92 @@ StatusOr<Program> DeserializeProgram(std::span<const uint8_t> bytes) {
 
 Status SaveProgram(const Schema& schema, const Database& database,
                    const std::vector<Tgd>& tgds, const std::string& path) {
-  std::vector<uint8_t> bytes = SerializeProgram(schema, database, tgds);
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) {
-    return InternalError("cannot create file: " + path);
-  }
-  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file);
-  const bool closed = std::fclose(file) == 0;
-  if (written != bytes.size() || !closed) {
-    return InternalError("short write: " + path);
-  }
-  return OkStatus();
+  return WriteFileBytes(SerializeProgram(schema, database, tgds), path);
 }
 
 StatusOr<Program> LoadProgram(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) {
-    return NotFoundError("cannot open file: " + path);
-  }
-  std::fseek(file, 0, SEEK_END);
-  const long size = std::ftell(file);
-  std::fseek(file, 0, SEEK_SET);
-  std::vector<uint8_t> bytes(static_cast<size_t>(size));
-  const size_t read = std::fread(bytes.data(), 1, bytes.size(), file);
-  std::fclose(file);
-  if (read != bytes.size()) {
-    return InternalError("short read: " + path);
-  }
+  CHASE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
   return DeserializeProgram(bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Shape-index snapshots.
+
+std::vector<uint8_t> SerializeShapeSnapshot(const ShapeSnapshot& snapshot) {
+  ByteWriter payload;
+  payload.PutU32(snapshot.num_shards);
+  payload.PutU64(snapshot.counts.size());
+  for (const ShapeCount& entry : snapshot.counts) {
+    payload.PutU32(entry.shape.pred);
+    payload.PutU8(static_cast<uint8_t>(entry.shape.id.size()));
+    for (uint8_t v : entry.shape.id) payload.PutU8(v);
+    payload.PutU64(entry.count);
+  }
+  return WrapPayload(kSnapshotMagic, kSnapshotVersion, payload);
+}
+
+StatusOr<ShapeSnapshot> DeserializeShapeSnapshot(
+    std::span<const uint8_t> bytes) {
+  CHASE_ASSIGN_OR_RETURN(
+      std::span<const uint8_t> payload,
+      UnwrapPayload(kSnapshotMagic, kSnapshotVersion, bytes,
+                    "chase shape snapshot"));
+
+  ByteReader reader(payload);
+  ShapeSnapshot snapshot;
+  CHASE_ASSIGN_OR_RETURN(snapshot.num_shards, reader.GetU32());
+  // Writers only produce shard counts in [1, kMaxSnapshotShards]; loading
+  // stays equally strict so a load/save round-trip never rewrites the
+  // header (canonical bytes).
+  if (snapshot.num_shards == 0 ||
+      snapshot.num_shards > kMaxSnapshotShards) {
+    return FailedPreconditionError(
+        "shape snapshot shard count out of range: " +
+        std::to_string(snapshot.num_shards));
+  }
+  CHASE_ASSIGN_OR_RETURN(uint64_t num_entries, reader.GetU64());
+  snapshot.counts.reserve(
+      std::min<uint64_t>(num_entries, reader.remaining() / 2));
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    ShapeCount entry;
+    CHASE_ASSIGN_OR_RETURN(entry.shape.pred, reader.GetU32());
+    CHASE_ASSIGN_OR_RETURN(uint8_t arity, reader.GetU8());
+    entry.shape.id.resize(arity);
+    uint8_t max_id = 0;
+    for (uint8_t j = 0; j < arity; ++j) {
+      CHASE_ASSIGN_OR_RETURN(entry.shape.id[j], reader.GetU8());
+      // id-tuples are restricted-growth strings: id[0] == 1 and each value
+      // is at most one past the running maximum.
+      if (entry.shape.id[j] == 0 || entry.shape.id[j] > max_id + 1) {
+        return FailedPreconditionError(
+            "shape snapshot entry is not a restricted-growth string");
+      }
+      max_id = std::max(max_id, entry.shape.id[j]);
+    }
+    CHASE_ASSIGN_OR_RETURN(entry.count, reader.GetU64());
+    if (entry.count == 0) {
+      return FailedPreconditionError("shape snapshot entry has zero count");
+    }
+    if (!snapshot.counts.empty() &&
+        !(snapshot.counts.back().shape < entry.shape)) {
+      return FailedPreconditionError("shape snapshot entries out of order");
+    }
+    snapshot.counts.push_back(std::move(entry));
+  }
+  if (!reader.AtEnd()) {
+    return FailedPreconditionError("trailing bytes after snapshot payload");
+  }
+  return snapshot;
+}
+
+Status SaveShapeSnapshot(const ShapeSnapshot& snapshot,
+                         const std::string& path) {
+  return WriteFileBytes(SerializeShapeSnapshot(snapshot), path);
+}
+
+StatusOr<ShapeSnapshot> LoadShapeSnapshot(const std::string& path) {
+  CHASE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
+  return DeserializeShapeSnapshot(bytes);
 }
 
 }  // namespace io

@@ -1,4 +1,5 @@
-// Binary serialization for programs (schema + database + TGDs).
+// Binary serialization for programs (schema + database + TGDs) and for
+// shape-index snapshots.
 //
 // The text format (logic/parser.h) is the interchange format; this binary
 // format is the fast path for large generated workloads: loading skips
@@ -6,12 +7,18 @@
 // benches' 100K-rule inputs parse in seconds but load in tens of
 // milliseconds, and chasectl uses it to snapshot generated scenarios.
 //
-// Layout (little-endian):
-//   magic "CHBN" | format version | payload bytes | FNV-1a checksum
+// Both artifact kinds share one envelope (little-endian):
+//   magic | format version | payload size | FNV-1a payload checksum
+//
+// Program payload (magic "CHBN"):
 //   schema   : predicate count, then (name, arity) per predicate
 //   constants: named-constant count + names, anonymous domain size
 //   facts    : per predicate, the flat arity-strided tuple array
 //   tgds     : per TGD, body and head atom lists (pred + variable ids)
+//
+// Shape-snapshot payload (magic "CHSI"): shard count, then the (pred,
+// id-tuple, counter) entries sorted strictly by shape, so snapshot bytes
+// are canonical for a given index state.
 //
 // Loading validates the checksum before parsing, and every read is bounds-
 // checked (ByteReader), so corrupt or truncated files fail cleanly.
@@ -24,6 +31,7 @@
 
 #include "base/status.h"
 #include "logic/parser.h"
+#include "logic/shape.h"
 
 namespace chase {
 namespace io {
@@ -39,6 +47,38 @@ Status SaveProgram(const Schema& schema, const Database& database,
 // checksum and kOutOfRange on truncation.
 StatusOr<Program> DeserializeProgram(std::span<const uint8_t> bytes);
 StatusOr<Program> LoadProgram(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Shape-index snapshots (index/sharded_shape_index.h): the materialized
+// shape(D) multiset, persisted so a front end builds the index once and
+// reuses it across runs.
+
+// Largest shard count a well-formed snapshot may declare; kept equal to
+// index::ShardedShapeIndex::kMaxShards (static_assert'd there) so strict
+// loading never has to clamp.
+inline constexpr uint32_t kMaxSnapshotShards = 4096;
+
+struct ShapeCount {
+  Shape shape;
+  uint64_t count = 0;
+};
+
+struct ShapeSnapshot {
+  uint32_t num_shards = 0;
+  // Sorted strictly by shape (enforced on load); counts are positive.
+  std::vector<ShapeCount> counts;
+};
+
+std::vector<uint8_t> SerializeShapeSnapshot(const ShapeSnapshot& snapshot);
+Status SaveShapeSnapshot(const ShapeSnapshot& snapshot,
+                         const std::string& path);
+
+// Fails with kFailedPrecondition on bad magic/version/checksum, malformed
+// id-tuples (every id must be a restricted-growth string), zero counts, or
+// out-of-order entries; kOutOfRange on truncation.
+StatusOr<ShapeSnapshot> DeserializeShapeSnapshot(
+    std::span<const uint8_t> bytes);
+StatusOr<ShapeSnapshot> LoadShapeSnapshot(const std::string& path);
 
 }  // namespace io
 }  // namespace chase

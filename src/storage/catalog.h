@@ -4,16 +4,28 @@
 // queries (Section 5.4). Catalog reproduces that interface over the
 // in-memory row store and meters the work performed, so benches can report
 // query counts and scanned-tuple counts.
+//
+// A catalog built over a mutable Database additionally offers the
+// transactional write path (InsertFact) with write-through maintenance of
+// an attached index::ShardedShapeIndex — the Section 10 deployment where
+// the materialized shape(D) is kept current by the update stream instead
+// of being recomputed per termination check.
 
 #ifndef CHASE_STORAGE_CATALOG_H_
 #define CHASE_STORAGE_CATALOG_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "logic/database.h"
 
 namespace chase {
+
+namespace index {
+class ShardedShapeIndex;
+}  // namespace index
+
 namespace storage {
 
 struct AccessStats {
@@ -36,8 +48,13 @@ struct AccessStats {
 
 class Catalog {
  public:
-  // `database` must outlive the catalog.
+  // Read-only catalog. `database` must outlive the catalog.
   explicit Catalog(const Database* database) : database_(database) {}
+
+  // Writable catalog: InsertFact becomes available. `database` must outlive
+  // the catalog.
+  explicit Catalog(Database* database)
+      : database_(database), mutable_database_(database) {}
 
   const Database& database() const { return *database_; }
 
@@ -45,10 +62,25 @@ class Catalog {
   // answered from metadata only (no tuple access).
   std::vector<PredId> ListNonEmptyRelations() const;
 
+  // Attaches a write-through shape index: every InsertFact also records the
+  // tuple's shape there, keeping the materialized shape(D) current. The
+  // index must outlive the catalog (pass nullptr to detach) and must
+  // already reflect the database's current contents.
+  void AttachShapeIndex(index::ShardedShapeIndex* shape_index) {
+    shape_index_ = shape_index;
+  }
+  index::ShardedShapeIndex* shape_index() const { return shape_index_; }
+
+  // The metered write path: appends the fact and maintains the attached
+  // shape index. Fails with kFailedPrecondition on a read-only catalog.
+  Status InsertFact(PredId pred, std::span<const uint32_t> tuple);
+
   AccessStats& stats() const { return stats_; }
 
  private:
   const Database* database_;
+  Database* mutable_database_ = nullptr;
+  index::ShardedShapeIndex* shape_index_ = nullptr;
   mutable AccessStats stats_;
 };
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <thread>
 
+#include "index/sharded_shape_index.h"
 #include "storage/shape_lattice.h"
 
 namespace chase {
@@ -18,82 +19,19 @@ std::vector<Shape> Sorted(ShapeSet shapes) {
 }
 
 // ---------------------------------------------------------------------------
-// Scan plan: full strided scans, hashing every tuple's id-tuple.
+// Scan plan: full strided scans, hashing every tuple's id-tuple. The scan
+// driver (chunking, worker pool, metering) is ParallelTupleScan in the
+// ShapeSource layer, shared with the sharded-index build.
 
-// One unit of parallel scan work: a row range of one relation.
-struct Chunk {
-  PredId pred;
-  uint64_t first_row;
-  uint64_t num_rows;
-};
-
-Status ScanShapesSerial(const ShapeSource& source,
-                        const std::vector<PredId>& preds, ShapeSet* shapes) {
-  for (PredId pred : preds) {
-    // "Load all the tuples of R into the main memory" — one full strided
-    // scan, metered as one relation load.
-    ++source.stats().relations_loaded;
-    uint64_t scanned = 0;
-    Status status =
-        source.ScanAll(pred, [&](std::span<const uint32_t> tuple) {
-          ++scanned;
-          shapes->insert(ShapeOfTuple(pred, tuple));
-          return true;
-        });
-    source.stats().tuples_scanned += scanned;
-    CHASE_RETURN_IF_ERROR(status);
-  }
-  return OkStatus();
-}
-
-Status ScanShapesParallel(const ShapeSource& source,
-                          const std::vector<PredId>& preds, unsigned threads,
-                          ShapeSet* shapes) {
-  // Split into chunks of roughly equal tuple counts. Target a few chunks
-  // per thread so uneven relation sizes still balance.
-  uint64_t total_rows = 0;
-  for (PredId pred : preds) total_rows += source.NumTuples(pred);
-  const uint64_t target = std::max<uint64_t>(1, total_rows / (4 * threads));
-  std::vector<Chunk> chunks;
-  for (PredId pred : preds) {
-    ++source.stats().relations_loaded;
-    const uint64_t rows = source.NumTuples(pred);
-    for (uint64_t first = 0; first < rows; first += target) {
-      chunks.push_back(
-          {pred, first, std::min<uint64_t>(target, rows - first)});
-    }
-  }
-
+Status ScanShapes(const ShapeSource& source,
+                  const std::vector<PredId>& preds, unsigned threads,
+                  ShapeSet* shapes) {
   std::vector<ShapeSet> local(threads);
-  std::vector<uint64_t> scanned(threads, 0);
-  std::vector<Status> worker_status(threads);
-  std::vector<std::thread> workers;
-  std::atomic<size_t> next_chunk{0};
-  workers.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t] {
-      while (worker_status[t].ok()) {
-        const size_t index = next_chunk.fetch_add(1);
-        if (index >= chunks.size()) break;
-        const Chunk& chunk = chunks[index];
-        worker_status[t] = source.ScanRange(
-            chunk.pred, chunk.first_row, chunk.num_rows,
-            [&](std::span<const uint32_t> tuple) {
-              ++scanned[t];
-              local[t].insert(ShapeOfTuple(chunk.pred, tuple));
-              return true;
-            });
-      }
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
-
-  for (unsigned t = 0; t < threads; ++t) {
-    source.stats().tuples_scanned += scanned[t];
-  }
-  for (unsigned t = 0; t < threads; ++t) {
-    CHASE_RETURN_IF_ERROR(worker_status[t]);
-  }
+  CHASE_RETURN_IF_ERROR(ParallelTupleScan(
+      source, preds, threads,
+      [&](unsigned t, PredId pred, std::span<const uint32_t> tuple) {
+        local[t].insert(ShapeOfTuple(pred, tuple));
+      }));
   for (unsigned t = 0; t < threads; ++t) shapes->merge(local[t]);
   return OkStatus();
 }
@@ -160,19 +98,32 @@ Status WalkShapesParallel(const ShapeSource& source, std::vector<PredId> preds,
 }  // namespace
 
 const char* ShapeFinderModeName(ShapeFinderMode mode) {
-  return mode == ShapeFinderMode::kScan ? "scan" : "exists";
+  switch (mode) {
+    case ShapeFinderMode::kScan:
+      return "scan";
+    case ShapeFinderMode::kExists:
+      return "exists";
+    case ShapeFinderMode::kIndex:
+      return "index";
+  }
+  return "?";
 }
 
 StatusOr<std::vector<Shape>> FindShapes(const ShapeSource& source,
                                         const FindShapesOptions& options) {
-  const std::vector<PredId> preds = source.NonEmptyRelations();
   const unsigned threads = std::max(1u, options.threads);
+  if (options.mode == ShapeFinderMode::kIndex) {
+    CHASE_ASSIGN_OR_RETURN(
+        index::ShardedShapeIndex idx,
+        index::ShardedShapeIndex::Build(source,
+                                        {options.index_shards, threads}));
+    return idx.CurrentShapes();
+  }
+  const std::vector<PredId> preds = source.NonEmptyRelations();
   ShapeSet shapes;
   Status status = OkStatus();
   if (options.mode == ShapeFinderMode::kScan) {
-    status = threads == 1
-                 ? ScanShapesSerial(source, preds, &shapes)
-                 : ScanShapesParallel(source, preds, threads, &shapes);
+    status = ScanShapes(source, preds, threads, &shapes);
   } else if (threads == 1) {
     for (PredId pred : preds) {
       status = WalkShapesForPred(source, pred, &source.stats(), &shapes);

@@ -34,12 +34,16 @@
 namespace chase {
 namespace storage {
 
-// The two query plans. The legacy names predate the ShapeSource layer,
-// when each plan was welded to one backend; they alias the plan that
-// backend used.
+// The query plans. kScan and kExists are the paper's two; kIndex is the
+// Section 10 deployment — build (or reuse) a sharded materialized shape
+// index over the source and extract shape(D) from it, so repeated checks
+// pay a dictionary extraction instead of a scan. The legacy names predate
+// the ShapeSource layer, when each plan was welded to one backend; they
+// alias the plan that backend used.
 enum class ShapeFinderMode {
   kScan,
   kExists,
+  kIndex,
   kInMemory = kScan,
   kInDatabase = kExists,
 };
@@ -48,7 +52,8 @@ const char* ShapeFinderModeName(ShapeFinderMode mode);
 
 struct FindShapesOptions {
   ShapeFinderMode mode = ShapeFinderMode::kScan;
-  unsigned threads = 1;  // <= 1 runs serially
+  unsigned threads = 1;     // <= 1 runs serially
+  unsigned index_shards = 0;  // kIndex only: shard count (0 = default)
 };
 
 // The unified entry point: returns shape(D) sorted by (pred, id), computed

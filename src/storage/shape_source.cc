@@ -1,6 +1,8 @@
 #include "storage/shape_source.h"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
 namespace chase {
 namespace storage {
@@ -36,7 +38,68 @@ bool MatchesShape(std::span<const uint32_t> tuple, const uint32_t* first,
   return true;
 }
 
+// One unit of partitioned scan work: a row range of one relation.
+struct Chunk {
+  PredId pred;
+  uint64_t first_row;
+  uint64_t num_rows;
+};
+
 }  // namespace
+
+Status ParallelTupleScan(const ShapeSource& source,
+                         const std::vector<PredId>& preds, unsigned threads,
+                         const ParallelTupleVisitor& visit) {
+  threads = std::max(1u, threads);
+
+  // Chunks of roughly equal tuple counts, a few per thread.
+  uint64_t total_rows = 0;
+  for (PredId pred : preds) total_rows += source.NumTuples(pred);
+  const uint64_t target = std::max<uint64_t>(1, total_rows / (4 * threads));
+  std::vector<Chunk> chunks;
+  for (PredId pred : preds) {
+    ++source.stats().relations_loaded;
+    const uint64_t rows = source.NumTuples(pred);
+    for (uint64_t first = 0; first < rows; first += target) {
+      chunks.push_back(
+          {pred, first, std::min<uint64_t>(target, rows - first)});
+    }
+  }
+
+  std::vector<uint64_t> scanned(threads, 0);
+  std::vector<Status> worker_status(threads);
+  std::atomic<size_t> next_chunk{0};
+  auto work = [&](unsigned t) {
+    while (worker_status[t].ok()) {
+      const size_t index = next_chunk.fetch_add(1);
+      if (index >= chunks.size()) break;
+      const Chunk& chunk = chunks[index];
+      worker_status[t] = source.ScanRange(
+          chunk.pred, chunk.first_row, chunk.num_rows,
+          [&](std::span<const uint32_t> tuple) {
+            ++scanned[t];
+            visit(t, chunk.pred, tuple);
+            return true;
+          });
+    }
+  };
+  if (threads == 1) {
+    work(0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) workers.emplace_back(work, t);
+    for (std::thread& worker : workers) worker.join();
+  }
+
+  for (unsigned t = 0; t < threads; ++t) {
+    source.stats().tuples_scanned += scanned[t];
+  }
+  for (unsigned t = 0; t < threads; ++t) {
+    CHASE_RETURN_IF_ERROR(worker_status[t]);
+  }
+  return OkStatus();
+}
 
 StatusOr<bool> ProbeShapeExists(const ShapeSource& source, PredId pred,
                                 const IdTuple& id, bool exact,

@@ -84,6 +84,23 @@ class ShapeSource {
   virtual IoCounters Io() const { return {}; }
 };
 
+// Visits every tuple of `preds` with a work-partitioned scan: relations are
+// chunked into row ranges of roughly equal tuple counts (a few chunks per
+// thread, so uneven relation sizes still balance) and dealt to `threads`
+// workers; `threads` <= 1 scans inline on the calling thread. `visit` runs
+// concurrently from workers, keyed by a thread id in [0, threads) so
+// callers accumulate into thread-local state without synchronization.
+// Meters one relation load per predicate and every scanned tuple into
+// source.stats() — the scan-plan FindShapes convention. This is the one
+// scan driver behind both the scan-mode shape finder and the sharded-index
+// build.
+using ParallelTupleVisitor =
+    std::function<void(unsigned thread, PredId pred,
+                       std::span<const uint32_t> tuple)>;
+Status ParallelTupleScan(const ShapeSource& source,
+                         const std::vector<PredId>& preds, unsigned threads,
+                         const ParallelTupleVisitor& visit);
+
 // The early-exit shape-existence probe both query plans of Section 5.4
 // compile to. With `exact` set it answers the full EXISTS query (equalities
 // and disequalities: some tuple has exactly this id-tuple); without it, the

@@ -1,8 +1,9 @@
 // Cross-implementation property tests for the ShapeSource layer: every
 // (backend, mode, threads) combination of the unified FindShapes — memory
-// and disk, scan and exists plans, serial and work-partitioned parallel,
-// including the parallel-disk path no pre-ShapeSource code offered — must
-// return the identical sorted shape(D), with uniform logical metering.
+// and disk; scan, exists, and sharded-index plans; serial and
+// work-partitioned parallel, including the parallel-disk path no
+// pre-ShapeSource code offered — must return the identical sorted
+// shape(D), with uniform logical metering.
 
 #include <gtest/gtest.h>
 
@@ -64,7 +65,8 @@ TEST(ShapeSourceTest, AllBackendModeThreadCombinationsAgree) {
     for (const storage::ShapeSource* source :
          std::initializer_list<const storage::ShapeSource*>{&memory, &disk}) {
       for (ShapeFinderMode mode :
-           {ShapeFinderMode::kScan, ShapeFinderMode::kExists}) {
+           {ShapeFinderMode::kScan, ShapeFinderMode::kExists,
+            ShapeFinderMode::kIndex}) {
         for (unsigned threads : {1u, 2u, 4u}) {
           auto shapes = FindShapes(*source, {mode, threads});
           ASSERT_TRUE(shapes.ok()) << shapes.status();
@@ -128,7 +130,8 @@ TEST(ShapeSourceTest, MeteringIsUniformAcrossBackends) {
   ASSERT_TRUE(disk_db.ok()) << disk_db.status();
 
   for (ShapeFinderMode mode :
-       {ShapeFinderMode::kScan, ShapeFinderMode::kExists}) {
+       {ShapeFinderMode::kScan, ShapeFinderMode::kExists,
+        ShapeFinderMode::kIndex}) {
     for (unsigned threads : {1u, 4u}) {
       // Fresh sources per run: each carries its own logical counters.
       storage::Catalog catalog(data.database.get());

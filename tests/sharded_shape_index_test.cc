@@ -1,0 +1,450 @@
+// ShardedShapeIndex: the sharded, persistent, write-through materialization
+// of shape(D).
+//
+//  * equivalence: parallel builds over both ShapeSource backends and the
+//    `index` FindShapes mode return exactly the serial oracle's shapes;
+//  * concurrency: a multi-threaded insert/remove stress run must land in
+//    the same state as a serial storage::ShapeIndex replay (run under
+//    ThreadSanitizer in CI);
+//  * persistence: snapshots round-trip bit-exactly and corrupt or truncated
+//    snapshots are rejected;
+//  * write-through: the Catalog insert path and the chase engine keep the
+//    index current, and IsChaseFinite[L] fed from the index agrees with the
+//    scanning implementation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/rng.h"
+#include "chase/chase_engine.h"
+#include "core/is_chase_finite.h"
+#include "gen/data_generator.h"
+#include "gen/tgd_generator.h"
+#include "index/sharded_shape_index.h"
+#include "io/binary_io.h"
+#include "logic/parser.h"
+#include "pager/disk_database.h"
+#include "pager/disk_shape_source.h"
+#include "storage/catalog.h"
+#include "storage/shape_finder.h"
+#include "storage/shape_index.h"
+#include "storage/shape_source.h"
+
+namespace chase {
+namespace {
+
+using index::IndexBuildOptions;
+using index::ShardedShapeIndex;
+using storage::FindShapes;
+using storage::ShapeFinderMode;
+
+std::string TempPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+GeneratedData MakeRandomData(Rng* rng) {
+  DataGenParams params;
+  params.preds = 1 + static_cast<uint32_t>(rng->Below(6));
+  params.min_arity = 1;
+  params.max_arity = 1 + static_cast<uint32_t>(rng->Below(5));
+  // Small domains force repeated constants, so coarse shapes actually occur
+  // (64 is the generator's minimum).
+  params.dsize = 64 + rng->Below(150);
+  params.rsize = rng->Below(800);
+  params.seed = rng->Next();
+  auto data = GenerateData(params);
+  EXPECT_TRUE(data.ok()) << data.status();
+  return std::move(data).value();
+}
+
+TEST(ShardedShapeIndexTest, EmptyIndexHasNoShapes) {
+  ShardedShapeIndex index(4);
+  EXPECT_EQ(index.num_shards(), 4u);
+  EXPECT_EQ(index.NumShapes(), 0u);
+  EXPECT_EQ(index.NumIndexedTuples(), 0u);
+  EXPECT_TRUE(index.CurrentShapes().empty());
+}
+
+TEST(ShardedShapeIndexTest, ZeroShardsFallsBackToDefault) {
+  ShardedShapeIndex index(0);
+  EXPECT_EQ(index.num_shards(), ShardedShapeIndex::kDefaultShards);
+}
+
+TEST(ShardedShapeIndexTest, CountsAndRemovalMatchSerialSemantics) {
+  Schema schema;
+  auto pred = schema.AddPredicate("r", 3);
+  ASSERT_TRUE(pred.ok());
+  ShardedShapeIndex index(8);
+  std::vector<uint32_t> t1 = {1, 1, 2};
+  std::vector<uint32_t> t2 = {5, 5, 9};  // same shape (1,1,2)
+  index.Insert(*pred, t1);
+  index.Insert(*pred, t2);
+  EXPECT_EQ(index.NumShapes(), 1u);
+  EXPECT_EQ(index.Count(Shape(*pred, {1, 1, 2})), 2u);
+  EXPECT_EQ(index.NumIndexedTuples(), 2u);
+
+  ASSERT_TRUE(index.Remove(*pred, t1).ok());
+  EXPECT_TRUE(index.Contains(Shape(*pred, {1, 1, 2})));
+  ASSERT_TRUE(index.Remove(*pred, t2).ok());
+  EXPECT_FALSE(index.Contains(Shape(*pred, {1, 1, 2})));
+  EXPECT_EQ(index.Remove(*pred, t1).code(), StatusCode::kFailedPrecondition);
+}
+
+// Build over both backends, every (shards, threads) combination, must equal
+// the serial single-map oracle — and so must the kIndex FindShapes mode.
+TEST(ShardedShapeIndexTest, BuildMatchesSerialOracleOnBothBackends) {
+  Rng rng(20260728);
+  for (int trial = 0; trial < 6; ++trial) {
+    GeneratedData data = MakeRandomData(&rng);
+    const std::vector<Shape> expected =
+        storage::ShapeIndex::Build(*data.database).CurrentShapes();
+
+    const std::string path =
+        TempPath("chase_sharded_index_build_" + std::to_string(trial) +
+                 ".db");
+    auto disk_db = pager::DiskDatabase::Create(path, *data.database,
+                                               /*num_frames=*/16);
+    ASSERT_TRUE(disk_db.ok()) << disk_db.status();
+    storage::Catalog catalog(data.database.get());
+    storage::MemoryShapeSource memory(&catalog);
+    pager::DiskShapeSource disk(disk_db->get());
+
+    for (const storage::ShapeSource* source :
+         {static_cast<const storage::ShapeSource*>(&memory),
+          static_cast<const storage::ShapeSource*>(&disk)}) {
+      for (unsigned shards : {1u, 3u, 16u}) {
+        for (unsigned threads : {1u, 4u}) {
+          auto built = ShardedShapeIndex::Build(*source, {shards, threads});
+          ASSERT_TRUE(built.ok()) << built.status();
+          EXPECT_EQ(built->num_shards(), shards);
+          EXPECT_EQ(built->CurrentShapes(), expected)
+              << "trial " << trial << ", backend " << source->Name()
+              << ", shards " << shards << ", threads " << threads;
+          EXPECT_EQ(built->NumIndexedTuples(), data.database->TotalFacts());
+        }
+      }
+      auto via_finder =
+          FindShapes(*source, {ShapeFinderMode::kIndex, /*threads=*/4});
+      ASSERT_TRUE(via_finder.ok()) << via_finder.status();
+      EXPECT_EQ(*via_finder, expected);
+    }
+    std::remove(path.c_str());
+  }
+}
+
+// Per-shape multiplicities (not just the distinct set) must match the
+// serial oracle after a parallel build.
+TEST(ShardedShapeIndexTest, BuildPreservesMultiplicities) {
+  Rng rng(7311);
+  GeneratedData data = MakeRandomData(&rng);
+  storage::ShapeIndex oracle = storage::ShapeIndex::Build(*data.database);
+  ShardedShapeIndex sharded =
+      ShardedShapeIndex::Build(*data.database, /*shards=*/8);
+  for (const Shape& shape : oracle.CurrentShapes()) {
+    EXPECT_EQ(sharded.Count(shape), oracle.Count(shape));
+  }
+  EXPECT_EQ(sharded.NumShapes(), oracle.NumShapes());
+}
+
+// The multi-threaded stress test: writers hammer one index concurrently;
+// the final state must equal a serial replay. Exercises the per-shard
+// latches and the concurrent read paths; run under TSan in CI.
+TEST(ShardedShapeIndexTest, ConcurrentInsertRemoveMatchesSerialReplay) {
+  constexpr unsigned kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+
+  Schema schema;
+  std::vector<PredId> preds;
+  for (int i = 0; i < 5; ++i) {
+    auto pred = schema.AddPredicate("p" + std::to_string(i),
+                                    1 + static_cast<uint32_t>(i % 4));
+    ASSERT_TRUE(pred.ok());
+    preds.push_back(*pred);
+  }
+
+  struct Op {
+    bool remove;
+    PredId pred;
+    std::vector<uint32_t> tuple;
+  };
+
+  ShardedShapeIndex sharded(16);
+  std::vector<std::vector<Op>> logs(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      // Tuples this worker inserted and has not yet removed: removals are
+      // restricted to them, so no interleaving can drive a counter negative.
+      std::vector<std::pair<PredId, std::vector<uint32_t>>> live;
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const bool remove = !live.empty() && rng.Below(100) < 40;
+        if (remove) {
+          const size_t victim = rng.Below(live.size());
+          auto [pred, tuple] = live[victim];
+          ASSERT_TRUE(sharded.Remove(pred, tuple).ok());
+          logs[t].push_back({true, pred, std::move(tuple)});
+          live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+        } else {
+          const size_t which = rng.Below(preds.size());
+          const PredId pred = preds[which];
+          std::vector<uint32_t> tuple(schema.Arity(pred));
+          for (uint32_t& v : tuple) {
+            v = static_cast<uint32_t>(rng.Below(5));  // small → collisions
+          }
+          sharded.Insert(pred, tuple);
+          logs[t].push_back({false, pred, tuple});
+          live.emplace_back(pred, std::move(tuple));
+        }
+        if (op % 512 == 0) {
+          // Concurrent readers: must be data-race-free with the writers.
+          (void)sharded.NumShapes();
+          (void)sharded.Contains(Shape(preds[0], {1}));
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  // Serial replay, thread by thread: each per-thread log is individually
+  // valid, and threads only remove their own inserts, so any thread order
+  // replays cleanly and all orders end in the same counter state.
+  storage::ShapeIndex oracle;
+  for (const auto& log : logs) {
+    for (const Op& op : log) {
+      if (op.remove) {
+        ASSERT_TRUE(oracle.Remove(op.pred, op.tuple).ok());
+      } else {
+        oracle.Insert(op.pred, op.tuple);
+      }
+    }
+  }
+
+  EXPECT_EQ(sharded.CurrentShapes(), oracle.CurrentShapes());
+  for (const Shape& shape : oracle.CurrentShapes()) {
+    EXPECT_EQ(sharded.Count(shape), oracle.Count(shape));
+  }
+}
+
+TEST(ShardedShapeIndexTest, SnapshotRoundTrips) {
+  Rng rng(555);
+  GeneratedData data = MakeRandomData(&rng);
+  ShardedShapeIndex built =
+      ShardedShapeIndex::Build(*data.database, /*shards=*/12);
+
+  const std::string path = TempPath("chase_sharded_index_snapshot.chidx");
+  ASSERT_TRUE(built.Save(path).ok());
+  auto loaded = ShardedShapeIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  EXPECT_EQ(loaded->num_shards(), 12u);
+  EXPECT_EQ(loaded->CurrentShapes(), built.CurrentShapes());
+  EXPECT_EQ(loaded->NumIndexedTuples(), built.NumIndexedTuples());
+  for (const Shape& shape : built.CurrentShapes()) {
+    EXPECT_EQ(loaded->Count(shape), built.Count(shape));
+  }
+
+  // Snapshot bytes are canonical: saving the loaded index reproduces them.
+  auto first = io::LoadShapeSnapshot(path);
+  ASSERT_TRUE(first.ok());
+  const std::string path2 = TempPath("chase_sharded_index_snapshot2.chidx");
+  ASSERT_TRUE(loaded->Save(path2).ok());
+  auto second = io::LoadShapeSnapshot(path2);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(io::SerializeShapeSnapshot(*first),
+            io::SerializeShapeSnapshot(*second));
+  std::remove(path.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(ShardedShapeIndexTest, CorruptAndTruncatedSnapshotsAreRejected) {
+  Schema schema;
+  auto pred = schema.AddPredicate("r", 2);
+  ASSERT_TRUE(pred.ok());
+  ShardedShapeIndex index(2);
+  std::vector<uint32_t> tuple = {3, 3};
+  index.Insert(*pred, tuple);
+
+  io::ShapeSnapshot snapshot;
+  snapshot.num_shards = index.num_shards();
+  for (const Shape& shape : index.CurrentShapes()) {
+    snapshot.counts.push_back({shape, index.Count(shape)});
+  }
+  std::vector<uint8_t> bytes = io::SerializeShapeSnapshot(snapshot);
+
+  // Bit flip in the payload: checksum mismatch.
+  std::vector<uint8_t> corrupt = bytes;
+  corrupt.back() ^= 0xff;
+  EXPECT_EQ(io::DeserializeShapeSnapshot(corrupt).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Truncation: reported as such, never read past the end.
+  std::vector<uint8_t> truncated(bytes.begin(), bytes.end() - 3);
+  EXPECT_EQ(io::DeserializeShapeSnapshot(truncated).status().code(),
+            StatusCode::kOutOfRange);
+
+  // Wrong magic (a program is not a snapshot).
+  EXPECT_FALSE(io::DeserializeShapeSnapshot(
+                   io::SerializeProgram(schema, Database(&schema), {}))
+                   .ok());
+
+  // An id-tuple that is not a restricted-growth string.
+  io::ShapeSnapshot bad = snapshot;
+  bad.counts[0].shape.id = {2, 1};
+  EXPECT_EQ(io::DeserializeShapeSnapshot(io::SerializeShapeSnapshot(bad))
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// The `index` FindShapes mode agrees byte-for-byte with the scan and exists
+// plans on memory and disk across generated scenarios (the cross-backend
+// property the scan/exists plans already maintain, extended to the index).
+TEST(ShardedShapeIndexTest, IndexModeAgreesWithScanAndExistsEverywhere) {
+  Rng rng(31415);
+  for (int trial = 0; trial < 6; ++trial) {
+    GeneratedData data = MakeRandomData(&rng);
+    storage::Catalog catalog(data.database.get());
+    storage::MemoryShapeSource memory(&catalog);
+    const std::string path =
+        TempPath("chase_sharded_index_agree_" + std::to_string(trial) +
+                 ".db");
+    auto disk_db = pager::DiskDatabase::Create(path, *data.database,
+                                               /*num_frames=*/8);
+    ASSERT_TRUE(disk_db.ok()) << disk_db.status();
+    pager::DiskShapeSource disk(disk_db->get());
+
+    auto expected = FindShapes(memory, {ShapeFinderMode::kScan, 1});
+    ASSERT_TRUE(expected.ok());
+    for (const storage::ShapeSource* source :
+         {static_cast<const storage::ShapeSource*>(&memory),
+          static_cast<const storage::ShapeSource*>(&disk)}) {
+      for (ShapeFinderMode mode :
+           {ShapeFinderMode::kScan, ShapeFinderMode::kExists,
+            ShapeFinderMode::kIndex}) {
+        for (unsigned threads : {1u, 4u}) {
+          auto shapes = FindShapes(*source, {mode, threads});
+          ASSERT_TRUE(shapes.ok()) << shapes.status();
+          EXPECT_EQ(*shapes, *expected)
+              << "trial " << trial << ", backend " << source->Name()
+              << ", mode " << storage::ShapeFinderModeName(mode)
+              << ", threads " << threads;
+        }
+      }
+    }
+    std::remove(path.c_str());
+  }
+}
+
+// Write-through via the Catalog insert path: the index stays equal to a
+// recomputation as facts stream in.
+TEST(ShardedShapeIndexTest, CatalogInsertFactWritesThrough) {
+  Rng rng(99);
+  Schema schema;
+  std::vector<PredId> preds;
+  for (int i = 0; i < 3; ++i) {
+    auto pred = schema.AddPredicate("p" + std::to_string(i),
+                                    1 + static_cast<uint32_t>(rng.Below(4)));
+    ASSERT_TRUE(pred.ok());
+    preds.push_back(*pred);
+  }
+  Database db(&schema);
+  db.EnsureAnonymousDomain(16);
+
+  ShardedShapeIndex index(4);
+  storage::Catalog catalog(&db);
+  catalog.AttachShapeIndex(&index);
+  ASSERT_EQ(catalog.shape_index(), &index);
+
+  for (int i = 0; i < 400; ++i) {
+    const size_t which = rng.Below(preds.size());
+    std::vector<uint32_t> tuple(schema.Arity(preds[which]));
+    for (uint32_t& v : tuple) v = static_cast<uint32_t>(rng.Below(6));
+    ASSERT_TRUE(catalog.InsertFact(preds[which], tuple).ok());
+  }
+  EXPECT_EQ(db.TotalFacts(), 400u);
+  EXPECT_EQ(index.NumIndexedTuples(), 400u);
+  EXPECT_EQ(index.CurrentShapes(),
+            storage::ShapeIndex::Build(db).CurrentShapes());
+
+  // A read-only catalog refuses the write path.
+  storage::Catalog read_only(static_cast<const Database*>(&db));
+  std::vector<uint32_t> tuple(schema.Arity(preds[0]), 1);
+  EXPECT_EQ(read_only.InsertFact(preds[0], tuple).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// Write-through via the chase engine: after a run, the index holds exactly
+// the shapes of the chased instance, nulls included.
+TEST(ShardedShapeIndexTest, ChaseWriteThroughTracksInstanceShapes) {
+  auto program = ParseProgram(R"(
+    e(a, b). e(b, c). r(a, a).
+    e(X, Y) -> e(Y, Z).
+    e(X, Y) -> r(Y, Y).
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+
+  ShardedShapeIndex index =
+      ShardedShapeIndex::Build(*program->database, /*shards=*/4);
+  ChaseOptions options;
+  options.max_atoms = 200;
+  options.shape_index = &index;
+  auto result = RunChase(*program->database, program->tgds, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_GT(result->triggers_fired, 0u);
+
+  ShapeSet expected_set;
+  result->instance.ForEachAtom([&](const GroundAtom& atom) {
+    expected_set.insert(Shape(atom.pred, IdOf<Term>(atom.args)));
+  });
+  std::vector<Shape> expected(expected_set.begin(), expected_set.end());
+  std::sort(expected.begin(), expected.end());
+
+  EXPECT_EQ(index.CurrentShapes(), expected);
+}
+
+// IsChaseFinite[L] fed from a live sharded index: same verdict as the
+// scanning implementation, zero db-dependent work.
+class IndexFedLCheckTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexFedLCheckTest, AgreesWithScanAndSkipsShapeFinding) {
+  Rng rng(GetParam());
+  GeneratedData data = MakeRandomData(&rng);
+  TgdGenParams params;
+  params.ssize = static_cast<uint32_t>(data.schema->NumPredicates());
+  params.min_arity = 1;
+  params.max_arity = 5;
+  params.tsize = 25;
+  params.tclass = TgdClass::kLinear;
+  params.seed = rng.Next();
+  auto tgds = GenerateTgds(*data.schema, params);
+  ASSERT_TRUE(tgds.ok()) << tgds.status();
+
+  auto scanned = IsChaseFiniteL(*data.database, tgds.value());
+  ASSERT_TRUE(scanned.ok()) << scanned.status();
+
+  ShardedShapeIndex index = ShardedShapeIndex::Build(*data.database);
+  LCheckOptions options;
+  options.shape_index = &index;
+  LCheckStats stats;
+  auto indexed =
+      IsChaseFiniteL(*data.database, tgds.value(), options, &stats);
+  ASSERT_TRUE(indexed.ok()) << indexed.status();
+  EXPECT_EQ(indexed.value(), scanned.value());
+  EXPECT_EQ(stats.access.tuples_scanned, 0u);
+  EXPECT_EQ(stats.access.exists_queries, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexFedLCheckTest,
+                         testing::Values(2, 4, 6, 10, 12, 14));
+
+}  // namespace
+}  // namespace chase

@@ -1,11 +1,15 @@
 // chasectl — the command-line front end to the chase-termination library.
 //
 // Subcommands:
-//   check <file> [--mode=sl|l] [--shapes=mem|db]   termination check
+//   check <file> [--mode=sl|l] [--shapes=mem|db|index]  termination check
 //   chase <file> [--variant=so|ob|re] [--max-atoms=N] [--print]
 //   query <file> "<q(X) :- ...>"                   certain answers
-//   findshapes <file> [--backend=memory|disk]
-//              [--mode=scan|exists] [--threads=N]  shape(D) via ShapeSource
+//   findshapes <file> [--backend=memory|disk|index]
+//              [--mode=scan|exists|index] [--threads=N]
+//              [--snapshot=path.chidx]             shape(D) via ShapeSource
+//   index build <file> <out.chidx> [--backend=memory|disk] [--threads=N]
+//              [--shards=N]                        materialize shape(D)
+//   index stat <snapshot.chidx>                    snapshot diagnostics
 //   stats <file>                                   Table-1-style statistics
 //   zoo <file>                                     acyclicity zoo verdicts
 //   generate <out> [--preds=N] [--tgds=N] [--tuples=N] [--arity=N]
@@ -14,7 +18,10 @@
 //                                                  extension: .chbin)
 //
 // Files ending in .chbin are read/written with the binary format
-// (io/binary_io.h); anything else uses the Datalog± text syntax.
+// (io/binary_io.h); .chidx files are sharded-shape-index snapshots;
+// anything else uses the Datalog± text syntax.
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -42,6 +49,7 @@
 #include "graph/dependency_graph.h"
 #include "graph/dot.h"
 #include "gen/tgd_generator.h"
+#include "index/sharded_shape_index.h"
 #include "io/binary_io.h"
 #include "logic/parser.h"
 #include "logic/printer.h"
@@ -96,6 +104,41 @@ bool IsBinaryPath(const std::string& path) {
   return path.size() > 6 && path.compare(path.size() - 6, 6, ".chbin") == 0;
 }
 
+// Parses an integer flag into [lo, hi]; diagnoses and returns false on
+// non-numeric, negative, or out-of-range values.
+bool ParseBoundedFlag(const Args& args, const std::string& key,
+                      uint64_t fallback, uint64_t lo, uint64_t hi,
+                      unsigned* out) {
+  const std::string raw = args.Get(key, std::to_string(fallback));
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || *end != '\0' || raw[0] == '-' || value < lo ||
+      value > hi) {
+    std::cerr << "bad --" << key << "=" << raw << " (want an integer in ["
+              << lo << ", " << hi << "])\n";
+    return false;
+  }
+  *out = static_cast<unsigned>(value);
+  return true;
+}
+
+bool ParseThreads(const Args& args, unsigned* threads) {
+  return ParseBoundedFlag(args, "threads", 1, 1, 1024, threads);
+}
+
+// 0 = the index's default shard count.
+bool ParseShards(const Args& args, unsigned* shards) {
+  return ParseBoundedFlag(args, "shards", 0, 0,
+                          index::ShardedShapeIndex::kMaxShards, shards);
+}
+
+// Default scratch paths are per-invocation so concurrent runs don't stomp
+// each other's heap files.
+std::string ScratchStorePath(const Args& args, const std::string& stem) {
+  return args.Get("store", "/tmp/" + stem + "." +
+                               std::to_string(::getpid()) + ".db");
+}
+
 StatusOr<Program> LoadAnyProgram(const std::string& path) {
   if (IsBinaryPath(path)) return io::LoadProgram(path);
   return ParseProgramFile(path);
@@ -124,7 +167,7 @@ int Fail(const Status& status) {
 int CmdCheck(const Args& args) {
   if (args.positional.empty()) {
     std::cerr << "usage: chasectl check <file> [--mode=sl|l] "
-                 "[--shapes=mem|db]\n";
+                 "[--shapes=mem|db|index] [--snapshot=path.chidx]\n";
     return 2;
   }
   auto program = LoadAnyProgram(args.positional[0]);
@@ -147,9 +190,42 @@ int CmdCheck(const Args& args) {
               << "  t-total: " << timer.ElapsedMillis() << " ms\n";
   } else if (mode == "l") {
     LCheckOptions options;
-    options.shape_finder = args.Get("shapes", "mem") == "db"
-                               ? storage::ShapeFinderMode::kInDatabase
-                               : storage::ShapeFinderMode::kInMemory;
+    const std::string shapes_flag = args.Get("shapes", "mem");
+    std::optional<index::ShardedShapeIndex> shape_index;
+    if (shapes_flag == "db") {
+      options.shape_finder = storage::ShapeFinderMode::kInDatabase;
+    } else if (shapes_flag == "index") {
+      // The Section 10 deployment: shape(D) comes from the materialized
+      // index — loaded from a snapshot when given, built once otherwise.
+      if (args.Has("snapshot")) {
+        auto loaded = index::ShardedShapeIndex::Load(args.Get("snapshot", ""));
+        if (!loaded.ok()) return Fail(loaded.status());
+        // Cheap staleness guard: a snapshot of this database indexes
+        // exactly its tuples. (Library callers of precomputed shapes have
+        // a documented contract; CLI users get a check.)
+        if (loaded->NumIndexedTuples() !=
+            program->database->TotalFacts()) {
+          return Fail(FailedPreconditionError(
+              "snapshot indexes " +
+              std::to_string(loaded->NumIndexedTuples()) +
+              " tuples but the database holds " +
+              std::to_string(program->database->TotalFacts()) +
+              " — stale or mismatched snapshot; rebuild with "
+              "`chasectl index build`"));
+        }
+        shape_index.emplace(std::move(loaded).value());
+      } else {
+        shape_index.emplace(
+            index::ShardedShapeIndex::Build(*program->database));
+      }
+      options.shape_index = &*shape_index;
+    } else if (shapes_flag == "mem") {
+      options.shape_finder = storage::ShapeFinderMode::kInMemory;
+    } else {
+      std::cerr << "unknown --shapes=" << shapes_flag
+                << " (want mem, db, or index)\n";
+      return 2;
+    }
     LCheckStats stats;
     auto finite =
         IsChaseFiniteL(*program->database, program->tgds, options, &stats);
@@ -261,7 +337,10 @@ int CmdStats(const Args& args) {
     max_arity = std::max(max_arity, program->schema->Arity(pred));
   }
   storage::Catalog catalog(program->database.get());
-  const size_t n_shapes = storage::FindShapesInMemory(catalog).size();
+  storage::MemoryShapeSource shape_source(&catalog);
+  // The in-memory scan cannot fail.
+  const size_t n_shapes =
+      storage::FindShapes(shape_source, {}).value().size();
   std::cout << "n-pred:   " << program->schema->NumPredicates() << "\n"
             << "arity:    [" << (min_arity == UINT32_MAX ? 0 : min_arity)
             << "," << max_arity << "]\n"
@@ -282,36 +361,65 @@ int CmdStats(const Args& args) {
 int CmdFindShapes(const Args& args) {
   if (args.positional.empty()) {
     std::cerr << "usage: chasectl findshapes <file> "
-                 "[--backend=memory|disk] [--mode=scan|exists] "
-                 "[--threads=N] [--store=path.db] [--print]\n";
+                 "[--backend=memory|disk|index] [--mode=scan|exists|index] "
+                 "[--threads=N] [--shards=N] [--snapshot=path.chidx] "
+                 "[--store=path.db] [--print]\n";
     return 2;
   }
+
+  // Snapshot fast path: shape(D) straight out of a persisted index, no
+  // database access at all.
+  if (args.Has("snapshot")) {
+    auto loaded = index::ShardedShapeIndex::Load(args.Get("snapshot", ""));
+    if (!loaded.ok()) return Fail(loaded.status());
+    Timer timer;
+    const std::vector<Shape> shapes = loaded->CurrentShapes();
+    std::cout << shapes.size() << " shape(s) over "
+              << loaded->NumIndexedTuples() << " indexed tuples\n"
+              << "  backend: snapshot (" << loaded->num_shards()
+              << " shards), plan: index\n"
+              << "  t-shapes: " << timer.ElapsedMillis() << " ms\n";
+    if (args.Has("print")) {
+      auto program = LoadAnyProgram(args.positional[0]);
+      if (!program.ok()) return Fail(program.status());
+      for (const Shape& shape : shapes) {
+        std::cout << ShapeName(*program->schema, shape) << "\n";
+      }
+    }
+    return 0;
+  }
+
   auto program = LoadAnyProgram(args.positional[0]);
   if (!program.ok()) return Fail(program.status());
 
   storage::FindShapesOptions options;
+  if (!ParseShards(args, &options.index_shards)) return 2;
   const std::string mode = args.Get("mode", "scan");
   if (mode == "scan") {
     options.mode = storage::ShapeFinderMode::kScan;
   } else if (mode == "exists") {
     options.mode = storage::ShapeFinderMode::kExists;
+  } else if (mode == "index") {
+    options.mode = storage::ShapeFinderMode::kIndex;
   } else {
-    std::cerr << "unknown --mode=" << mode << " (want scan or exists)\n";
+    std::cerr << "unknown --mode=" << mode
+              << " (want scan, exists, or index)\n";
     return 2;
   }
-  const std::string threads_arg = args.Get("threads", "1");
-  char* threads_end = nullptr;
-  const unsigned long long threads = std::strtoull(
-      threads_arg.c_str(), &threads_end, 10);
-  if (threads_end == threads_arg.c_str() || *threads_end != '\0' ||
-      threads_arg[0] == '-' || threads > 1024) {
-    std::cerr << "bad --threads=" << threads_arg
-              << " (want an integer in [1, 1024])\n";
-    return 2;
-  }
-  options.threads = static_cast<unsigned>(threads);
+  if (!ParseThreads(args, &options.threads)) return 2;
 
-  const std::string backend = args.Get("backend", "memory");
+  std::string backend = args.Get("backend", "memory");
+  if (backend == "index") {
+    // "index" as a backend: the row store behind the materialized-index
+    // plan, matching `chasectl index build --backend=memory`.
+    if (args.Has("mode") && mode != "index") {
+      std::cerr << "--backend=index runs the index plan; it cannot be "
+                   "combined with --mode=" << mode << "\n";
+      return 2;
+    }
+    backend = "memory";
+    options.mode = storage::ShapeFinderMode::kIndex;
+  }
   storage::Catalog catalog(program->database.get());
   storage::MemoryShapeSource memory_source(&catalog);
   std::unique_ptr<pager::DiskDatabase> disk_db;
@@ -319,7 +427,7 @@ int CmdFindShapes(const Args& args) {
   const storage::ShapeSource* source = &memory_source;
   const bool keep_store = args.Has("store");
   const std::string store_path =
-      args.Get("store", "/tmp/chasectl_findshapes.db");
+      ScratchStorePath(args, "chasectl_findshapes");
   if (backend == "disk") {
     auto created = pager::DiskDatabase::Create(store_path,
                                                *program->database);
@@ -329,7 +437,7 @@ int CmdFindShapes(const Args& args) {
     source = disk_source.get();
   } else if (backend != "memory") {
     std::cerr << "unknown --backend=" << backend
-              << " (want memory or disk)\n";
+              << " (want memory, disk, or index)\n";
     return 2;
   }
 
@@ -365,6 +473,101 @@ int CmdFindShapes(const Args& args) {
     }
   }
   if (disk_db != nullptr && !keep_store) std::remove(store_path.c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// index
+
+int CmdIndex(const Args& args) {
+  const std::string usage =
+      "usage: chasectl index build <file> <out.chidx> "
+      "[--backend=memory|disk] [--threads=N] [--shards=N] [--store=path.db]\n"
+      "       chasectl index stat <snapshot.chidx>\n";
+  if (args.positional.empty()) {
+    std::cerr << usage;
+    return 2;
+  }
+  const std::string verb = args.positional[0];
+
+  if (verb == "stat") {
+    if (args.positional.size() < 2) {
+      std::cerr << usage;
+      return 2;
+    }
+    auto loaded = index::ShardedShapeIndex::Load(args.positional[1]);
+    if (!loaded.ok()) return Fail(loaded.status());
+    const size_t num_shapes = loaded->NumShapes();
+    size_t min_shard = SIZE_MAX, max_shard = 0;
+    for (unsigned s = 0; s < loaded->num_shards(); ++s) {
+      const size_t n = loaded->ShardNumShapes(s);
+      min_shard = std::min(min_shard, n);
+      max_shard = std::max(max_shard, n);
+    }
+    std::cout << "shards:        " << loaded->num_shards() << "\n"
+              << "shapes:        " << num_shapes << "\n"
+              << "tuples:        " << loaded->NumIndexedTuples() << "\n"
+              << "shard shapes:  [" << (num_shapes == 0 ? 0 : min_shard)
+              << ", " << max_shard << "]\n";
+    return 0;
+  }
+
+  if (verb != "build" || args.positional.size() < 3) {
+    std::cerr << usage;
+    return 2;
+  }
+  auto program = LoadAnyProgram(args.positional[1]);
+  if (!program.ok()) return Fail(program.status());
+
+  index::IndexBuildOptions options;
+  if (!ParseThreads(args, &options.threads)) return 2;
+  if (!ParseShards(args, &options.shards)) return 2;
+
+  storage::Catalog catalog(program->database.get());
+  storage::MemoryShapeSource memory_source(&catalog);
+  std::unique_ptr<pager::DiskDatabase> disk_db;
+  std::unique_ptr<pager::DiskShapeSource> disk_source;
+  const storage::ShapeSource* source = &memory_source;
+  const std::string backend = args.Get("backend", "memory");
+  const bool keep_store = args.Has("store");
+  const std::string store_path = ScratchStorePath(args, "chasectl_index");
+  if (backend == "disk") {
+    auto created = pager::DiskDatabase::Create(store_path,
+                                               *program->database);
+    if (!created.ok()) return Fail(created.status());
+    disk_db = std::move(created).value();
+    disk_source = std::make_unique<pager::DiskShapeSource>(disk_db.get());
+    source = disk_source.get();
+  } else if (backend != "memory") {
+    std::cerr << "unknown --backend=" << backend
+              << " (want memory or disk)\n";
+    return 2;
+  }
+  auto cleanup_store = [&] {
+    if (disk_db != nullptr && !keep_store) {
+      disk_db.reset();  // close before unlinking
+      std::remove(store_path.c_str());
+    }
+  };
+
+  Timer timer;
+  auto built = index::ShardedShapeIndex::Build(*source, options);
+  const double build_ms = timer.ElapsedMillis();
+  if (!built.ok()) {
+    cleanup_store();
+    return Fail(built.status());
+  }
+  if (Status status = built->Save(args.positional[2]); !status.ok()) {
+    cleanup_store();
+    return Fail(status);
+  }
+  std::cout << "indexed " << built->NumIndexedTuples() << " tuples ("
+            << built->NumShapes() << " shapes) into "
+            << built->num_shards() << " shards in " << build_ms << " ms ("
+            << source->Name() << " backend, " << options.threads
+            << " threads)\n"
+            << "wrote " << args.positional[2] << "\n";
+  cleanup_store();
   return 0;
 }
 
@@ -543,13 +746,17 @@ int Usage() {
   std::cerr <<
       "chasectl — semi-oblivious chase termination toolkit\n"
       "\n"
-      "  chasectl check <file> [--mode=sl|l] [--shapes=mem|db]\n"
+      "  chasectl check <file> [--mode=sl|l] [--shapes=mem|db|index]\n"
       "  chasectl explain <file>               (non-termination witness)\n"
       "  chasectl chase <file> [--variant=so|ob|re] [--max-atoms=N] "
       "[--print]\n"
       "  chasectl query <file> \"q(X) :- r(X, Y).\"\n"
-      "  chasectl findshapes <file> [--backend=memory|disk] "
-      "[--mode=scan|exists] [--threads=N] [--store=path.db] [--print]\n"
+      "  chasectl findshapes <file> [--backend=memory|disk|index] "
+      "[--mode=scan|exists|index] [--threads=N] [--shards=N] "
+      "[--snapshot=path.chidx] [--store=path.db] [--print]\n"
+      "  chasectl index build <file> <out.chidx> [--backend=memory|disk] "
+      "[--threads=N] [--shards=N]\n"
+      "  chasectl index stat <snapshot.chidx>\n"
       "  chasectl stats <file>\n"
       "  chasectl zoo <file>\n"
       "  chasectl generate <out> [--preds=N] [--tgds=N] [--tuples=N] "
@@ -558,8 +765,9 @@ int Usage() {
       "  chasectl normalize <in> <out>         (eliminate empty frontiers)\n"
       "  chasectl convert <in> <out>\n"
       "\n"
-      "Files ending in .chbin use the binary snapshot format; everything\n"
-      "else is Datalog± text (see README).\n";
+      "Files ending in .chbin use the binary snapshot format, .chidx files\n"
+      "are sharded-shape-index snapshots; everything else is Datalog± text\n"
+      "(see README).\n";
   return 2;
 }
 
@@ -574,6 +782,7 @@ int main(int argc, char** argv) {
   if (command == "chase") return CmdChase(args);
   if (command == "query") return CmdQuery(args);
   if (command == "findshapes") return CmdFindShapes(args);
+  if (command == "index") return CmdIndex(args);
   if (command == "stats") return CmdStats(args);
   if (command == "zoo") return CmdZoo(args);
   if (command == "generate") return CmdGenerate(args);
