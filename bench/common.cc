@@ -162,7 +162,7 @@ std::string FmtMs(double ms) { return Fmt(ms, 2); }
 
 std::vector<std::string> AccessColumnNames() {
   return {"exists-q", "rel-loads", "tuples-scanned", "pages-read",
-          "pool-hit%"};
+          "pool-hit%", "prefetched"};
 }
 
 std::vector<std::string> AccessColumnValues(const storage::AccessStats& access,
@@ -177,7 +177,8 @@ std::vector<std::string> AccessColumnValues(const storage::AccessStats& access,
               ? "-"
               : Fmt(100.0 * static_cast<double>(io.pool_hits) /
                         static_cast<double>(pool_accesses),
-                    1) + "%"};
+                    1) + "%",
+          avg(io.pool_prefetches)};
 }
 
 void Emit(const BenchFlags& flags, const std::string& title,

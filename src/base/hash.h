@@ -1,0 +1,40 @@
+// Shared 64-bit mixing primitives for shard selection and fingerprinting.
+//
+// Two kinds of mix, used by the sharded subsystems (index counters, buffer
+// pool) and the content fingerprint:
+//
+//  * FibonacciMix: multiply by the golden-ratio constant and fold the high
+//    bits down. Cheap, and ideal for shard selection when the input's low
+//    bits are already used elsewhere (hash-map buckets, sequential ids) —
+//    the shard choice reads the decorrelated high bits instead.
+//  * Mix64: the splitmix64 finalizer — full avalanche, so every input bit
+//    diffuses into the whole word. Required where single-bit inputs must
+//    not cancel linearly (e.g. the null tag bit of a Term under a
+//    multiplicative fold, or values summed into an order-independent
+//    digest).
+
+#ifndef CHASE_BASE_HASH_H_
+#define CHASE_BASE_HASH_H_
+
+#include <cstdint>
+
+namespace chase {
+
+inline uint64_t FibonacciMix(uint64_t h) {
+  h *= 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 32;
+  return h;
+}
+
+inline uint64_t Mix64(uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace chase
+
+#endif  // CHASE_BASE_HASH_H_

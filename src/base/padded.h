@@ -1,0 +1,21 @@
+// A cache-line-padded counter for per-thread accumulation.
+//
+// Parallel workers that each bump their own uint64_t must not share a
+// cache line: adjacent counters in a plain vector ping the line between
+// cores on every increment (false sharing). Give each worker one of these
+// instead and fold the values after the join.
+
+#ifndef CHASE_BASE_PADDED_H_
+#define CHASE_BASE_PADDED_H_
+
+#include <cstdint>
+
+namespace chase {
+
+struct alignas(64) PaddedU64 {
+  uint64_t value = 0;
+};
+
+}  // namespace chase
+
+#endif  // CHASE_BASE_PADDED_H_

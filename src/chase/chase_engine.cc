@@ -245,17 +245,20 @@ StatusOr<ChaseResult> RunChase(const Database& database,
             // sees atoms added earlier in this round (a sequential order).
             for (GroundAtom& atom : pending) {
               Shape shape;
+              uint64_t fingerprint = 0;
               if (options.shape_index != nullptr) {
                 // Shapes depend only on the equality pattern, so nulls and
-                // constants index alike; compute before AddAtom consumes
-                // the atom.
+                // constants index alike; compute (with the content
+                // fingerprint) before AddAtom consumes the atom.
                 shape = Shape(atom.pred, IdOf<Term>(atom.args));
+                fingerprint =
+                    index::TupleFingerprint(atom.pred, atom.args);
               }
               if (instance.AddAtom(std::move(atom))) {
                 grew = true;
                 ++atoms_now;
                 if (options.shape_index != nullptr) {
-                  options.shape_index->AddShape(shape);
+                  options.shape_index->AddShape(shape, 1, fingerprint);
                 }
               }
             }

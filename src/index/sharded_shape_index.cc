@@ -4,6 +4,8 @@
 #include <queue>
 #include <utility>
 
+#include "base/hash.h"
+#include "base/padded.h"
 #include "io/binary_io.h"
 
 namespace chase {
@@ -19,7 +21,43 @@ unsigned ClampShards(unsigned shards) {
   return std::min(shards, ShardedShapeIndex::kMaxShards);
 }
 
+// Order-dependent fold of the fully mixed terms (Mix64's full avalanche
+// keeps single-bit inputs — e.g. a Term's null tag — from cancelling
+// linearly over pairs), mixed once more so the per-tuple hashes stay well
+// distributed under 64-bit summation.
+template <typename T>
+uint64_t TupleFingerprintImpl(PredId pred, std::span<const T> tuple) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ pred;
+  for (T v : tuple) {
+    h ^= Mix64(static_cast<uint64_t>(v));
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
 }  // namespace
+
+uint64_t TupleFingerprint(PredId pred, std::span<const uint32_t> tuple) {
+  return TupleFingerprintImpl(pred, tuple);
+}
+
+uint64_t TupleFingerprint(PredId pred, std::span<const Term> tuple) {
+  return TupleFingerprintImpl(pred, tuple);
+}
+
+uint64_t DatabaseFingerprint(const Database& db) {
+  uint64_t fingerprint = 0;
+  for (PredId pred : db.NonEmptyPredicates()) {
+    const uint32_t arity = db.schema().Arity(pred);
+    const auto tuples = db.Tuples(pred);
+    const size_t rows = tuples.size() / arity;
+    for (size_t row = 0; row < rows; ++row) {
+      fingerprint +=
+          TupleFingerprint(pred, tuples.subspan(row * arity, arity));
+    }
+  }
+  return fingerprint;
+}
 
 ShardedShapeIndex::ShardedShapeIndex(unsigned shards) {
   shards_.reserve(ClampShards(shards));
@@ -28,33 +66,58 @@ ShardedShapeIndex::ShardedShapeIndex(unsigned shards) {
   }
 }
 
-size_t ShardedShapeIndex::ShardOf(const Shape& shape) const {
-  uint64_t h = ShapeHash{}(shape);
-  // Fibonacci-style final mix: ShapeHash's low bits also pick the bucket
-  // inside the shard map, so shard selection reads the high bits instead.
-  h *= 0x9e3779b97f4a7c15ULL;
-  h ^= h >> 32;
-  return static_cast<size_t>(h % shards_.size());
+ShardedShapeIndex::ShardedShapeIndex(ShardedShapeIndex&& other) noexcept
+    : shards_(std::move(other.shards_)),
+      fingerprint_(
+          other.fingerprint_.load(std::memory_order_relaxed)) {}
+
+ShardedShapeIndex& ShardedShapeIndex::operator=(
+    ShardedShapeIndex&& other) noexcept {
+  if (this != &other) {
+    shards_ = std::move(other.shards_);
+    fingerprint_.store(other.fingerprint_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  }
+  return *this;
 }
 
-void ShardedShapeIndex::AddShape(const Shape& shape, uint64_t count) {
+size_t ShardedShapeIndex::ShardOf(const Shape& shape) const {
+  // Fibonacci final mix: ShapeHash's low bits also pick the bucket inside
+  // the shard map, so shard selection reads the high bits instead.
+  return static_cast<size_t>(FibonacciMix(ShapeHash{}(shape)) %
+                             shards_.size());
+}
+
+void ShardedShapeIndex::AddShape(const Shape& shape, uint64_t count,
+                                 uint64_t fingerprint) {
   if (count == 0) return;
   Shard& shard = *shards_[ShardOf(shape)];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  shard.counts[shape] += count;
-  shard.tuples += count;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.counts[shape] += count;
+    shard.tuples += count;
+  }
+  if (fingerprint != 0) {
+    fingerprint_.fetch_add(fingerprint, std::memory_order_relaxed);
+  }
 }
 
-Status ShardedShapeIndex::RemoveShape(const Shape& shape) {
+Status ShardedShapeIndex::RemoveShape(const Shape& shape,
+                                      uint64_t fingerprint) {
   Shard& shard = *shards_[ShardOf(shape)];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.counts.find(shape);
-  if (it == shard.counts.end()) {
-    return FailedPreconditionError(
-        "removing a tuple whose shape is not indexed");
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.counts.find(shape);
+    if (it == shard.counts.end()) {
+      return FailedPreconditionError(
+          "removing a tuple whose shape is not indexed");
+    }
+    if (--it->second == 0) shard.counts.erase(it);
+    --shard.tuples;
   }
-  if (--it->second == 0) shard.counts.erase(it);
-  --shard.tuples;
+  if (fingerprint != 0) {
+    fingerprint_.fetch_sub(fingerprint, std::memory_order_relaxed);
+  }
   return OkStatus();
 }
 
@@ -156,14 +219,20 @@ StatusOr<ShardedShapeIndex> ShardedShapeIndex::Build(
   const unsigned threads = std::max(1u, options.threads);
 
   // The range-partitioned scan driver is shared with the scan-mode shape
-  // finder; workers count into thread-local maps, folded in per worker.
+  // finder; workers count into thread-local maps (and sum their tuples'
+  // content fingerprints at cache-line stride), folded in per worker.
   std::vector<CountMap> local(threads);
+  std::vector<PaddedU64> local_fp(threads);
   CHASE_RETURN_IF_ERROR(storage::ParallelTupleScan(
       source, source.NonEmptyRelations(), threads,
       [&](unsigned t, PredId pred, std::span<const uint32_t> tuple) {
         ++local[t][Shape(pred, IdOf(tuple))];
+        local_fp[t].value += TupleFingerprint(pred, tuple);
       }));
   for (unsigned t = 0; t < threads; ++t) index.MergeCounts(local[t]);
+  uint64_t fingerprint = 0;
+  for (unsigned t = 0; t < threads; ++t) fingerprint += local_fp[t].value;
+  index.fingerprint_.store(fingerprint, std::memory_order_relaxed);
   return index;
 }
 
@@ -184,6 +253,7 @@ ShardedShapeIndex ShardedShapeIndex::Build(const Database& db,
 Status ShardedShapeIndex::Save(const std::string& path) const {
   io::ShapeSnapshot snapshot;
   snapshot.num_shards = num_shards();
+  snapshot.fingerprint = ContentFingerprint();
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     for (const auto& [shape, count] : shard->counts) {
@@ -205,6 +275,9 @@ StatusOr<ShardedShapeIndex> ShardedShapeIndex::Load(const std::string& path) {
   for (const io::ShapeCount& entry : snapshot.counts) {
     index.AddShape(entry.shape, entry.count);
   }
+  // Shape records don't carry tuple contents; the envelope's fingerprint is
+  // the authoritative content digest of the snapshotted database.
+  index.fingerprint_.store(snapshot.fingerprint, std::memory_order_relaxed);
   return index;
 }
 

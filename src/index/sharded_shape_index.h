@@ -32,6 +32,7 @@
 #ifndef CHASE_INDEX_SHARDED_SHAPE_INDEX_H_
 #define CHASE_INDEX_SHARDED_SHAPE_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -54,6 +55,21 @@ struct IndexBuildOptions {
   unsigned threads = 1;  // <= 1 scans serially
 };
 
+// Order-independent content fingerprint machinery: every indexed tuple
+// contributes a mixed hash of its (pred, tuple) pair, and the index keeps
+// the running sum. Two databases with equal fingerprints almost surely hold
+// the same multiset of facts, so a remove+insert pair that preserves tuple
+// counts (which fools a count-only staleness check) still flips the
+// fingerprint. Sums (not XORs) so duplicate tuples don't cancel, and
+// removal is subtraction. The uint32_t and Term forms agree on constants
+// (a constant id widens to the same 64-bit term encoding).
+uint64_t TupleFingerprint(PredId pred, std::span<const uint32_t> tuple);
+uint64_t TupleFingerprint(PredId pred, std::span<const Term> tuple);
+
+// The fingerprint a freshly built index over `db` would carry — what the
+// snapshot staleness guard compares against.
+uint64_t DatabaseFingerprint(const Database& db);
+
 class ShardedShapeIndex {
  public:
   static constexpr unsigned kDefaultShards = 16;
@@ -61,8 +77,10 @@ class ShardedShapeIndex {
 
   explicit ShardedShapeIndex(unsigned shards = kDefaultShards);
 
-  ShardedShapeIndex(ShardedShapeIndex&&) = default;
-  ShardedShapeIndex& operator=(ShardedShapeIndex&&) = default;
+  // Movable (the fingerprint atomic is transferred with relaxed loads;
+  // don't move an index other threads are still writing).
+  ShardedShapeIndex(ShardedShapeIndex&& other) noexcept;
+  ShardedShapeIndex& operator=(ShardedShapeIndex&& other) noexcept;
 
   // Builds the index from any ShapeSource with `options.threads`
   // range-partitioned scan workers (the PR-1 chunking, so this works over
@@ -79,27 +97,33 @@ class ShardedShapeIndex {
   // Records one inserted tuple of `pred`. Thread-safe (per-shard latch).
   // The uint32_t overload serves the row store; the Term overload serves
   // chase instances — a shape depends only on the tuple's equality pattern,
-  // so nulls and constants index identically.
+  // so nulls and constants index identically. Both maintain the content
+  // fingerprint from the actual tuple.
   void Insert(PredId pred, std::span<const uint32_t> tuple) {
-    AddShape(Shape(pred, IdOf(tuple)));
+    AddShape(Shape(pred, IdOf(tuple)), 1, TupleFingerprint(pred, tuple));
   }
   void Insert(PredId pred, std::span<const Term> tuple) {
-    AddShape(Shape(pred, IdOf(tuple)));
+    AddShape(Shape(pred, IdOf(tuple)), 1, TupleFingerprint(pred, tuple));
   }
 
   // Records `count` tuples carrying `shape` directly (the write-through fast
-  // path when the caller already computed the shape).
-  void AddShape(const Shape& shape, uint64_t count = 1);
+  // path when the caller already computed the shape). `fingerprint` is the
+  // tuples' total TupleFingerprint contribution; callers that cannot supply
+  // it (shape-only replay) pass 0 and forfeit the staleness guard.
+  void AddShape(const Shape& shape, uint64_t count = 1,
+                uint64_t fingerprint = 0);
 
   // Records one deleted tuple of `pred`. Fails with kFailedPrecondition if
   // no tuple with that shape is indexed (the counter would go negative).
   Status Remove(PredId pred, std::span<const uint32_t> tuple) {
-    return RemoveShape(Shape(pred, IdOf(tuple)));
+    return RemoveShape(Shape(pred, IdOf(tuple)),
+                       TupleFingerprint(pred, tuple));
   }
   Status Remove(PredId pred, std::span<const Term> tuple) {
-    return RemoveShape(Shape(pred, IdOf(tuple)));
+    return RemoveShape(Shape(pred, IdOf(tuple)),
+                       TupleFingerprint(pred, tuple));
   }
-  Status RemoveShape(const Shape& shape);
+  Status RemoveShape(const Shape& shape, uint64_t fingerprint = 0);
 
   bool Contains(const Shape& shape) const;
 
@@ -111,6 +135,13 @@ class ShardedShapeIndex {
 
   // Total indexed tuples (sum of all counters).
   uint64_t NumIndexedTuples() const;
+
+  // Order-independent content fingerprint of the indexed tuples; equals
+  // DatabaseFingerprint(db) for an index maintained from db's update
+  // stream. Persisted in snapshots and compared by the staleness guard.
+  uint64_t ContentFingerprint() const {
+    return fingerprint_.load(std::memory_order_relaxed);
+  }
 
   unsigned num_shards() const {
     return static_cast<unsigned>(shards_.size());
@@ -145,6 +176,10 @@ class ShardedShapeIndex {
   void MergeCounts(const CountMap& counts);
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Sum of TupleFingerprint over indexed tuples (see above). Atomic so
+  // concurrent writers on different shards maintain it without a global
+  // lock.
+  std::atomic<uint64_t> fingerprint_{0};
 };
 
 }  // namespace index

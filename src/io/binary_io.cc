@@ -14,7 +14,8 @@ namespace {
 constexpr uint32_t kMagic = 0x4e424843;  // "CHBN"
 constexpr uint32_t kVersion = 1;
 constexpr uint32_t kSnapshotMagic = 0x49534843;  // "CHSI"
-constexpr uint32_t kSnapshotVersion = 1;
+// Version 2 added the content fingerprint to the payload header.
+constexpr uint32_t kSnapshotVersion = 2;
 
 uint64_t Fnv1a(std::span<const uint8_t> bytes) {
   uint64_t hash = 0xcbf29ce484222325ULL;
@@ -225,6 +226,7 @@ StatusOr<Program> LoadProgram(const std::string& path) {
 std::vector<uint8_t> SerializeShapeSnapshot(const ShapeSnapshot& snapshot) {
   ByteWriter payload;
   payload.PutU32(snapshot.num_shards);
+  payload.PutU64(snapshot.fingerprint);
   payload.PutU64(snapshot.counts.size());
   for (const ShapeCount& entry : snapshot.counts) {
     payload.PutU32(entry.shape.pred);
@@ -254,6 +256,7 @@ StatusOr<ShapeSnapshot> DeserializeShapeSnapshot(
         "shape snapshot shard count out of range: " +
         std::to_string(snapshot.num_shards));
   }
+  CHASE_ASSIGN_OR_RETURN(snapshot.fingerprint, reader.GetU64());
   CHASE_ASSIGN_OR_RETURN(uint64_t num_entries, reader.GetU64());
   snapshot.counts.reserve(
       std::min<uint64_t>(num_entries, reader.remaining() / 2));

@@ -16,9 +16,12 @@
 //   facts    : per predicate, the flat arity-strided tuple array
 //   tgds     : per TGD, body and head atom lists (pred + variable ids)
 //
-// Shape-snapshot payload (magic "CHSI"): shard count, then the (pred,
-// id-tuple, counter) entries sorted strictly by shape, so snapshot bytes
-// are canonical for a given index state.
+// Shape-snapshot payload (magic "CHSI", version 2): shard count, the
+// order-independent content fingerprint of the indexed tuples (the
+// staleness guard of `chasectl check --shapes=index --snapshot`, maintained
+// by the write-through paths), then the (pred, id-tuple, counter) entries
+// sorted strictly by shape, so snapshot bytes are canonical for a given
+// index state.
 //
 // Loading validates the checksum before parsing, and every read is bounds-
 // checked (ByteReader), so corrupt or truncated files fail cleanly.
@@ -65,6 +68,8 @@ struct ShapeCount {
 
 struct ShapeSnapshot {
   uint32_t num_shards = 0;
+  // Sum of index::TupleFingerprint over the indexed tuples.
+  uint64_t fingerprint = 0;
   // Sorted strictly by shape (enforced on load); counts are positive.
   std::vector<ShapeCount> counts;
 };

@@ -9,6 +9,12 @@ StatusOr<PredId> Schema::AddPredicate(std::string_view name, uint32_t arity) {
     return InvalidArgumentError("predicate '" + std::string(name) +
                                 "' must have positive arity");
   }
+  if (arity > kMaxArity) {
+    return InvalidArgumentError(
+        "predicate '" + std::string(name) + "' declares arity " +
+        std::to_string(arity) + " but the maximum supported arity is " +
+        std::to_string(kMaxArity));
+  }
   if (names_.Find(name).has_value()) {
     return AlreadyExistsError("predicate '" + std::string(name) +
                               "' already declared");

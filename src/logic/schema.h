@@ -31,10 +31,18 @@ struct Position {
 
 class Schema {
  public:
+  // Largest declarable arity. Shape machinery encodes id-tuples as uint8_t
+  // restricted-growth strings and the EXISTS-probe compiler uses
+  // fixed-width per-position scratch, so arities past 255 would silently
+  // corrupt both; every schema load path (parser, binary loader,
+  // generators) funnels through AddPredicate, which enforces the cap.
+  static constexpr uint32_t kMaxArity = 255;
+
   Schema() = default;
 
   // Registers a predicate. Fails with kAlreadyExists if `name` is already
-  // registered with a different arity.
+  // registered with a different arity and kInvalidArgument if `arity` is 0
+  // or exceeds kMaxArity.
   StatusOr<PredId> AddPredicate(std::string_view name, uint32_t arity);
 
   // Like AddPredicate but returns the existing id when the declaration

@@ -5,13 +5,24 @@
 // DiskManager, so its hit/miss/eviction counters — together with the
 // DiskManager's page I/O counters — fully account for the cost of the
 // on-disk FindShapes variants. Pages are pinned through the RAII PageGuard;
-// a pinned page is never evicted, and the pool reports kResourceExhausted if
-// every frame is pinned.
+// a pinned page is never evicted. Fetch/Allocate briefly wait out a shard
+// whose frames are all pinned (pins are transient in scan workloads) and
+// report kResourceExhausted only if it stays full — e.g. when guards are
+// held indefinitely.
 //
-// The pool is thread-safe: Fetch/Allocate/Flush and guard release serialize
-// on an internal mutex, so the parallel shape scanner can issue concurrent
-// read-only scans through one pool. Reading a pinned page's payload needs
-// no lock.
+// Concurrency: the pool is partitioned into N shards (page id → shard by a
+// mixed hash), each with its own latch, page table, frame set, clock hand,
+// and counters, so parallel disk scans touching different pages contend on
+// different latches instead of one global mutex. Reading a pinned page's
+// payload needs no lock (a pinned page is never evicted, and read-only
+// scans never mutate it). Frames are divided evenly across shards; a shard
+// whose frames are all pinned reports kResourceExhausted even if another
+// shard has free frames — size pools with at least a few frames per shard.
+//
+// Prefetch(page_id) faults a page into its shard without pinning it: the
+// disk read happens outside the shard latch (into a scratch buffer), so
+// background read-ahead threads overlap I/O with the scan threads' hashing
+// work instead of blocking them.
 
 #ifndef CHASE_PAGER_BUFFER_POOL_H_
 #define CHASE_PAGER_BUFFER_POOL_H_
@@ -19,6 +30,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -34,8 +46,20 @@ struct BufferPoolStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t dirty_writebacks = 0;
+  uint64_t prefetches = 0;       // pages faulted in by Prefetch
+  uint64_t prefetch_drops = 0;   // Prefetch calls that found nothing to do
 
   void Reset() { *this = BufferPoolStats(); }
+
+  BufferPoolStats& MergeFrom(const BufferPoolStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    evictions += other.evictions;
+    dirty_writebacks += other.dirty_writebacks;
+    prefetches += other.prefetches;
+    prefetch_drops += other.prefetch_drops;
+    return *this;
+  }
 };
 
 class BufferPool;
@@ -66,29 +90,62 @@ class PageGuard {
 
   BufferPool* pool_ = nullptr;
   PageId page_id_ = kInvalidPageId;
-  uint32_t frame_ = 0;
+  uint32_t frame_ = 0;  // slot within the page's shard
 };
 
 class BufferPool {
  public:
-  // `disk` must outlive the pool. `num_frames` >= 1.
-  BufferPool(DiskManager* disk, uint32_t num_frames);
+  // Default shard count for pools large enough to split (see the
+  // constructor); small pools stay single-sharded so per-shard capacity
+  // semantics match the unsharded pool.
+  static constexpr uint32_t kDefaultShards = 8;
+  // Auto-sharding keeps at least this many frames per shard.
+  static constexpr uint32_t kMinFramesPerShard = 8;
 
-  // Pins the page, reading it from disk on a miss.
+  // `disk` must outlive the pool. `num_frames` >= 1. `num_shards` = 0 picks
+  // min(kDefaultShards, num_frames / kMinFramesPerShard) (at least 1);
+  // explicit counts are clamped to [1, num_frames].
+  BufferPool(DiskManager* disk, uint32_t num_frames, uint32_t num_shards = 0);
+
+  // Pins the page, reading it from disk on a miss. Miss reads are staged
+  // outside the shard latch so concurrent faults on one shard overlap
+  // their I/O; like Prefetch, this means Fetch must not race with a
+  // writer of the same page (see the contract on Prefetch — write phases
+  // and scan phases alternate in every current deployment).
   StatusOr<PageGuard> Fetch(PageId page_id);
 
   // Allocates a fresh page on disk and pins it (already counted dirty so the
   // header written by the caller reaches disk).
   StatusOr<PageGuard> Allocate();
 
+  // Faults `page_id` into its shard without pinning it — the read-ahead
+  // path. The disk read runs outside the shard latch; if the page arrived
+  // meanwhile (or is already resident) the call is a cheap no-op. Errors
+  // are real I/O failures; callers doing best-effort read-ahead may ignore
+  // them (the foreground Fetch will surface the same error).
+  //
+  // Contract: must not race with writers of the same page. The unlatched
+  // read cannot tell a concurrent mutate+evict apart from the quiescent
+  // case and would re-install the pre-write image as a clean frame. The
+  // scan drivers that use it are read-only; a future writer-concurrent
+  // deployment needs page versioning here.
+  Status Prefetch(PageId page_id);
+
   // Writes back all dirty frames and syncs the file.
   Status Flush();
 
-  uint32_t num_frames() const { return static_cast<uint32_t>(frames_.size()); }
+  uint32_t num_frames() const { return num_frames_; }
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
   uint32_t pinned_frames() const;
 
-  BufferPoolStats& stats() { return stats_; }
-  const BufferPoolStats& stats() const { return stats_; }
+  // Aggregated counters across shards; each shard is read under its latch,
+  // so the snapshot is race-free (though shards are not frozen relative to
+  // one another while scans run).
+  BufferPoolStats stats() const;
+  void ResetStats();
+
   DiskManager& disk() { return *disk_; }
 
  private:
@@ -102,23 +159,36 @@ class BufferPool {
     bool referenced = false;
   };
 
-  // Finds a free or evictable frame, writing back a dirty victim. Requires
-  // mu_ held.
-  StatusOr<uint32_t> AcquireFrame();
+  struct Shard {
+    // Guards the shard's page table, frame bookkeeping, and counters.
+    // Pinned frames' page payloads are read outside the latch.
+    mutable std::mutex mu;
+    std::vector<Frame> frames;
+    std::unordered_map<PageId, uint32_t> page_table;
+    uint32_t clock_hand = 0;
+    BufferPoolStats stats;
+  };
 
-  void Unpin(uint32_t frame);
-  void MarkDirty(uint32_t frame);
+  size_t ShardOf(PageId page_id) const;
 
-  // Guards the page table, frame bookkeeping, and DiskManager access.
-  // Pinned frames' page payloads are read outside the lock (a pinned page
-  // is never evicted, and read-only scans never mutate it), which is what
-  // lets concurrent ScanRange workers overlap their hashing work.
-  mutable std::mutex mu_;
+  // Shared Fetch/Allocate scaffold: waits out transient pin-exhaustion of
+  // `shard` with a bounded yield-retry, calling `check_hit` (latch held;
+  // may short-circuit with an already-resident frame) and, once a frame
+  // is free, `install` (latch held).
+  template <typename CheckHit, typename Install>
+  StatusOr<PageGuard> AcquireAndInstall(Shard& shard, CheckHit&& check_hit,
+                                        Install&& install);
+
+  // Finds a free or evictable frame in `shard`, writing back a dirty
+  // victim. Requires shard.mu held.
+  StatusOr<uint32_t> AcquireFrame(Shard* shard);
+
+  void Unpin(PageId page_id, uint32_t frame);
+  void MarkDirty(PageId page_id, uint32_t frame);
+
   DiskManager* disk_;
-  std::vector<Frame> frames_;
-  std::unordered_map<PageId, uint32_t> page_table_;
-  uint32_t clock_hand_ = 0;
-  BufferPoolStats stats_;
+  uint32_t num_frames_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace pager

@@ -32,13 +32,16 @@ namespace pager {
 class DiskDatabase {
  public:
   // Materializes `db` into a new file at `path` (truncates any existing
-  // file) and leaves it open.
+  // file) and leaves it open. `pool_shards` is forwarded to the BufferPool
+  // (0 = auto: split only when the pool is large enough).
   static StatusOr<std::unique_ptr<DiskDatabase>> Create(
-      const std::string& path, const Database& db, uint32_t num_frames = 64);
+      const std::string& path, const Database& db, uint32_t num_frames = 64,
+      uint32_t pool_shards = 0);
 
   // Opens an existing file and loads its catalog.
   static StatusOr<std::unique_ptr<DiskDatabase>> Open(
-      const std::string& path, uint32_t num_frames = 64);
+      const std::string& path, uint32_t num_frames = 64,
+      uint32_t pool_shards = 0);
 
   const Schema& schema() const { return schema_; }
 

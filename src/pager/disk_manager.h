@@ -5,13 +5,24 @@
 // exact page-level cost model for the disk-resident FindShapes variants, and
 // the fault hooks let tests exercise every error path (short read, failed
 // write, checksum mismatch) without a real failing disk.
+//
+// The manager is thread-safe and lock-free on the data path: reads and
+// writes use positional I/O (pread/pwrite), which POSIX makes atomic with
+// respect to the file offset, so concurrent buffer-pool shards and prefetch
+// threads issue page I/O in parallel without serializing on a file lock.
+// Only AllocatePage (file extension) takes a mutex. The I/O counters are
+// atomics, so they can be read (e.g. by DiskShapeSource::Io) while scans
+// are in flight. The fault hooks themselves are test-only and must be set
+// before concurrent use.
 
 #ifndef CHASE_PAGER_DISK_MANAGER_H_
 #define CHASE_PAGER_DISK_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
-#include <cstdio>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "base/status.h"
@@ -20,18 +31,37 @@
 namespace chase {
 namespace pager {
 
+// Cumulative I/O counters. Fields are atomics so writers (concurrent page
+// I/O) and readers (metering snapshots taken mid-scan) never race; the
+// copy operations take a relaxed per-field snapshot.
 struct IoStats {
-  uint64_t pages_read = 0;
-  uint64_t pages_written = 0;
-  uint64_t pages_allocated = 0;
-  uint64_t syncs = 0;
+  std::atomic<uint64_t> pages_read{0};
+  std::atomic<uint64_t> pages_written{0};
+  std::atomic<uint64_t> pages_allocated{0};
+  std::atomic<uint64_t> syncs{0};
+
+  IoStats() = default;
+  IoStats(const IoStats& other) { *this = other; }
+  IoStats& operator=(const IoStats& other) {
+    pages_read.store(other.pages_read.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    pages_written.store(other.pages_written.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    pages_allocated.store(
+        other.pages_allocated.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    syncs.store(other.syncs.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
+  }
 
   void Reset() { *this = IoStats(); }
 };
 
 // Decides whether a particular I/O should fail. Called before the I/O with
 // the page id; returning a non-OK status aborts the operation with that
-// status. Used by failure-injection tests.
+// status. Used by failure-injection tests. May be invoked concurrently from
+// scan and prefetch threads.
 using FaultHook = std::function<Status(PageId page_id)>;
 
 class DiskManager {
@@ -50,7 +80,7 @@ class DiskManager {
   DiskManager& operator=(const DiskManager&) = delete;
   ~DiskManager();
 
-  // Appends a zeroed page and returns its id.
+  // Appends a zeroed page and returns its id. Serialized internally.
   StatusOr<PageId> AllocatePage();
 
   // Reads `page_id` into `*page`, verifying the checksum unless the page is
@@ -62,26 +92,34 @@ class DiskManager {
 
   Status Sync();
 
-  PageId num_pages() const { return num_pages_; }
+  PageId num_pages() const {
+    return num_pages_.load(std::memory_order_acquire);
+  }
   const std::string& path() const { return path_; }
 
   IoStats& stats() { return stats_; }
   const IoStats& stats() const { return stats_; }
 
-  // Fault injection; pass nullptr to clear.
+  // Fault injection; pass nullptr to clear. Not synchronized against
+  // in-flight I/O — set before starting concurrent work.
   void set_read_fault(FaultHook hook) { read_fault_ = std::move(hook); }
   void set_write_fault(FaultHook hook) { write_fault_ = std::move(hook); }
 
  private:
-  DiskManager(std::FILE* file, std::string path, PageId num_pages)
-      : file_(file), path_(std::move(path)), num_pages_(num_pages) {}
+  DiskManager(int fd, std::string path, PageId num_pages)
+      : fd_(fd),
+        path_(std::move(path)),
+        num_pages_(num_pages),
+        alloc_mu_(std::make_unique<std::mutex>()) {}
 
-  std::FILE* file_ = nullptr;
+  int fd_ = -1;
   std::string path_;
-  PageId num_pages_ = 0;
+  std::atomic<PageId> num_pages_{0};
   IoStats stats_;
   FaultHook read_fault_;
   FaultHook write_fault_;
+  // Serializes file extension; the read/write data path is lock-free.
+  std::unique_ptr<std::mutex> alloc_mu_;
 };
 
 }  // namespace pager

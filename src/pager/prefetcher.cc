@@ -1,0 +1,68 @@
+#include "pager/prefetcher.h"
+
+#include <algorithm>
+
+namespace chase {
+namespace pager {
+
+Prefetcher::Prefetcher(BufferPool* pool, unsigned threads) : pool_(pool) {
+  threads = std::max(1u, threads);
+  workers_.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers_.emplace_back(&Prefetcher::Loop, this);
+  }
+}
+
+Prefetcher::~Prefetcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void Prefetcher::Enqueue(std::span<const PageId> pages) {
+  if (pages.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < pages.size(); ++i) {
+      if (queue_.size() >= kMaxQueue) {
+        dropped_ += pages.size() - i;
+        break;
+      }
+      queue_.push_back(pages[i]);
+    }
+  }
+  cv_.notify_all();
+}
+
+uint64_t Prefetcher::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void Prefetcher::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void Prefetcher::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    const PageId page = queue_.front();
+    queue_.pop_front();
+    ++in_flight_;
+    lock.unlock();
+    // Best-effort: errors resurface on the foreground Fetch.
+    (void)pool_->Prefetch(page);
+    lock.lock();
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) drained_.notify_all();
+  }
+}
+
+}  // namespace pager
+}  // namespace chase

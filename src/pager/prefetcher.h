@@ -1,0 +1,72 @@
+// Prefetcher: background read-ahead threads over a BufferPool.
+//
+// Scan drivers that know their upcoming pages (DiskShapeSource::ScanRange
+// seeks through a per-relation page directory) enqueue those page ids here;
+// worker threads pop them and call BufferPool::Prefetch, faulting the pages
+// into their shards while the scan thread is still hashing the current
+// page. By the time the scan reaches the next page, Fetch hits.
+//
+// Everything is best-effort: the queue is bounded (excess requests are
+// dropped, the scan just misses as it would have anyway), duplicate
+// requests collapse into cheap no-ops inside the pool, and I/O errors are
+// swallowed — the foreground Fetch of the same page surfaces the identical
+// error to the caller that cares.
+
+#ifndef CHASE_PAGER_PREFETCHER_H_
+#define CHASE_PAGER_PREFETCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "pager/buffer_pool.h"
+
+namespace chase {
+namespace pager {
+
+class Prefetcher {
+ public:
+  static constexpr size_t kMaxQueue = 4096;
+
+  // `pool` must outlive the prefetcher. `threads` >= 1.
+  explicit Prefetcher(BufferPool* pool, unsigned threads = 2);
+  ~Prefetcher();
+
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  // Queues pages for read-ahead; silently drops requests past kMaxQueue.
+  void Enqueue(std::span<const PageId> pages);
+  void Enqueue(PageId page) { Enqueue(std::span<const PageId>(&page, 1)); }
+
+  // Blocks until the queue is empty and no request is in flight. Metering
+  // snapshots call this so prefetch counters are deterministic — without
+  // it, tail read-ahead from a finished scan would still be mutating the
+  // pool and disk counters on the workers' schedule.
+  void Drain();
+
+  // Requests dropped because the queue was full (diagnostics).
+  uint64_t dropped() const;
+
+ private:
+  void Loop();
+
+  BufferPool* pool_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // wakes workers
+  std::condition_variable drained_;   // wakes Drain waiters
+  std::deque<PageId> queue_;
+  unsigned in_flight_ = 0;
+  uint64_t dropped_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pager
+}  // namespace chase
+
+#endif  // CHASE_PAGER_PREFETCHER_H_

@@ -112,6 +112,12 @@ const char* ShapeFinderModeName(ShapeFinderMode mode) {
 StatusOr<std::vector<Shape>> FindShapes(const ShapeSource& source,
                                         const FindShapesOptions& options) {
   const unsigned threads = std::max(1u, options.threads);
+  // Read-ahead pays off only for plans that consume whole ranges (scan and
+  // the index build). The exists plan's probes early-exit — usually within
+  // the first page — so read-ahead there would trade the cheap chain-head
+  // walk for a full page-directory build plus faults past the exit point.
+  source.ConfigureReadAhead(
+      options.mode == ShapeFinderMode::kExists ? 0 : options.prefetch);
   if (options.mode == ShapeFinderMode::kIndex) {
     CHASE_ASSIGN_OR_RETURN(
         index::ShardedShapeIndex idx,

@@ -54,6 +54,13 @@ struct FindShapesOptions {
   ShapeFinderMode mode = ShapeFinderMode::kScan;
   unsigned threads = 1;     // <= 1 runs serially
   unsigned index_shards = 0;  // kIndex only: shard count (0 = default)
+  // Scan read-ahead depth in pages, applied to the source via
+  // ConfigureReadAhead for the run (0 = off). Only backends with physical
+  // I/O (pager::DiskShapeSource) act on it, and only the range-consuming
+  // plans (kScan, kIndex) use it — the exists plan's early-exit probes
+  // ignore it. Overlaps cold-pool page faults with tuple hashing; never
+  // changes results.
+  unsigned prefetch = 0;
 };
 
 // The unified entry point: returns shape(D) sorted by (pred, id), computed

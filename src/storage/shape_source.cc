@@ -4,14 +4,24 @@
 #include <atomic>
 #include <thread>
 
+#include "base/padded.h"
+
 namespace chase {
 namespace storage {
 namespace {
 
+// Fixed scratch width of the compiled EXISTS condition: one slot per tuple
+// position. Schema::kMaxArity caps declared arities below this, and
+// ProbeShapeExists rejects longer id-tuples before indexing, so the stack
+// arrays sized by it can never be overrun by tuple contents.
+constexpr size_t kMaxProbePositions = Schema::kMaxArity;
+
 // For each position, the first position carrying the same id value; the
 // equality conditions of the EXISTS queries are t[i] == t[first[i]].
+// Requires id.size() <= kMaxProbePositions (id values are 1-based, hence
+// the + 1 on the scratch table).
 void FirstOfBlock(const IdTuple& id, uint32_t* first) {
-  uint32_t first_seen[256];
+  uint32_t first_seen[kMaxProbePositions + 1];
   for (size_t i = 0; i < id.size(); ++i) first_seen[id[i]] = UINT32_MAX;
   for (uint32_t i = 0; i < id.size(); ++i) {
     if (first_seen[id[i]] == UINT32_MAX) first_seen[id[i]] = i;
@@ -66,7 +76,8 @@ Status ParallelTupleScan(const ShapeSource& source,
     }
   }
 
-  std::vector<uint64_t> scanned(threads, 0);
+  // Per-worker tuple counters at cache-line stride (see base/padded.h).
+  std::vector<PaddedU64> scanned(threads);
   std::vector<Status> worker_status(threads);
   std::atomic<size_t> next_chunk{0};
   auto work = [&](unsigned t) {
@@ -77,7 +88,7 @@ Status ParallelTupleScan(const ShapeSource& source,
       worker_status[t] = source.ScanRange(
           chunk.pred, chunk.first_row, chunk.num_rows,
           [&](std::span<const uint32_t> tuple) {
-            ++scanned[t];
+            ++scanned[t].value;
             visit(t, chunk.pred, tuple);
             return true;
           });
@@ -93,7 +104,7 @@ Status ParallelTupleScan(const ShapeSource& source,
   }
 
   for (unsigned t = 0; t < threads; ++t) {
-    source.stats().tuples_scanned += scanned[t];
+    source.stats().tuples_scanned += scanned[t].value;
   }
   for (unsigned t = 0; t < threads; ++t) {
     CHASE_RETURN_IF_ERROR(worker_status[t]);
@@ -104,7 +115,13 @@ Status ParallelTupleScan(const ShapeSource& source,
 StatusOr<bool> ProbeShapeExists(const ShapeSource& source, PredId pred,
                                 const IdTuple& id, bool exact,
                                 AccessStats* stats) {
-  uint32_t first[256];
+  if (id.size() > kMaxProbePositions) {
+    return InvalidArgumentError(
+        "shape probe arity " + std::to_string(id.size()) +
+        " exceeds the supported maximum of " +
+        std::to_string(kMaxProbePositions));
+  }
+  uint32_t first[kMaxProbePositions];
   FirstOfBlock(id, first);
 
   ++stats->exists_queries;

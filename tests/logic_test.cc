@@ -64,6 +64,18 @@ TEST(SchemaTest, RejectsDuplicatesAndZeroArity) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(SchemaTest, RejectsAritiesPastTheSupportedMaximum) {
+  // Arities beyond kMaxArity would overflow the uint8_t id-tuple encoding
+  // and the EXISTS-probe scratch tables; the schema is the choke point.
+  Schema schema;
+  ASSERT_TRUE(schema.AddPredicate("wide", Schema::kMaxArity).ok());
+  EXPECT_EQ(
+      schema.AddPredicate("wider", Schema::kMaxArity + 1).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(schema.GetOrAddPredicate("widest", 100'000).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(SchemaTest, GetOrAddChecksArity) {
   Schema schema;
   auto r1 = schema.GetOrAddPredicate("r", 2);

@@ -1,6 +1,9 @@
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -10,8 +13,11 @@
 #include "pager/disk_database.h"
 #include "pager/disk_manager.h"
 #include "pager/disk_shape_finder.h"
+#include "pager/disk_shape_source.h"
 #include "pager/heap_file.h"
 #include "pager/page.h"
+#include "pager/prefetcher.h"
+#include "storage/catalog.h"
 #include "storage/shape_finder.h"
 
 namespace chase {
@@ -20,6 +26,19 @@ namespace {
 
 std::string TempPath(const std::string& name) {
   return testing::TempDir() + "/" + name;
+}
+
+GeneratedData MakeData(uint32_t preds, uint64_t rsize, uint64_t seed) {
+  DataGenParams params;
+  params.preds = preds;
+  params.min_arity = 1;
+  params.max_arity = 5;
+  params.dsize = 100;
+  params.rsize = rsize;
+  params.seed = seed;
+  auto data = GenerateData(params);
+  EXPECT_TRUE(data.ok()) << data.status();
+  return std::move(data).value();
 }
 
 // ---------------------------------------------------------------------------
@@ -308,6 +327,278 @@ TEST(BufferPoolTest, DirtyPagesReachDiskOnFlush) {
 }
 
 // ---------------------------------------------------------------------------
+// BufferPool sharding
+
+TEST(BufferPoolShardingTest, SmallPoolsStaySingleSharded) {
+  auto manager = DiskManager::Create(TempPath("bps_small.db"));
+  ASSERT_TRUE(manager.ok());
+  BufferPool pool(&manager.value(), 4);
+  // Per-shard capacity semantics (pinning, exhaustion) must match the
+  // pre-sharding pool when there are too few frames to split.
+  EXPECT_EQ(pool.num_shards(), 1u);
+}
+
+TEST(BufferPoolShardingTest, LargePoolsAutoShardAndClampExplicitCounts) {
+  auto manager = DiskManager::Create(TempPath("bps_auto.db"));
+  ASSERT_TRUE(manager.ok());
+  BufferPool auto_pool(&manager.value(), 64);
+  EXPECT_EQ(auto_pool.num_shards(), BufferPool::kDefaultShards);
+  BufferPool explicit_pool(&manager.value(), 16, 4);
+  EXPECT_EQ(explicit_pool.num_shards(), 4u);
+  // Never more shards than frames.
+  BufferPool clamped(&manager.value(), 2, 64);
+  EXPECT_EQ(clamped.num_shards(), 2u);
+  EXPECT_EQ(clamped.num_frames(), 2u);
+}
+
+TEST(BufferPoolShardingTest, ShardedPoolRoundTripsPagesThroughEviction) {
+  auto manager = DiskManager::Create(TempPath("bps_roundtrip.db"));
+  ASSERT_TRUE(manager.ok());
+  BufferPool pool(&manager.value(), 8, 4);
+  std::vector<PageId> pages;
+  for (uint32_t i = 0; i < 64; ++i) {
+    auto guard = pool.Allocate();
+    ASSERT_TRUE(guard.ok()) << guard.status();
+    Page& page = guard->MutablePage();
+    WritePageHeader(&page, PageHeader{});
+    page.WriteU32(kPageHeaderSize, 1000 + i);
+    pages.push_back(guard->page_id());
+  }
+  // 64 pages through 8 frames: evictions with dirty write-back happened.
+  EXPECT_GT(pool.stats().evictions, 0u);
+  EXPECT_GT(pool.stats().dirty_writebacks, 0u);
+  for (uint32_t i = 0; i < pages.size(); ++i) {
+    auto guard = pool.Fetch(pages[i]);
+    ASSERT_TRUE(guard.ok()) << guard.status();
+    EXPECT_EQ(guard->page().ReadU32(kPageHeaderSize), 1000 + i);
+  }
+}
+
+// The pool-stress suite: more worker threads than frames hammering Fetch
+// while reader threads poll the aggregated pool and disk counters (the
+// metering path DiskShapeSource::Io takes mid-scan). Run under TSan in CI.
+TEST(BufferPoolShardingTest, StressMoreThreadsThanFrames) {
+  auto manager = DiskManager::Create(TempPath("bps_stress.db"));
+  ASSERT_TRUE(manager.ok());
+  BufferPool pool(&manager.value(), 4, 2);
+
+  std::vector<PageId> pages;
+  for (uint32_t i = 0; i < 32; ++i) {
+    auto guard = pool.Allocate();
+    ASSERT_TRUE(guard.ok());
+    Page& page = guard->MutablePage();
+    WritePageHeader(&page, PageHeader{});
+    page.WriteU32(kPageHeaderSize, 7000 + i);
+    pages.push_back(guard->page_id());
+  }
+
+  constexpr unsigned kWorkers = 8;  // twice the frame count
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> verified{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kWorkers; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t state = 0x9e3779b97f4a7c15ULL * (t + 1);
+      for (int iter = 0; iter < 400; ++iter) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        const uint32_t i = static_cast<uint32_t>((state >> 33) %
+                                                 pages.size());
+        auto guard = pool.Fetch(pages[i]);
+        if (!guard.ok()) {
+          // With more pins in flight than frames, per-shard exhaustion is
+          // legitimate back-pressure; anything else is a bug.
+          if (guard.status().code() != StatusCode::kResourceExhausted) {
+            ++failures;
+            return;
+          }
+          continue;
+        }
+        if (guard->page().ReadU32(kPageHeaderSize) != 7000 + i) {
+          ++failures;
+          return;
+        }
+        ++verified;
+      }
+    });
+  }
+  // Concurrent metering readers: aggregate counters while scans mutate the
+  // per-shard stats under their latches.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      uint64_t sink = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const BufferPoolStats stats = pool.stats();
+        sink += stats.hits + stats.misses + stats.evictions;
+        sink += pool.disk().stats().pages_read.load(
+            std::memory_order_relaxed);
+        sink += pool.pinned_frames();
+      }
+      EXPECT_GE(sink, 0u);
+    });
+  }
+  for (std::thread& worker : threads) worker.join();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(verified.load(), 0u);
+  const BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+  EXPECT_GE(stats.hits + stats.misses, verified.load());
+}
+
+// ---------------------------------------------------------------------------
+// Prefetch
+
+TEST(PrefetchTest, PrefetchFaultsPagesWithoutPinning) {
+  const std::string path = TempPath("pf_nopin.db");
+  PageId id = kInvalidPageId;
+  {
+    auto manager = DiskManager::Create(path);
+    ASSERT_TRUE(manager.ok());
+    BufferPool pool(&manager.value(), 4);
+    auto guard = pool.Allocate();
+    ASSERT_TRUE(guard.ok());
+    id = guard->page_id();
+    Page& page = guard->MutablePage();
+    WritePageHeader(&page, PageHeader{});
+    page.WriteU32(kPageHeaderSize, 4242);
+    guard->Release();
+    ASSERT_TRUE(pool.Flush().ok());
+  }
+  auto manager = DiskManager::Open(path);
+  ASSERT_TRUE(manager.ok());
+  BufferPool pool(&manager.value(), 4);  // cold
+  ASSERT_TRUE(pool.Prefetch(id).ok());
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+  EXPECT_EQ(pool.stats().prefetches, 1u);
+  EXPECT_EQ(pool.stats().misses, 0u);
+
+  auto guard = pool.Fetch(id);
+  ASSERT_TRUE(guard.ok());
+  EXPECT_EQ(guard->page().ReadU32(kPageHeaderSize), 4242u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 0u);
+
+  // Re-prefetching a resident page is a cheap no-op.
+  ASSERT_TRUE(pool.Prefetch(id).ok());
+  EXPECT_EQ(pool.stats().prefetches, 1u);
+  EXPECT_EQ(pool.stats().prefetch_drops, 1u);
+}
+
+TEST(PrefetchTest, BackgroundPrefetcherWarmsColdPool) {
+  const std::string path = TempPath("pf_warm.db");
+  std::vector<PageId> pages;
+  {
+    auto manager = DiskManager::Create(path);
+    ASSERT_TRUE(manager.ok());
+    BufferPool pool(&manager.value(), 8);
+    for (int i = 0; i < 6; ++i) {
+      auto guard = pool.Allocate();
+      ASSERT_TRUE(guard.ok());
+      WritePageHeader(&guard->MutablePage(), PageHeader{});
+      pages.push_back(guard->page_id());
+    }
+    ASSERT_TRUE(pool.Flush().ok());
+  }
+  auto manager = DiskManager::Open(path);
+  ASSERT_TRUE(manager.ok());
+  BufferPool pool(&manager.value(), 16, 4);
+  {
+    Prefetcher prefetcher(&pool, /*threads=*/2);
+    prefetcher.Enqueue(pages);
+    // Wait for the queue to drain: every page either prefetched or dropped.
+    while (pool.stats().prefetches + pool.stats().prefetch_drops <
+           pages.size()) {
+      std::this_thread::yield();
+    }
+  }  // destructor joins the workers
+  EXPECT_EQ(pool.stats().prefetches, pages.size());
+  for (PageId id : pages) {
+    ASSERT_TRUE(pool.Fetch(id).ok());
+  }
+  const BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.hits, pages.size());
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+// Cold-pool scans must return identical results and tuple counts with
+// read-ahead on and off, at every thread count.
+TEST(PrefetchTest, ScanWithReadAheadMatchesPrefetchOff) {
+  // Relations several times larger than the pool, so pages cannot stay
+  // resident between the directory build and the scan — every page is a
+  // real fault the prefetcher can take over.
+  GeneratedData data = MakeData(3, 20000, 77);
+  storage::Catalog catalog(data.database.get());
+  const std::vector<Shape> expected = storage::FindShapesInMemory(catalog);
+
+  const std::string path = TempPath("pf_scan_equality.db");
+  ASSERT_TRUE(DiskDatabase::Create(path, *data.database).ok());
+  for (unsigned threads : {1u, 4u, 8u}) {
+    for (unsigned prefetch : {0u, 8u}) {
+      // Fresh open per run: the pool starts cold.
+      auto disk_db = DiskDatabase::Open(path, /*num_frames=*/32,
+                                        /*pool_shards=*/4);
+      ASSERT_TRUE(disk_db.ok()) << disk_db.status();
+      DiskShapeSource source(disk_db->get());
+      auto shapes = storage::FindShapes(
+          source, {storage::ShapeFinderMode::kScan, threads, 0, prefetch});
+      ASSERT_TRUE(shapes.ok()) << shapes.status();
+      EXPECT_EQ(*shapes, expected)
+          << "threads " << threads << ", prefetch " << prefetch;
+      EXPECT_EQ(source.stats().tuples_scanned, data.database->TotalFacts());
+      if (prefetch > 0) {
+        // The scan enqueued read-ahead; the background workers drain it on
+        // their own schedule (on a loaded single-core machine possibly only
+        // once we yield here), and every request either faults a page or
+        // collapses against a resident one.
+        const BufferPool& pool = (*disk_db)->buffer_pool();
+        const auto processed = [&] {
+          const BufferPoolStats stats = pool.stats();
+          return stats.prefetches + stats.prefetch_drops;
+        };
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(30);
+        while (processed() == 0 &&
+               std::chrono::steady_clock::now() < deadline) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        EXPECT_GT(processed(), 0u)
+            << "threads " << threads << ": no read-ahead was processed";
+      } else {
+        EXPECT_EQ(source.Io().pool_prefetches, 0u);
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PrefetchTest, FindShapesOwnsTheReadAheadKnob) {
+  GeneratedData data = MakeData(2, 50, 5);
+  const std::string path = TempPath("pf_knob.db");
+  auto disk_db = DiskDatabase::Create(path, *data.database);
+  ASSERT_TRUE(disk_db.ok());
+  DiskShapeSource source(disk_db->get(), /*read_ahead=*/16);
+  EXPECT_EQ(source.read_ahead(), 16u);
+  // A run with prefetch unset turns read-ahead off for that run (and
+  // leaves the source with the run's setting, by design).
+  ASSERT_TRUE(storage::FindShapes(source, {}).ok());
+  EXPECT_EQ(source.read_ahead(), 0u);
+  ASSERT_TRUE(storage::FindShapes(
+                  source, {storage::ShapeFinderMode::kScan, 2, 0, 4})
+                  .ok());
+  EXPECT_EQ(source.read_ahead(), 4u);
+  // The exists plan's probes early-exit; its runs never enable read-ahead.
+  ASSERT_TRUE(storage::FindShapes(
+                  source, {storage::ShapeFinderMode::kExists, 1, 0, 8})
+                  .ok());
+  EXPECT_EQ(source.read_ahead(), 0u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
 // HeapFile
 
 TEST(HeapFileTest, TuplesPerPageLeavesRoomForHeader) {
@@ -381,19 +672,6 @@ TEST(HeapFileTest, WrongWidthRejected) {
 
 // ---------------------------------------------------------------------------
 // DiskDatabase
-
-GeneratedData MakeData(uint32_t preds, uint64_t rsize, uint64_t seed) {
-  DataGenParams params;
-  params.preds = preds;
-  params.min_arity = 1;
-  params.max_arity = 5;
-  params.dsize = 100;
-  params.rsize = rsize;
-  params.seed = seed;
-  auto data = GenerateData(params);
-  EXPECT_TRUE(data.ok()) << data.status();
-  return std::move(data).value();
-}
 
 bool SameContents(const Database& a, const Database& b) {
   if (a.schema().NumPredicates() != b.schema().NumPredicates()) return false;

@@ -156,6 +156,34 @@ TEST(ShapeSourceTest, MeteringIsUniformAcrossBackends) {
   std::remove(path.c_str());
 }
 
+TEST(ShapeSourceTest, ProbeRejectsOversizedIdTuplesInsteadOfSmashing) {
+  // Schemas cap arity at Schema::kMaxArity, but ProbeShapeExists is public
+  // API: an id-tuple longer than its fixed-width scratch must be refused,
+  // not written past the arrays.
+  Schema schema;
+  auto pred = schema.AddPredicate("r", 2);
+  ASSERT_TRUE(pred.ok());
+  Database db(&schema);
+  db.EnsureAnonymousDomain(4);
+  std::vector<uint32_t> tuple = {1, 2};
+  ASSERT_TRUE(db.AddFact(*pred, tuple).ok());
+  storage::Catalog catalog(&db);
+  storage::MemoryShapeSource memory(&catalog);
+
+  IdTuple oversized(Schema::kMaxArity + 10, 1);
+  storage::AccessStats stats;
+  auto probe =
+      storage::ProbeShapeExists(memory, *pred, oversized, false, &stats);
+  EXPECT_EQ(probe.status().code(), StatusCode::kInvalidArgument);
+
+  // A maximal legal id-tuple stays accepted (no witness, but no error).
+  IdTuple maximal(Schema::kMaxArity, 1);
+  auto legal =
+      storage::ProbeShapeExists(memory, *pred, maximal, true, &stats);
+  ASSERT_TRUE(legal.ok()) << legal.status();
+  EXPECT_FALSE(legal.value());
+}
+
 TEST(ShapeSourceTest, ParallelDiskScanCountsEveryTupleOnce) {
   Rng rng(31337);
   GeneratedData data = MakeRandomData(&rng);

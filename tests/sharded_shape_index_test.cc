@@ -446,5 +446,121 @@ TEST_P(IndexFedLCheckTest, AgreesWithScanAndSkipsShapeFinding) {
 INSTANTIATE_TEST_SUITE_P(Seeds, IndexFedLCheckTest,
                          testing::Values(2, 4, 6, 10, 12, 14));
 
+// ---------------------------------------------------------------------------
+// Content fingerprint: the order-independent digest behind the snapshot
+// staleness guard.
+
+TEST(ShapeFingerprintTest, EveryBuildPathAgreesWithDatabaseFingerprint) {
+  Rng rng(808);
+  for (int trial = 0; trial < 4; ++trial) {
+    GeneratedData data = MakeRandomData(&rng);
+    const uint64_t expected = index::DatabaseFingerprint(*data.database);
+
+    // Serial convenience build.
+    EXPECT_EQ(ShardedShapeIndex::Build(*data.database).ContentFingerprint(),
+              expected);
+
+    // Parallel source build over memory and disk.
+    storage::Catalog catalog(data.database.get());
+    storage::MemoryShapeSource memory(&catalog);
+    auto built = ShardedShapeIndex::Build(memory, {8, 4});
+    ASSERT_TRUE(built.ok()) << built.status();
+    EXPECT_EQ(built->ContentFingerprint(), expected);
+
+    const std::string path =
+        TempPath("chase_fingerprint_" + std::to_string(trial) + ".db");
+    auto disk_db = pager::DiskDatabase::Create(path, *data.database,
+                                               /*num_frames=*/16);
+    ASSERT_TRUE(disk_db.ok()) << disk_db.status();
+    pager::DiskShapeSource disk(disk_db->get());
+    auto disk_built = ShardedShapeIndex::Build(disk, {4, 4});
+    ASSERT_TRUE(disk_built.ok()) << disk_built.status();
+    EXPECT_EQ(disk_built->ContentFingerprint(), expected);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ShapeFingerprintTest, WriteThroughMaintainsFingerprint) {
+  Rng rng(909);
+  Schema schema;
+  auto pred = schema.AddPredicate("p", 3);
+  ASSERT_TRUE(pred.ok());
+  Database db(&schema);
+  db.EnsureAnonymousDomain(8);
+
+  ShardedShapeIndex index(4);
+  storage::Catalog catalog(&db);
+  catalog.AttachShapeIndex(&index);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<uint32_t> tuple(3);
+    for (uint32_t& v : tuple) v = static_cast<uint32_t>(rng.Below(5));
+    ASSERT_TRUE(catalog.InsertFact(*pred, tuple).ok());
+  }
+  EXPECT_EQ(index.ContentFingerprint(), index::DatabaseFingerprint(db));
+
+  // Insert/remove round-trips restore the digest exactly.
+  const uint64_t before = index.ContentFingerprint();
+  std::vector<uint32_t> extra = {1, 2, 1};
+  index.Insert(*pred, extra);
+  EXPECT_NE(index.ContentFingerprint(), before);
+  ASSERT_TRUE(index.Remove(*pred, extra).ok());
+  EXPECT_EQ(index.ContentFingerprint(), before);
+}
+
+TEST(ShapeFingerprintTest, CatchesRemoveInsertPairThatPreservesCounts) {
+  // The staleness-guard scenario: two databases with the same tuple count
+  // (and here even the same shapes) but different contents must disagree.
+  Schema schema;
+  auto pred = schema.AddPredicate("r", 2);
+  ASSERT_TRUE(pred.ok());
+  Database a(&schema);
+  a.EnsureAnonymousDomain(16);
+  Database b(&schema);
+  b.EnsureAnonymousDomain(16);
+  std::vector<uint32_t> t1 = {1, 2};
+  std::vector<uint32_t> t2 = {3, 4};  // same shape (1,2) as t1
+  std::vector<uint32_t> shared = {5, 5};
+  ASSERT_TRUE(a.AddFact(*pred, t1).ok());
+  ASSERT_TRUE(a.AddFact(*pred, shared).ok());
+  ASSERT_TRUE(b.AddFact(*pred, t2).ok());
+  ASSERT_TRUE(b.AddFact(*pred, shared).ok());
+
+  const ShardedShapeIndex ia = ShardedShapeIndex::Build(a);
+  const ShardedShapeIndex ib = ShardedShapeIndex::Build(b);
+  EXPECT_EQ(ia.NumIndexedTuples(), ib.NumIndexedTuples());
+  EXPECT_EQ(ia.CurrentShapes(), ib.CurrentShapes());
+  EXPECT_NE(ia.ContentFingerprint(), ib.ContentFingerprint());
+  EXPECT_NE(index::DatabaseFingerprint(a), index::DatabaseFingerprint(b));
+}
+
+TEST(ShapeFingerprintTest, SnapshotPersistsFingerprint) {
+  Rng rng(1010);
+  GeneratedData data = MakeRandomData(&rng);
+  ShardedShapeIndex built = ShardedShapeIndex::Build(*data.database, 6);
+  const std::string path = TempPath("chase_fingerprint_snapshot.chidx");
+  ASSERT_TRUE(built.Save(path).ok());
+  auto loaded = ShardedShapeIndex::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->ContentFingerprint(), built.ContentFingerprint());
+  EXPECT_EQ(loaded->ContentFingerprint(),
+            index::DatabaseFingerprint(*data.database));
+  std::remove(path.c_str());
+}
+
+TEST(ShapeFingerprintTest, ConstantTermsAndRowStoreTuplesAgree) {
+  // The Term overload must digest a constants-only tuple identically to the
+  // row-store overload, so chase write-through over ground atoms matches.
+  std::vector<uint32_t> row = {7, 7, 9};
+  std::vector<Term> terms = {MakeConstant(7), MakeConstant(7),
+                             MakeConstant(9)};
+  EXPECT_EQ(index::TupleFingerprint(2, std::span<const uint32_t>(row)),
+            index::TupleFingerprint(2, std::span<const Term>(terms)));
+  // A null in the same equality pattern digests differently: the
+  // fingerprint is content-based, not shape-based.
+  std::vector<Term> with_null = {MakeNull(7), MakeNull(7), MakeConstant(9)};
+  EXPECT_NE(index::TupleFingerprint(2, std::span<const Term>(terms)),
+            index::TupleFingerprint(2, std::span<const Term>(with_null)));
+}
+
 }  // namespace
 }  // namespace chase

@@ -6,6 +6,7 @@
 //   query <file> "<q(X) :- ...>"                   certain answers
 //   findshapes <file> [--backend=memory|disk|index]
 //              [--mode=scan|exists|index] [--threads=N]
+//              [--pool-shards=N] [--prefetch=K]
 //              [--snapshot=path.chidx]             shape(D) via ShapeSource
 //   index build <file> <out.chidx> [--backend=memory|disk] [--threads=N]
 //              [--shards=N]                        materialize shape(D)
@@ -132,6 +133,31 @@ bool ParseShards(const Args& args, unsigned* shards) {
                           index::ShardedShapeIndex::kMaxShards, shards);
 }
 
+// 0 = auto (the buffer pool splits only when large enough).
+bool ParsePoolShards(const Args& args, unsigned* pool_shards) {
+  return ParseBoundedFlag(args, "pool-shards", 0, 0, 256, pool_shards);
+}
+
+// Pool size for a disk-backend run: per-shard capacity must cover one
+// pinned page per scan worker even if every worker's pin lands in one
+// shard, i.e. frames >= threads x shards (auto-sharding splits into at
+// most BufferPool::kDefaultShards). Capped so pathological flag
+// combinations don't balloon memory — past the cap the pool falls back on
+// its bounded pin-wait.
+uint32_t DiskPoolFrames(unsigned threads, unsigned pool_shards) {
+  const unsigned shards =
+      pool_shards == 0 ? pager::BufferPool::kDefaultShards : pool_shards;
+  const uint64_t frames = std::max<uint64_t>(
+      {64, 8ull * std::max(1u, threads),
+       static_cast<uint64_t>(std::max(1u, threads)) * shards});
+  return static_cast<uint32_t>(std::min<uint64_t>(frames, 1u << 16));
+}
+
+// Read-ahead depth in pages; 0 = off.
+bool ParsePrefetch(const Args& args, unsigned* prefetch) {
+  return ParseBoundedFlag(args, "prefetch", 0, 0, 1u << 16, prefetch);
+}
+
 // Default scratch paths are per-invocation so concurrent runs don't stomp
 // each other's heap files.
 std::string ScratchStorePath(const Args& args, const std::string& stem) {
@@ -200,9 +226,11 @@ int CmdCheck(const Args& args) {
       if (args.Has("snapshot")) {
         auto loaded = index::ShardedShapeIndex::Load(args.Get("snapshot", ""));
         if (!loaded.ok()) return Fail(loaded.status());
-        // Cheap staleness guard: a snapshot of this database indexes
-        // exactly its tuples. (Library callers of precomputed shapes have
-        // a documented contract; CLI users get a check.)
+        // Staleness guard: a snapshot of this database indexes exactly its
+        // tuples (cheap count check first), and its content fingerprint
+        // matches the database's — so a remove+insert pair that preserves
+        // counts is still caught. (Library callers of precomputed shapes
+        // have a documented contract; CLI users get a check.)
         if (loaded->NumIndexedTuples() !=
             program->database->TotalFacts()) {
           return Fail(FailedPreconditionError(
@@ -212,6 +240,13 @@ int CmdCheck(const Args& args) {
               std::to_string(program->database->TotalFacts()) +
               " — stale or mismatched snapshot; rebuild with "
               "`chasectl index build`"));
+        }
+        if (loaded->ContentFingerprint() !=
+            index::DatabaseFingerprint(*program->database)) {
+          return Fail(FailedPreconditionError(
+              "snapshot content fingerprint does not match the database "
+              "(same tuple count, different tuples) — stale or mismatched "
+              "snapshot; rebuild with `chasectl index build`"));
         }
         shape_index.emplace(std::move(loaded).value());
       } else {
@@ -362,7 +397,8 @@ int CmdFindShapes(const Args& args) {
   if (args.positional.empty()) {
     std::cerr << "usage: chasectl findshapes <file> "
                  "[--backend=memory|disk|index] [--mode=scan|exists|index] "
-                 "[--threads=N] [--shards=N] [--snapshot=path.chidx] "
+                 "[--threads=N] [--shards=N] [--pool-shards=N] "
+                 "[--prefetch=K] [--snapshot=path.chidx] "
                  "[--store=path.db] [--print]\n";
     return 2;
   }
@@ -394,6 +430,9 @@ int CmdFindShapes(const Args& args) {
 
   storage::FindShapesOptions options;
   if (!ParseShards(args, &options.index_shards)) return 2;
+  if (!ParsePrefetch(args, &options.prefetch)) return 2;
+  unsigned pool_shards = 0;
+  if (!ParsePoolShards(args, &pool_shards)) return 2;
   const std::string mode = args.Get("mode", "scan");
   if (mode == "scan") {
     options.mode = storage::ShapeFinderMode::kScan;
@@ -429,8 +468,9 @@ int CmdFindShapes(const Args& args) {
   const std::string store_path =
       ScratchStorePath(args, "chasectl_findshapes");
   if (backend == "disk") {
-    auto created = pager::DiskDatabase::Create(store_path,
-                                               *program->database);
+    auto created = pager::DiskDatabase::Create(
+        store_path, *program->database,
+        DiskPoolFrames(options.threads, pool_shards), pool_shards);
     if (!created.ok()) return Fail(created.status());
     disk_db = std::move(created).value();
     disk_source = std::make_unique<pager::DiskShapeSource>(disk_db.get());
@@ -450,12 +490,7 @@ int CmdFindShapes(const Args& args) {
   if (!shapes.ok()) return Fail(shapes.status());
 
   const storage::AccessStats& access = source->stats();
-  const storage::IoCounters io_after = source->Io();
-  storage::IoCounters io;
-  io.pages_read = io_after.pages_read - io_before.pages_read;
-  io.pages_written = io_after.pages_written - io_before.pages_written;
-  io.pool_hits = io_after.pool_hits - io_before.pool_hits;
-  io.pool_misses = io_after.pool_misses - io_before.pool_misses;
+  const storage::IoCounters io = source->Io().Since(io_before);
   std::cout << shapes->size() << " shape(s) over "
             << program->database->TotalFacts() << " tuples\n"
             << "  backend: " << source->Name() << ", plan: "
@@ -466,7 +501,8 @@ int CmdFindShapes(const Args& args) {
             << access.relations_loaded << " relation loads, "
             << access.tuples_scanned << " tuples scanned\n"
             << "  io: " << io.pages_read << " pages read, " << io.pool_hits
-            << " pool hits / " << io.pool_misses << " misses\n";
+            << " pool hits / " << io.pool_misses << " misses, "
+            << io.pool_prefetches << " prefetched\n";
   if (args.Has("print")) {
     for (const Shape& shape : *shapes) {
       std::cout << ShapeName(*program->schema, shape) << "\n";
@@ -532,8 +568,9 @@ int CmdIndex(const Args& args) {
   const bool keep_store = args.Has("store");
   const std::string store_path = ScratchStorePath(args, "chasectl_index");
   if (backend == "disk") {
-    auto created = pager::DiskDatabase::Create(store_path,
-                                               *program->database);
+    auto created = pager::DiskDatabase::Create(
+        store_path, *program->database,
+        DiskPoolFrames(options.threads, /*pool_shards=*/0));
     if (!created.ok()) return Fail(created.status());
     disk_db = std::move(created).value();
     disk_source = std::make_unique<pager::DiskShapeSource>(disk_db.get());
@@ -753,6 +790,7 @@ int Usage() {
       "  chasectl query <file> \"q(X) :- r(X, Y).\"\n"
       "  chasectl findshapes <file> [--backend=memory|disk|index] "
       "[--mode=scan|exists|index] [--threads=N] [--shards=N] "
+      "[--pool-shards=N] [--prefetch=K] "
       "[--snapshot=path.chidx] [--store=path.db] [--print]\n"
       "  chasectl index build <file> <out.chidx> [--backend=memory|disk] "
       "[--threads=N] [--shards=N]\n"
