@@ -1,0 +1,36 @@
+#include "base/frontier_pool.h"
+
+#include <atomic>
+#include <thread>
+
+namespace chase {
+
+void FrontierParallelFor(
+    size_t n, unsigned threads,
+    const std::function<void(unsigned worker, size_t index)>& work) {
+  threads = std::max(1u, threads);
+  if (threads == 1 || n <= 1) {
+    for (size_t index = 0; index < n; ++index) work(0, index);
+    return;
+  }
+
+  // Chunks of roughly equal size, a few per thread, dealt dynamically: a
+  // worker stuck on one expensive index only holds back its chunk, and the
+  // tail of the index space still spreads across the pool.
+  const size_t chunk = std::max<size_t>(1, n / (4 * threads));
+  std::atomic<size_t> next{0};
+  auto run = [&](unsigned worker) {
+    while (true) {
+      const size_t first = next.fetch_add(chunk);
+      if (first >= n) break;
+      const size_t last = std::min(n, first + chunk);
+      for (size_t index = first; index < last; ++index) work(worker, index);
+    }
+  };
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) workers.emplace_back(run, t);
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace chase

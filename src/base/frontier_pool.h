@@ -1,0 +1,233 @@
+// A depth-synchronous parallel frontier-expansion engine.
+//
+// Several of the Section 5.4 algorithms share one control shape: a frontier
+// of independent items is expanded, expansion discovers successor items,
+// successors that were never seen before form the next frontier, repeat
+// until the frontier drains. The Apriori walk of the shape lattice (items =
+// candidate shapes, successors = coarser shapes) and the dynamic-
+// simplification worklist (items = derived shapes, successors = head
+// shapes) are both instances; the chase itself is one too (rounds =
+// depths), and borrows the worker pool below for per-round trigger
+// enumeration.
+//
+// Items at the same depth are independent by construction, so the engine
+// expands each depth in parallel and barriers between depths:
+//
+//  * the frontier is split into chunks dealt dynamically to a worker pool
+//    (the same range-partitioned chunking discipline as
+//    storage::ParallelTupleScan), so one expensive item cannot pin the
+//    whole depth on a single worker;
+//  * discovered successors pass through a shared seen-set under striped
+//    latches — the first discoverer admits an item, every later discovery
+//    is dropped — and per-worker fresh-item lists are merged and sorted
+//    after the barrier, so the next frontier is canonical (duplicate-free,
+//    ascending) regardless of thread count or scheduling;
+//  * per-item outputs are written into a per-depth slot vector and handed
+//    to a serial `absorb` callback in frontier order, so anything the
+//    caller accumulates (emitted TGDs, interned predicates) is ordered
+//    identically to a single-threaded run.
+//
+// The net contract: Run with N threads produces bit-identical results to
+// Run with 1 thread (which executes inline on the calling thread, with no
+// pool and no latching). tests/frontier_equivalence_test.cc holds both
+// consumers to it; tests/frontier_pool_test.cc stresses the engine itself
+// under ThreadSanitizer.
+
+#ifndef CHASE_BASE_FRONTIER_POOL_H_
+#define CHASE_BASE_FRONTIER_POOL_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "base/hash.h"
+#include "base/padded.h"
+#include "base/status.h"
+
+namespace chase {
+
+// Runs work(worker, index) for every index in [0, n), partitioning the
+// index space into chunks of roughly equal size (a few per thread) that are
+// dealt dynamically to `threads` workers, so uneven per-index cost still
+// balances. threads <= 1 (or a single-index space) runs inline on the
+// calling thread as worker 0. Within one worker, indices are visited in
+// ascending order per chunk; across workers, any interleaving — callers
+// must write only to index-private or worker-private state, or synchronize.
+void FrontierParallelFor(
+    size_t n, unsigned threads,
+    const std::function<void(unsigned worker, size_t index)>& work);
+
+// Counters reported by FrontierPool::Run. worker_expanded proves how the
+// frontier itself was split: with one giant work item source (e.g. a single
+// high-arity predicate's lattice), multiple non-zero entries mean multiple
+// workers expanded parts of it.
+struct FrontierStats {
+  uint64_t depths = 0;           // number of synchronized frontier waves
+  uint64_t seeds_admitted = 0;   // unique seeds (duplicates are dropped)
+  uint64_t items_expanded = 0;   // total unique items expanded, seeds incl.
+  uint64_t items_discovered = 0;  // successors admitted past the seen filter
+  uint64_t max_frontier = 0;     // widest single depth
+  std::vector<uint64_t> worker_expanded;  // per-worker expansion counts
+};
+
+// The engine. Item must be hashable (Hash), equality-comparable (for the
+// seen-set) and strict-weak ordered by operator< (for the canonical
+// per-depth sort); Out must be default-constructible.
+template <typename Item, typename Out, typename Hash = std::hash<Item>>
+class FrontierPool {
+ public:
+  struct Options {
+    unsigned threads = 1;       // <= 1 expands inline, no pool, no latching
+    unsigned seen_stripes = 0;  // 0 = auto (scales with the thread count)
+  };
+
+  // Successor sink handed to each expansion. Thread-confined: a worker only
+  // ever touches its own fresh-item list; the shared seen-set underneath is
+  // striped-latched.
+  class Discoveries {
+   public:
+    // Admits `item` into the next frontier unless some expansion (this
+    // depth or any earlier one) already discovered it.
+    void Discover(Item item) {
+      if (seen_->Insert(item)) fresh_->push_back(std::move(item));
+    }
+
+   private:
+    friend class FrontierPool;
+    class SeenSet;
+    Discoveries(SeenSet* seen, std::vector<Item>* fresh)
+        : seen_(seen), fresh_(fresh) {}
+    SeenSet* seen_;
+    std::vector<Item>* fresh_;
+  };
+
+  // Expands one item: fills `out` (absorbed serially after the depth
+  // barrier) and reports successors through `discovered`. Runs concurrently
+  // with other expansions of the same depth; `worker` in [0, threads)
+  // indexes any caller-side thread-local state. A non-OK status aborts the
+  // run after the current depth's in-flight expansions finish.
+  using ExpandFn = std::function<Status(unsigned worker, const Item& item,
+                                        Out* out, Discoveries* discovered)>;
+
+  // Consumes one depth's outputs serially, items in canonical (ascending)
+  // order. Runs on the calling thread between depth barriers.
+  using AbsorbFn =
+      std::function<Status(std::span<const Item> frontier,
+                           std::span<Out> outs)>;
+
+  explicit FrontierPool(Options options) : options_(options) {}
+
+  // Expands from `seeds` (duplicates dropped, order irrelevant) until the
+  // frontier drains. Deterministic: the frontier contents of every depth,
+  // the absorb call sequence, and the final seen-set depend only on the
+  // seeds and the expansion function, never on thread count or scheduling.
+  Status Run(std::vector<Item> seeds, const ExpandFn& expand,
+             const AbsorbFn& absorb, FrontierStats* stats = nullptr) {
+    const unsigned threads = std::max(1u, options_.threads);
+    // Stripe counts are rounded up to a power of two: the stripe pick masks
+    // the mixed hash with (stripes - 1). A serial run keeps one unlatched
+    // stripe — no mutex on the hot Discover path.
+    typename Discoveries::SeenSet seen(
+        threads == 1 ? 1
+                     : std::bit_ceil(options_.seen_stripes != 0
+                                         ? options_.seen_stripes
+                                         : std::max(16u, 4 * threads)),
+        /*latched=*/threads > 1);
+
+    FrontierStats local_stats;
+    FrontierStats& out_stats = stats != nullptr ? *stats : local_stats;
+    out_stats = FrontierStats();
+    out_stats.worker_expanded.assign(threads, 0);
+
+    // Seed admission is serial: seed lists are small, and admission order
+    // must not leak into the canonical sort's tie-free ordering anyway.
+    std::vector<Item> frontier;
+    frontier.reserve(seeds.size());
+    for (Item& seed : seeds) {
+      if (seen.Insert(seed)) frontier.push_back(std::move(seed));
+    }
+    std::sort(frontier.begin(), frontier.end());
+    out_stats.seeds_admitted = frontier.size();
+
+    std::vector<PaddedU64> expanded(threads);
+    while (!frontier.empty()) {
+      ++out_stats.depths;
+      out_stats.max_frontier =
+          std::max<uint64_t>(out_stats.max_frontier, frontier.size());
+      std::vector<Out> outs(frontier.size());
+      std::vector<std::vector<Item>> fresh(threads);
+      std::vector<Status> worker_status(threads);
+      FrontierParallelFor(
+          frontier.size(), threads, [&](unsigned worker, size_t index) {
+            if (!worker_status[worker].ok()) return;
+            Discoveries discovered(&seen, &fresh[worker]);
+            worker_status[worker] =
+                expand(worker, frontier[index], &outs[index], &discovered);
+            ++expanded[worker].value;
+          });
+      for (Status& status : worker_status) CHASE_RETURN_IF_ERROR(status);
+      out_stats.items_expanded += frontier.size();
+      CHASE_RETURN_IF_ERROR(absorb(frontier, outs));
+
+      // Barrier reached: merge the per-worker discoveries and sort them
+      // into the canonical next frontier.
+      size_t total = 0;
+      for (const std::vector<Item>& items : fresh) total += items.size();
+      std::vector<Item> next;
+      next.reserve(total);
+      for (std::vector<Item>& items : fresh) {
+        for (Item& item : items) next.push_back(std::move(item));
+      }
+      std::sort(next.begin(), next.end());
+      out_stats.items_discovered += next.size();
+      frontier = std::move(next);
+    }
+    for (unsigned t = 0; t < threads; ++t) {
+      out_stats.worker_expanded[t] = expanded[t].value;
+    }
+    return OkStatus();
+  }
+
+ private:
+  Options options_;
+};
+
+// The shared seen structure: one hash set per stripe, each under its own
+// latch, stripe chosen by the decorrelated high bits of the item hash.
+// Insert is the only operation — membership never shrinks — so the first
+// inserter of an item owns its admission and everyone else observes a
+// duplicate, whatever the interleaving. A single-threaded run constructs
+// it unlatched: a plain hash-set insert, no mutex acquisition.
+template <typename Item, typename Out, typename Hash>
+class FrontierPool<Item, Out, Hash>::Discoveries::SeenSet {
+ public:
+  SeenSet(unsigned stripes, bool latched)
+      : stripes_(stripes), latched_(latched) {}
+
+  bool Insert(const Item& item) {
+    Stripe& stripe =
+        stripes_[FibonacciMix(Hash{}(item)) & (stripes_.size() - 1)];
+    if (!latched_) return stripe.set.insert(item).second;
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    return stripe.set.insert(item).second;
+  }
+
+ private:
+  struct Stripe {
+    std::mutex mu;
+    std::unordered_set<Item, Hash> set;
+  };
+  // Constructed once at full size (power of two); never resized, so the
+  // immovable mutexes stay put.
+  std::vector<Stripe> stripes_;
+  bool latched_;
+};
+
+}  // namespace chase
+
+#endif  // CHASE_BASE_FRONTIER_POOL_H_

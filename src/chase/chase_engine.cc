@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "base/frontier_pool.h"
 #include "index/sharded_shape_index.h"
 #include "logic/shape.h"
 
@@ -65,43 +66,77 @@ struct RoundView {
   size_t CurOf(PredId pred) const { return pred < cur.size() ? cur[pred] : 0; }
 };
 
+// Enumerates the body homomorphisms of `tgd` whose atom at `delta_pos` is
+// drawn from delta rows [delta_begin, delta_end); calls `fn(h)` with h
+// bound on all universal variables. Only rows below the round-start
+// watermark (view.cur) are ever read, so the enumeration is independent of
+// atoms applied during the round — which is what lets the parallel path
+// below enumerate a whole round's triggers concurrently before applying
+// any of them.
+template <typename Fn>
+void ForEachDeltaHom(const Tgd& tgd, const Instance& instance,
+                     const RoundView& view, size_t delta_pos,
+                     size_t delta_begin, size_t delta_end,
+                     std::vector<Term>& h, std::vector<VarId>& trail,
+                     Fn&& fn) {
+  const auto& body = tgd.body();
+  // Backtracking over body atoms with per-position candidate ranges.
+  auto recurse = [&](auto&& self, size_t index) -> void {
+    if (index == body.size()) {
+      fn(h);
+      return;
+    }
+    const PredId pred = body[index].pred;
+    size_t begin = 0;
+    size_t end = view.CurOf(pred);
+    if (index == delta_pos) {
+      begin = delta_begin;
+      end = delta_end;
+    } else if (index < delta_pos) {
+      end = view.PrevOf(pred);
+    }
+    for (size_t row = begin; row < end; ++row) {
+      const size_t mark = trail.size();
+      // Re-fetch per iteration: `fn` may grow the instance, reallocating
+      // the per-predicate atom vector.
+      if (TryBind(body[index], instance.AtomsOf(pred)[row], h, trail)) {
+        self(self, index + 1);
+        Undo(h, trail, mark);
+      }
+    }
+  };
+  recurse(recurse, 0);
+}
+
 // Enumerates every body homomorphism of `tgd` into the round-start instance
-// that uses at least one delta atom; calls `fn(h)` with h bound on all
-// universal variables. Each such trigger is enumerated exactly once: the
-// delta position is the first body atom matched to a delta atom.
+// that uses at least one delta atom. Each such trigger is enumerated
+// exactly once: the delta position is the first body atom matched to a
+// delta atom.
 template <typename Fn>
 void ForEachNewBodyHom(const Tgd& tgd, const Instance& instance,
                        const RoundView& view, std::vector<Term>& h,
                        std::vector<VarId>& trail, Fn&& fn) {
-  const auto& body = tgd.body();
-  for (size_t delta_pos = 0; delta_pos < body.size(); ++delta_pos) {
-    // Backtracking over body atoms with per-position candidate ranges.
-    auto recurse = [&](auto&& self, size_t index) -> void {
-      if (index == body.size()) {
-        fn(h);
-        return;
-      }
-      const PredId pred = body[index].pred;
-      size_t begin = 0;
-      size_t end = view.CurOf(pred);
-      if (index == delta_pos) {
-        begin = view.PrevOf(pred);
-      } else if (index < delta_pos) {
-        end = view.PrevOf(pred);
-      }
-      for (size_t row = begin; row < end; ++row) {
-        const size_t mark = trail.size();
-        // Re-fetch per iteration: `fn` may grow the instance, reallocating
-        // the per-predicate atom vector.
-        if (TryBind(body[index], instance.AtomsOf(pred)[row], h, trail)) {
-          self(self, index + 1);
-          Undo(h, trail, mark);
-        }
-      }
-    };
-    recurse(recurse, 0);
+  for (size_t delta_pos = 0; delta_pos < tgd.body().size(); ++delta_pos) {
+    const PredId pred = tgd.body()[delta_pos].pred;
+    ForEachDeltaHom(tgd, instance, view, delta_pos, view.PrevOf(pred),
+                    view.CurOf(pred), h, trail, fn);
   }
 }
+
+// One unit of parallel trigger enumeration: a delta-row range of one
+// (rule, delta position). Tasks are built — and their homomorphisms later
+// applied — in (rule, delta_pos, first delta row) order, which is exactly
+// the serial enumeration order; only delta_pos == 0 ranges are split,
+// because there the delta rows drive the outermost backtracking loop and
+// chunk concatenation preserves the homomorphism order. (Linear TGDs, the
+// paper's case, have single-atom bodies, so their whole delta always
+// splits.)
+struct EnumTask {
+  size_t rule;
+  size_t delta_pos;
+  size_t delta_begin;
+  size_t delta_end;
+};
 
 // True iff some extension of the frontier assignment `h` maps every head
 // atom into `instance` (the restricted chase's satisfaction test). `h` must
@@ -182,6 +217,19 @@ StatusOr<ChaseResult> RunChase(const Database& database,
   std::vector<VarId> trail;
   std::vector<GroundAtom> pending;  // atoms produced in the current round
 
+  // The restricted variant's satisfaction check must observe atoms applied
+  // earlier in the same round, so its enumeration stays serial; the other
+  // variants enumerate against the frozen round-start prefix only. The
+  // parallel path is further gated to linear rule sets (single-atom
+  // bodies): there one delta row yields at most one homomorphism, so a
+  // task's buffered homs are bounded by its chunk size — a multi-atom body
+  // could cross-product a chunk against whole relations and materialize
+  // unboundedly more than the streaming serial path ever holds.
+  const unsigned enum_threads =
+      options.variant == ChaseVariant::kRestricted || !AllLinear(tgds)
+          ? 1
+          : std::max(1u, options.frontier_threads);
+
   while (true) {
     if (result.rounds >= options.max_rounds) {
       result.outcome = ChaseOutcome::kRoundLimit;
@@ -192,79 +240,147 @@ StatusOr<ChaseResult> RunChase(const Database& database,
     bool hit_atom_limit = false;
     uint64_t atoms_now = instance.NumAtoms();
 
-    for (size_t rule = 0; rule < tgds.size() && !hit_atom_limit; ++rule) {
+    // Applies one trigger: the firing decision, null allocation, and atom
+    // insertion. Always runs on this thread, in serial enumeration order —
+    // the parallel path below only moves the *enumeration* of `hom` off
+    // this thread.
+    auto fire = [&](size_t rule, std::vector<Term>& hom) {
       const Tgd& tgd = tgds[rule];
-      h.assign(tgd.num_vars(), kUnbound);
-      trail.clear();
-      ForEachNewBodyHom(
-          tgd, instance, view, h, trail, [&](std::vector<Term>& hom) {
-            if (hit_atom_limit) return;
-            // Decide whether this trigger fires.
-            if (options.variant == ChaseVariant::kRestricted) {
-              // Only the frontier restriction matters for satisfaction;
-              // existentials are unbound here by construction.
-              std::vector<VarId> head_trail;
-              if (HeadSatisfied(tgd, instance, hom, head_trail)) return;
-            } else {
-              std::vector<uint64_t> key;
-              if (options.variant == ChaseVariant::kSemiOblivious) {
-                key.reserve(1 + tgd.frontier().size());
-                key.push_back(rule);
-                for (VarId var : tgd.frontier()) key.push_back(hom[var]);
-              } else {
-                key.reserve(1 + tgd.num_universal());
-                key.push_back(rule);
-                for (VarId var = 0; var < tgd.num_universal(); ++var) {
-                  key.push_back(hom[var]);
-                }
-              }
-              if (!fired.insert(std::move(key)).second) return;
+      if (hit_atom_limit) return;
+      // Decide whether this trigger fires.
+      if (options.variant == ChaseVariant::kRestricted) {
+        // Only the frontier restriction matters for satisfaction;
+        // existentials are unbound here by construction.
+        std::vector<VarId> head_trail;
+        if (HeadSatisfied(tgd, instance, hom, head_trail)) return;
+      } else {
+        std::vector<uint64_t> key;
+        if (options.variant == ChaseVariant::kSemiOblivious) {
+          key.reserve(1 + tgd.frontier().size());
+          key.push_back(rule);
+          for (VarId var : tgd.frontier()) key.push_back(hom[var]);
+        } else {
+          key.reserve(1 + tgd.num_universal());
+          key.push_back(rule);
+          for (VarId var = 0; var < tgd.num_universal(); ++var) {
+            key.push_back(hom[var]);
+          }
+        }
+        if (!fired.insert(std::move(key)).second) return;
+      }
+      ++result.triggers_fired;
+      // result(σ, h): frontier variables keep their image, each
+      // existential variable gets a fresh labelled null (unique per
+      // trigger and variable, per Definition 3.1).
+      std::vector<Term> null_of(tgd.num_vars(), kUnbound);
+      for (const RuleAtom& head_atom : tgd.head()) {
+        GroundAtom atom;
+        atom.pred = head_atom.pred;
+        atom.args.reserve(head_atom.args.size());
+        for (VarId var : head_atom.args) {
+          if (tgd.IsUniversal(var)) {
+            atom.args.push_back(hom[var]);
+          } else {
+            if (null_of[var] == kUnbound) {
+              null_of[var] = MakeNull(instance.NewNullId());
             }
-            ++result.triggers_fired;
-            // result(σ, h): frontier variables keep their image, each
-            // existential variable gets a fresh labelled null (unique per
-            // trigger and variable, per Definition 3.1).
-            std::vector<Term> null_of(tgd.num_vars(), kUnbound);
-            for (const RuleAtom& head_atom : tgd.head()) {
-              GroundAtom atom;
-              atom.pred = head_atom.pred;
-              atom.args.reserve(head_atom.args.size());
-              for (VarId var : head_atom.args) {
-                if (tgd.IsUniversal(var)) {
-                  atom.args.push_back(hom[var]);
-                } else {
-                  if (null_of[var] == kUnbound) {
-                    null_of[var] = MakeNull(instance.NewNullId());
-                  }
-                  atom.args.push_back(null_of[var]);
-                }
-              }
-              pending.push_back(std::move(atom));
+            atom.args.push_back(null_of[var]);
+          }
+        }
+        pending.push_back(std::move(atom));
+      }
+      // Apply eagerly so the restricted variant's satisfaction check
+      // sees atoms added earlier in this round (a sequential order).
+      for (GroundAtom& atom : pending) {
+        Shape shape;
+        uint64_t fingerprint = 0;
+        if (options.shape_index != nullptr) {
+          // Shapes depend only on the equality pattern, so nulls and
+          // constants index alike; compute (with the content
+          // fingerprint) before AddAtom consumes the atom.
+          shape = Shape(atom.pred, IdOf<Term>(atom.args));
+          fingerprint = index::TupleFingerprint(atom.pred, atom.args);
+        }
+        if (instance.AddAtom(std::move(atom))) {
+          grew = true;
+          ++atoms_now;
+          if (options.shape_index != nullptr) {
+            options.shape_index->AddShape(shape, 1, fingerprint);
+          }
+        }
+      }
+      pending.clear();
+      if (atoms_now > options.max_atoms) hit_atom_limit = true;
+    };
+
+    if (enum_threads <= 1) {
+      for (size_t rule = 0; rule < tgds.size() && !hit_atom_limit; ++rule) {
+        const Tgd& tgd = tgds[rule];
+        h.assign(tgd.num_vars(), kUnbound);
+        trail.clear();
+        ForEachNewBodyHom(tgd, instance, view, h, trail,
+                          [&](std::vector<Term>& hom) { fire(rule, hom); });
+      }
+    } else {
+      // Frontier-parallel round: enumerate every trigger of the round
+      // against the frozen round-start prefix on a worker pool, then apply
+      // them here in the exact serial order (tasks ascending, homs in
+      // enumeration order within a task), so `fired`, null ids, and the
+      // atom-limit cut land identically to a single-threaded run.
+      std::vector<EnumTask> tasks;
+      uint64_t total_delta = 0;
+      for (size_t rule = 0; rule < tgds.size(); ++rule) {
+        const PredId pred = tgds[rule].body()[0].pred;
+        total_delta += view.CurOf(pred) - view.PrevOf(pred);
+      }
+      const size_t chunk =
+          std::max<uint64_t>(1, total_delta / (4 * enum_threads));
+      for (size_t rule = 0; rule < tgds.size(); ++rule) {
+        const auto& body = tgds[rule].body();
+        for (size_t delta_pos = 0; delta_pos < body.size(); ++delta_pos) {
+          const PredId pred = body[delta_pos].pred;
+          const size_t begin = view.PrevOf(pred);
+          const size_t end = view.CurOf(pred);
+          if (begin >= end) continue;  // no delta atoms, no triggers here
+          if (delta_pos == 0) {
+            for (size_t first = begin; first < end; first += chunk) {
+              tasks.push_back(
+                  {rule, delta_pos, first, std::min(end, first + chunk)});
             }
-            // Apply eagerly so the restricted variant's satisfaction check
-            // sees atoms added earlier in this round (a sequential order).
-            for (GroundAtom& atom : pending) {
-              Shape shape;
-              uint64_t fingerprint = 0;
-              if (options.shape_index != nullptr) {
-                // Shapes depend only on the equality pattern, so nulls and
-                // constants index alike; compute (with the content
-                // fingerprint) before AddAtom consumes the atom.
-                shape = Shape(atom.pred, IdOf<Term>(atom.args));
-                fingerprint =
-                    index::TupleFingerprint(atom.pred, atom.args);
-              }
-              if (instance.AddAtom(std::move(atom))) {
-                grew = true;
-                ++atoms_now;
-                if (options.shape_index != nullptr) {
-                  options.shape_index->AddShape(shape, 1, fingerprint);
-                }
-              }
-            }
-            pending.clear();
-            if (atoms_now > options.max_atoms) hit_atom_limit = true;
-          });
+          } else {
+            tasks.push_back({rule, delta_pos, begin, end});
+          }
+        }
+      }
+      // Enumerate in bounded waves rather than the whole round at once:
+      // each wave's homomorphisms are materialized, applied in order, and
+      // freed before the next wave starts, so peak memory is one wave —
+      // not one round — and an atom-limit cut skips the remaining waves
+      // entirely (the serial path streams and stops at the same trigger).
+      const size_t wave = static_cast<size_t>(8) * enum_threads;
+      for (size_t first = 0; first < tasks.size() && !hit_atom_limit;
+           first += wave) {
+        const size_t count = std::min(wave, tasks.size() - first);
+        std::vector<std::vector<std::vector<Term>>> homs(count);
+        FrontierParallelFor(
+            count, enum_threads, [&](unsigned /*worker*/, size_t i) {
+              const EnumTask& task = tasks[first + i];
+              const Tgd& tgd = tgds[task.rule];
+              std::vector<Term> task_h(tgd.num_vars(), kUnbound);
+              std::vector<VarId> task_trail;
+              ForEachDeltaHom(tgd, instance, view, task.delta_pos,
+                              task.delta_begin, task.delta_end, task_h,
+                              task_trail, [&](std::vector<Term>& hom) {
+                                homs[i].push_back(hom);
+                              });
+            });
+        for (size_t i = 0; i < count && !hit_atom_limit; ++i) {
+          for (std::vector<Term>& hom : homs[i]) {
+            if (hit_atom_limit) break;
+            fire(tasks[first + i].rule, hom);
+          }
+        }
+      }
     }
 
     ++result.rounds;

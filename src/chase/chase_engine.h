@@ -57,6 +57,19 @@ struct ChaseOptions {
   // The index must already reflect `database` when RunChase is called
   // (e.g. index::ShardedShapeIndex::Build) and must outlive the run.
   index::ShardedShapeIndex* shape_index = nullptr;
+  // Worker threads for per-round trigger enumeration (<= 1 enumerates
+  // inline). A round is a frontier: bodies only match against atoms from
+  // earlier rounds, so the oblivious and semi-oblivious variants over
+  // linear TGDs enumerate triggers in parallel (chase::FrontierParallelFor
+  // over per-rule delta ranges, in bounded waves) and then apply them
+  // serially in the exact serial order — the resulting instance, null
+  // numbering, rounds, and trigger count are bit-identical to a
+  // single-threaded run. Enumeration stays serial regardless of this knob
+  // for the restricted variant (its satisfaction check reads atoms applied
+  // earlier in the same round) and for non-linear rule sets (a multi-atom
+  // body's buffered homomorphisms per task would not be bounded by the
+  // delta chunk size).
+  unsigned frontier_threads = 1;
 };
 
 enum class ChaseOutcome {

@@ -1,7 +1,8 @@
 #include "core/dynamic_simplification.h"
 
-#include <deque>
+#include <utility>
 
+#include "base/frontier_pool.h"
 #include "storage/catalog.h"
 #include "storage/shape_source.h"
 
@@ -27,72 +28,106 @@ bool BodyHomToShape(const Tgd& tgd, const IdTuple& id,
   return true;
 }
 
+// The base-schema shape of `atom` under specialization `f` — exactly the
+// shape SimplifyRuleAtom computes, but without touching a ShapeSchema, so
+// frontier workers can derive successor shapes in parallel while all
+// interning stays on the serial absorb path (deterministic predicate ids).
+Shape ShapeUnderSpecialization(const Tgd& tgd, const RuleAtom& atom,
+                               const Specialization& f) {
+  std::vector<VarId> tuple;
+  tuple.reserve(atom.args.size());
+  for (VarId var : atom.args) {
+    tuple.push_back(tgd.IsUniversal(var) ? f[var] : var);
+  }
+  return Shape(atom.pred, IdOf(std::span<const VarId>(tuple)));
+}
+
+// The (rule, specialization) pairs one shape admits — the parallel half of
+// an expansion; SimplifyTgd runs serially in absorb.
+struct ShapeMatches {
+  std::vector<std::pair<size_t, Specialization>> rules;
+};
+
 }  // namespace
 
 StatusOr<DynamicSimplificationResult> DynamicSimplificationFromShapes(
     const Schema& schema, const std::vector<Tgd>& tgds,
-    const std::vector<Shape>& database_shapes) {
+    const std::vector<Shape>& database_shapes, unsigned threads) {
   if (!AllLinear(tgds)) {
     return InvalidArgumentError(
         "dynamic simplification requires linear TGDs");
   }
-  DynamicSimplificationResult result;
-  result.shape_schema = std::make_unique<ShapeSchema>(&schema);
-
-  // Index: body predicate -> rules (the "index structure that enables fast
-  // access to the TGDs" of Section 5.4).
-  std::vector<std::vector<size_t>> rules_by_body_pred(schema.NumPredicates());
-  for (size_t rule = 0; rule < tgds.size(); ++rule) {
-    rules_by_body_pred[tgds[rule].body()[0].pred].push_back(rule);
-  }
-
-  // S: all shapes seen; ΔS: the worklist of shapes not yet applied. Each
-  // (rule, shape) pair is processed at most once because a shape enters the
-  // worklist exactly once.
-  ShapeSet seen;
-  std::deque<Shape> worklist;
   for (const Shape& shape : database_shapes) {
     if (shape.pred >= schema.NumPredicates()) {
       return InvalidArgumentError(
           "database shape over a predicate missing from the schema");
     }
-    if (seen.insert(shape).second) worklist.push_back(shape);
   }
-  result.num_initial_shapes = seen.size();
+  DynamicSimplificationResult result;
+  result.shape_schema = std::make_unique<ShapeSchema>(&schema);
 
-  std::vector<uint8_t> var_id_values;
-  std::vector<Shape> head_shapes;
-  while (!worklist.empty()) {
-    Shape shape = std::move(worklist.front());
-    worklist.pop_front();
-    for (size_t rule : rules_by_body_pred[shape.pred]) {
-      const Tgd& tgd = tgds[rule];
-      if (!BodyHomToShape(tgd, shape.id, var_id_values)) continue;
-      const Specialization f = SpecializationFromIdValues(var_id_values);
-      head_shapes.clear();
-      CHASE_ASSIGN_OR_RETURN(
-          Tgd simplified,
-          SimplifyTgd(tgd, f, *result.shape_schema, &head_shapes));
-      result.tgds.push_back(std::move(simplified));
-      for (Shape& head_shape : head_shapes) {
-        if (seen.insert(head_shape).second) {
-          worklist.push_back(std::move(head_shape));
-        }
-      }
-    }
+  // Index: body predicate -> rules (the "index structure that enables fast
+  // access to the TGDs" of Section 5.4), ascending rule index — the
+  // canonical per-shape emission order.
+  std::vector<std::vector<size_t>> rules_by_body_pred(schema.NumPredicates());
+  for (size_t rule = 0; rule < tgds.size(); ++rule) {
+    rules_by_body_pred[tgds[rule].body()[0].pred].push_back(rule);
   }
-  result.num_derived_shapes = seen.size();
+
+  // S is the engine's seen-set, ΔS its per-depth frontier: each (rule,
+  // shape) pair is processed at most once because a shape is admitted into
+  // a frontier exactly once. Expansion (homomorphism checks + successor
+  // shapes) runs parallel; SimplifyTgd — which interns predicates into the
+  // shared shape schema — runs on the serial absorb path in canonical
+  // order, so the emitted TGD list and the interning order are independent
+  // of the thread count.
+  using Pool = FrontierPool<Shape, ShapeMatches, ShapeHash>;
+  Pool pool({.threads = std::max(1u, threads)});
+  Status status = pool.Run(
+      database_shapes,
+      [&](unsigned /*worker*/, const Shape& shape, ShapeMatches* out,
+          Pool::Discoveries* discovered) -> Status {
+        std::vector<uint8_t> var_id_values;
+        for (size_t rule : rules_by_body_pred[shape.pred]) {
+          const Tgd& tgd = tgds[rule];
+          if (!BodyHomToShape(tgd, shape.id, var_id_values)) continue;
+          Specialization f = SpecializationFromIdValues(var_id_values);
+          for (const RuleAtom& head_atom : tgd.head()) {
+            discovered->Discover(ShapeUnderSpecialization(tgd, head_atom, f));
+          }
+          out->rules.emplace_back(rule, std::move(f));
+        }
+        return OkStatus();
+      },
+      [&](std::span<const Shape> frontier,
+          std::span<ShapeMatches> outs) -> Status {
+        for (size_t i = 0; i < frontier.size(); ++i) {
+          for (auto& [rule, f] : outs[i].rules) {
+            CHASE_ASSIGN_OR_RETURN(
+                Tgd simplified,
+                SimplifyTgd(tgds[rule], f, *result.shape_schema, nullptr));
+            result.tgds.push_back(std::move(simplified));
+          }
+        }
+        return OkStatus();
+      },
+      &result.frontier);
+  CHASE_RETURN_IF_ERROR(status);
+  result.num_initial_shapes = result.frontier.seeds_admitted;
+  result.num_derived_shapes = result.frontier.items_expanded;
   return result;
 }
 
 StatusOr<DynamicSimplificationResult> DynamicSimplification(
     const Database& database, const std::vector<Tgd>& tgds,
-    storage::ShapeFinderMode mode) {
+    storage::ShapeFinderMode mode, unsigned threads) {
   storage::Catalog catalog(&database);
   storage::MemoryShapeSource source(&catalog);
-  CHASE_ASSIGN_OR_RETURN(std::vector<Shape> shapes,
-                         storage::FindShapes(source, {.mode = mode}));
-  return DynamicSimplificationFromShapes(database.schema(), tgds, shapes);
+  CHASE_ASSIGN_OR_RETURN(
+      std::vector<Shape> shapes,
+      storage::FindShapes(source, {.mode = mode, .threads = threads}));
+  return DynamicSimplificationFromShapes(database.schema(), tgds, shapes,
+                                         threads);
 }
 
 }  // namespace chase

@@ -95,7 +95,8 @@ StatusOr<bool> IsChaseFiniteL(const Database& database,
   timer.Restart();
   CHASE_ASSIGN_OR_RETURN(
       DynamicSimplificationResult simplified,
-      DynamicSimplificationFromShapes(database.schema(), tgds, shapes));
+      DynamicSimplificationFromShapes(database.schema(), tgds, shapes,
+                                      options.simplify_threads));
   const DependencyGraph graph = BuildDependencyGraph(
       simplified.shape_schema->schema(), simplified.tgds);
   out.graph_ms = timer.ElapsedMillis();

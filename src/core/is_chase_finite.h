@@ -51,6 +51,11 @@ struct LCheckOptions {
   // Worker threads for the db-dependent FindShapes component (<= 1 runs it
   // serially). Ignored when the shapes come precomputed.
   unsigned shape_threads = 1;
+  // Worker threads for the dynamic-simplification worklist (<= 1 expands it
+  // inline). The emitted simple_D(Σ) is canonical and thread-count-
+  // independent (see DynamicSimplificationResult), so this only changes
+  // wall-clock, never the verdict or the stats.
+  unsigned simplify_threads = 1;
   // When set, shape(D) is extracted from this incrementally maintained
   // index (index::ShardedShapeIndex::CurrentShapes) instead of scanning
   // the database — the Section 10 "materialize the shapes" deployment with

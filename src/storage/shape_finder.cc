@@ -1,9 +1,8 @@
 #include "storage/shape_finder.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
+#include "base/frontier_pool.h"
 #include "index/sharded_shape_index.h"
 #include "storage/shape_lattice.h"
 
@@ -59,40 +58,59 @@ Status WalkShapesForPred(const ShapeSource& source, PredId pred,
   return failure;
 }
 
-Status WalkShapesParallel(const ShapeSource& source, std::vector<PredId> preds,
-                          unsigned threads, ShapeSet* shapes) {
-  // Deal whole predicates to workers — each predicate's lattice walk is
-  // independent — biggest relations first so they don't trail the rest.
-  std::stable_sort(preds.begin(), preds.end(), [&](PredId a, PredId b) {
-    return source.NumTuples(a) > source.NumTuples(b);
-  });
-
-  std::vector<ShapeSet> local(threads);
-  std::vector<AccessStats> local_stats(threads);
-  std::vector<Status> worker_status(threads);
-  std::vector<std::thread> workers;
-  std::atomic<size_t> next_pred{0};
-  workers.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t] {
-      while (worker_status[t].ok()) {
-        const size_t index = next_pred.fetch_add(1);
-        if (index >= preds.size()) break;
-        worker_status[t] = WalkShapesForPred(source, preds[index],
-                                             &local_stats[t], &local[t]);
-      }
-    });
+// Frontier-parallel exists plan: the lattices of every predicate form one
+// global frontier of candidate shapes — seeded with each predicate's
+// all-distinct tuple — that FrontierPool expands depth-synchronously. The
+// probes of one depth are independent, so a single high-arity predicate
+// (one huge lattice) spreads across the whole pool instead of pinning one
+// worker, and pruning stays exact: a candidate only discovers its coarser
+// children when its relaxed query succeeded, just like the serial walk.
+Status WalkShapesFrontier(const ShapeSource& source,
+                          const std::vector<PredId>& preds, unsigned threads,
+                          ShapeSet* shapes, FrontierStats* frontier_stats) {
+  struct Probe {
+    bool present = false;
+  };
+  std::vector<Shape> seeds;
+  seeds.reserve(preds.size());
+  for (PredId pred : preds) {
+    seeds.emplace_back(pred, AllDistinctIdTuple(source.schema().Arity(pred)));
   }
-  for (std::thread& worker : workers) worker.join();
 
+  std::vector<AccessStats> local_stats(threads);
+  FrontierPool<Shape, Probe, ShapeHash> pool({.threads = threads});
+  const Status status = pool.Run(
+      std::move(seeds),
+      [&](unsigned worker, const Shape& candidate, Probe* out,
+          FrontierPool<Shape, Probe, ShapeHash>::Discoveries* discovered)
+          -> Status {
+        AccessStats* stats = &local_stats[worker];
+        CHASE_ASSIGN_OR_RETURN(
+            const bool relaxed,
+            ProbeShapeExists(source, candidate.pred, candidate.id,
+                             /*exact=*/false, stats));
+        if (!relaxed) return OkStatus();  // prunes the whole subtree
+        CHASE_ASSIGN_OR_RETURN(
+            const bool full,
+            ProbeShapeExists(source, candidate.pred, candidate.id,
+                             /*exact=*/true, stats));
+        out->present = full;
+        ForEachChild(candidate.id, [&](IdTuple child) {
+          discovered->Discover(Shape(candidate.pred, std::move(child)));
+        });
+        return OkStatus();
+      },
+      [&](std::span<const Shape> frontier, std::span<Probe> outs) -> Status {
+        for (size_t i = 0; i < frontier.size(); ++i) {
+          if (outs[i].present) shapes->insert(frontier[i]);
+        }
+        return OkStatus();
+      },
+      frontier_stats);
   for (unsigned t = 0; t < threads; ++t) {
     source.stats().MergeFrom(local_stats[t]);
   }
-  for (unsigned t = 0; t < threads; ++t) {
-    CHASE_RETURN_IF_ERROR(worker_status[t]);
-  }
-  for (unsigned t = 0; t < threads; ++t) shapes->merge(local[t]);
-  return OkStatus();
+  return status;
 }
 
 }  // namespace
@@ -131,12 +149,15 @@ StatusOr<std::vector<Shape>> FindShapes(const ShapeSource& source,
   if (options.mode == ShapeFinderMode::kScan) {
     status = ScanShapes(source, preds, threads, &shapes);
   } else if (threads == 1) {
+    // The serial reference walk — the oracle the frontier-parallel plan is
+    // differentially tested against (tests/frontier_equivalence_test.cc).
     for (PredId pred : preds) {
       status = WalkShapesForPred(source, pred, &source.stats(), &shapes);
       if (!status.ok()) break;
     }
   } else {
-    status = WalkShapesParallel(source, preds, threads, &shapes);
+    status = WalkShapesFrontier(source, preds, threads, &shapes,
+                                options.frontier_stats);
   }
   CHASE_RETURN_IF_ERROR(status);
   return Sorted(std::move(shapes));

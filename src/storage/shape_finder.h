@@ -14,9 +14,12 @@
 //
 // Both modes also run work-partitioned in parallel (`threads` > 1): scan
 // mode splits relations into row ranges of roughly equal estimated work and
-// unions per-thread shape sets; exists mode deals whole predicates to
-// workers (each predicate's lattice walk is independent). This works over
-// both backends — including parallel shape-finding over pager::DiskDatabase.
+// unions per-thread shape sets; exists mode walks the shape lattices of all
+// predicates as one depth-synchronous frontier through chase::FrontierPool,
+// so the candidate shapes themselves — not whole predicates — are dealt to
+// workers and one high-arity predicate (a large lattice) cannot pin a
+// single worker. This works over both backends — including parallel
+// shape-finding over pager::DiskDatabase.
 //
 // All mode × backend × thread combinations return the same sorted set; a
 // property test (tests/shape_source_test.cc) enforces this.
@@ -26,6 +29,7 @@
 
 #include <vector>
 
+#include "base/frontier_pool.h"
 #include "base/status.h"
 #include "logic/shape.h"
 #include "storage/catalog.h"
@@ -61,6 +65,11 @@ struct FindShapesOptions {
   // ignore it. Overlaps cold-pool page faults with tuple hashing; never
   // changes results.
   unsigned prefetch = 0;
+  // When non-null and the exists plan runs frontier-parallel (threads > 1),
+  // receives the engine's depth/expansion counters — per-worker expansion
+  // counts included, which is how bench/ablation_frontier_parallel.cc shows
+  // the lattice frontier itself being split across workers.
+  FrontierStats* frontier_stats = nullptr;
 };
 
 // The unified entry point: returns shape(D) sorted by (pred, id), computed

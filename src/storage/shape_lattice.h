@@ -19,12 +19,26 @@ namespace chase {
 namespace storage {
 
 // Calls `emit(id)` for every id-tuple of length `arity` whose full query
-// succeeds, pruning via the relaxed query as described above.
+// succeeds, pruning via the relaxed query as described above. Serial; the
+// frontier-parallel exists plan in shape_finder.cc runs the same walk
+// depth-synchronously through chase::FrontierPool, sharing ForEachChild
+// below, and is property-tested equal to this reference.
 void WalkShapeLattice(
     uint32_t arity,
     const std::function<bool(const IdTuple&)>& relaxed_exists,
     const std::function<bool(const IdTuple&)>& full_exists,
     const std::function<void(const IdTuple&)>& emit);
+
+// Calls `child(c)` for each immediate coarsening of `id` — every id-tuple
+// obtained by merging two of its blocks. Distinct block pairs yield
+// distinct partitions, so no child repeats within one call; children of
+// different parents can coincide and must be deduplicated by the walker.
+void ForEachChild(const IdTuple& id,
+                  const std::function<void(IdTuple)>& child);
+
+// The all-distinct id-tuple (1, 2, ..., arity): the lattice's top element,
+// where every walk starts.
+IdTuple AllDistinctIdTuple(uint32_t arity);
 
 }  // namespace storage
 }  // namespace chase

@@ -157,6 +157,45 @@ TEST(DynamicSimplificationTest, BothFinderModesAgree) {
             CanonicalRules(in_db->shape_schema->schema(), in_db->tgds));
 }
 
+TEST(DynamicSimplificationTest, CanonicalTgdOrder) {
+  // Regression pin for the canonical emission order documented on
+  // DynamicSimplificationResult: depth-grouped (database shapes first),
+  // body shape ascending in (pred, id) within a depth, rule index ascending
+  // per shape, duplicates kept — identical for every thread count. The old
+  // worklist emitted in nondeterministic-looking pop order instead.
+  Program p = MustParse(R"(
+    r(a,b). r(c,c).
+    r(X,Y) -> s(X,Y).
+    r(X,Y) -> s(Y,X).
+    s(X,Y) -> t(X).
+  )");
+  const std::vector<std::string> expected = {
+      // Depth 0: r_[1,1] (rules 0, 1), then r_[1,2] (rules 0, 1).
+      "r_[1,1](X0) -> s_[1,1](X0).",
+      "r_[1,1](X0) -> s_[1,1](X0).",
+      "r_[1,2](X0,X1) -> s_[1,2](X0,X1).",
+      "r_[1,2](X0,X1) -> s_[1,2](X1,X0).",
+      // Depth 1: the derived s-shapes, ascending.
+      "s_[1,1](X0) -> t_[1](X0).",
+      "s_[1,2](X0,X1) -> t_[1](X0).",
+  };
+  for (unsigned threads : {1u, 4u}) {
+    auto dynamic = DynamicSimplification(
+        *p.database, p.tgds, storage::ShapeFinderMode::kInMemory, threads);
+    ASSERT_TRUE(dynamic.ok()) << dynamic.status();
+    std::vector<std::string> got;
+    for (const Tgd& tgd : dynamic->tgds) {
+      got.push_back(ToString(dynamic->shape_schema->schema(), tgd));
+    }
+    EXPECT_EQ(got, expected) << "threads " << threads;
+    EXPECT_EQ(dynamic->num_initial_shapes, 2u);
+    // r_[1,1], r_[1,2], s_[1,1], s_[1,2], t_[1].
+    EXPECT_EQ(dynamic->num_derived_shapes, 5u);
+    // Depth 2 expands t_[1], which matches no rule.
+    EXPECT_EQ(dynamic->frontier.depths, 3u);
+  }
+}
+
 TEST(DynamicSimplificationTest, OutputIsAlwaysSimpleLinear) {
   Program p = MustParse(R"(
     r(a,a,b).

@@ -1,0 +1,368 @@
+// Differential harness for the frontier-parallel engines: "parallel must
+// equal serial" is the whole correctness contract of the depth-synchronous
+// FrontierPool, so every consumer is swept against its serial oracle on
+// seeded random workloads —
+//
+//  * the EXISTS shape plan: {1, 2, 4, 8} threads x {memory, disk, index}
+//    backends must return the bit-identical sorted shape(D) the serial
+//    per-predicate lattice walk returns;
+//  * dynamic simplification: every thread count must emit the bit-identical
+//    canonical simplified-TGD list (same TGDs, same order, same interned
+//    shape-schema predicates) and the same initial/derived shape counts;
+//  * the chase engine's frontier-parallel trigger enumeration: instance,
+//    null numbering, rounds, and trigger counts must match the serial run.
+//
+// Plus the EXISTS-probe edge cases the frontier split exposes: empty
+// relations, arity-1 predicates (trivial lattices), duplicate database
+// shapes in the seed frontier, and more threads than frontier items.
+//
+// Runs in both the normal and the ThreadSanitizer CI jobs, and standalone
+// via `ctest -L frontier`.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "chase/chase_engine.h"
+#include "core/dynamic_simplification.h"
+#include "gen/data_generator.h"
+#include "gen/tgd_generator.h"
+#include "logic/parser.h"
+#include "pager/disk_database.h"
+#include "pager/disk_shape_source.h"
+#include "storage/catalog.h"
+#include "storage/shape_finder.h"
+#include "storage/shape_source.h"
+
+namespace chase {
+namespace {
+
+using storage::FindShapes;
+using storage::ShapeFinderMode;
+
+constexpr unsigned kThreadSweep[] = {1, 2, 4, 8};
+
+std::string TempPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+GeneratedData MakeRandomData(Rng* rng) {
+  DataGenParams params;
+  params.preds = 1 + static_cast<uint32_t>(rng->Below(6));
+  params.min_arity = 1;
+  params.max_arity = 1 + static_cast<uint32_t>(rng->Below(6));
+  // Small domains force repeated constants, so coarse shapes actually occur
+  // (64 is the generator's minimum).
+  params.dsize = 64 + rng->Below(150);
+  params.rsize = rng->Below(600);
+  params.seed = rng->Next();
+  auto data = GenerateData(params);
+  EXPECT_TRUE(data.ok()) << data.status();
+  return std::move(data).value();
+}
+
+std::vector<Tgd> MakeLinearTgds(const Schema& schema, uint64_t seed,
+                                uint64_t count) {
+  TgdGenParams params;
+  params.ssize = schema.NumPredicates();
+  params.min_arity = 1;
+  params.max_arity = 8;
+  params.tsize = count;
+  params.tclass = TgdClass::kLinear;
+  params.seed = seed;
+  auto tgds = GenerateTgds(schema, params);
+  EXPECT_TRUE(tgds.ok()) << tgds.status();
+  return std::move(tgds).value();
+}
+
+// Bit-identical simplification results: same TGD list (contents and order),
+// same interning sequence in the shape schema, same counters.
+void ExpectIdenticalSimplification(const DynamicSimplificationResult& a,
+                                   const DynamicSimplificationResult& b,
+                                   const std::string& label) {
+  EXPECT_EQ(a.tgds, b.tgds) << label;
+  EXPECT_EQ(a.num_initial_shapes, b.num_initial_shapes) << label;
+  EXPECT_EQ(a.num_derived_shapes, b.num_derived_shapes) << label;
+  ASSERT_EQ(a.shape_schema->NumShapes(), b.shape_schema->NumShapes())
+      << label;
+  for (PredId pred = 0; pred < a.shape_schema->NumShapes(); ++pred) {
+    EXPECT_EQ(a.shape_schema->ShapeOf(pred), b.shape_schema->ShapeOf(pred))
+        << label << ", interned pred " << pred;
+  }
+}
+
+TEST(FrontierEquivalenceTest, ExistsPlanMatchesSerialOracle) {
+  Rng rng(20260729);
+  for (int trial = 0; trial < 8; ++trial) {
+    GeneratedData data = MakeRandomData(&rng);
+    storage::Catalog catalog(data.database.get());
+    storage::MemoryShapeSource memory(&catalog);
+    // The serial oracle: the reference per-predicate lattice walk.
+    auto oracle = FindShapes(memory, {ShapeFinderMode::kExists, 1});
+    ASSERT_TRUE(oracle.ok()) << oracle.status();
+
+    const std::string path =
+        TempPath("chase_frontier_equiv_" + std::to_string(trial) + ".db");
+    auto disk_db = pager::DiskDatabase::Create(path, *data.database,
+                                               /*num_frames=*/16);
+    ASSERT_TRUE(disk_db.ok()) << disk_db.status();
+    pager::DiskShapeSource disk(disk_db->get());
+
+    for (const storage::ShapeSource* source :
+         {static_cast<const storage::ShapeSource*>(&memory),
+          static_cast<const storage::ShapeSource*>(&disk)}) {
+      for (ShapeFinderMode mode :
+           {ShapeFinderMode::kExists, ShapeFinderMode::kIndex}) {
+        for (unsigned threads : kThreadSweep) {
+          FrontierStats stats;
+          storage::FindShapesOptions options{mode, threads};
+          options.frontier_stats = &stats;
+          auto shapes = FindShapes(*source, options);
+          ASSERT_TRUE(shapes.ok()) << shapes.status();
+          EXPECT_EQ(*shapes, *oracle)
+              << "trial " << trial << ", backend " << source->Name()
+              << ", mode " << storage::ShapeFinderModeName(mode)
+              << ", threads " << threads;
+          if (mode == ShapeFinderMode::kExists && threads > 1) {
+            // The frontier engine ran: its counters must reconcile.
+            EXPECT_EQ(stats.worker_expanded.size(), threads);
+            EXPECT_EQ(std::accumulate(stats.worker_expanded.begin(),
+                                      stats.worker_expanded.end(),
+                                      uint64_t{0}),
+                      stats.items_expanded);
+            EXPECT_EQ(stats.items_expanded,
+                      stats.seeds_admitted + stats.items_discovered);
+          }
+        }
+      }
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(FrontierEquivalenceTest, DynamicSimplificationMatchesSerialOracle) {
+  Rng rng(424243);
+  for (int trial = 0; trial < 6; ++trial) {
+    GeneratedData data = MakeRandomData(&rng);
+    std::vector<Tgd> tgds =
+        MakeLinearTgds(*data.schema, rng.Next(), 20 + rng.Below(40));
+    storage::Catalog catalog(data.database.get());
+    storage::MemoryShapeSource memory(&catalog);
+
+    const std::string path = TempPath("chase_frontier_equiv_simp_" +
+                                      std::to_string(trial) + ".db");
+    auto disk_db = pager::DiskDatabase::Create(path, *data.database,
+                                               /*num_frames=*/16);
+    ASSERT_TRUE(disk_db.ok()) << disk_db.status();
+    pager::DiskShapeSource disk(disk_db->get());
+
+    // The serial oracle: serial shape finding + inline worklist.
+    auto oracle_shapes = FindShapes(memory, {ShapeFinderMode::kExists, 1});
+    ASSERT_TRUE(oracle_shapes.ok()) << oracle_shapes.status();
+    auto oracle = DynamicSimplificationFromShapes(*data.schema, tgds,
+                                                  *oracle_shapes, 1);
+    ASSERT_TRUE(oracle.ok()) << oracle.status();
+
+    for (const storage::ShapeSource* source :
+         {static_cast<const storage::ShapeSource*>(&memory),
+          static_cast<const storage::ShapeSource*>(&disk)}) {
+      for (ShapeFinderMode mode :
+           {ShapeFinderMode::kExists, ShapeFinderMode::kIndex}) {
+        for (unsigned threads : kThreadSweep) {
+          auto shapes = FindShapes(*source, {mode, threads});
+          ASSERT_TRUE(shapes.ok()) << shapes.status();
+          auto parallel = DynamicSimplificationFromShapes(*data.schema, tgds,
+                                                          *shapes, threads);
+          ASSERT_TRUE(parallel.ok()) << parallel.status();
+          ExpectIdenticalSimplification(
+              *oracle, *parallel,
+              "trial " + std::to_string(trial) + ", backend " +
+                  source->Name() + ", mode " +
+                  storage::ShapeFinderModeName(mode) + ", threads " +
+                  std::to_string(threads));
+        }
+      }
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(FrontierEquivalenceTest, ParallelChaseEnumerationMatchesSerial) {
+  Rng rng(777);
+  for (int trial = 0; trial < 4; ++trial) {
+    DataGenParams data_params;
+    data_params.preds = 5;
+    data_params.min_arity = 1;
+    data_params.max_arity = 3;
+    data_params.dsize = 64;
+    data_params.rsize = 20;
+    data_params.seed = rng.Next();
+    auto data = GenerateData(data_params);
+    ASSERT_TRUE(data.ok()) << data.status();
+    std::vector<Tgd> tgds = MakeLinearTgds(*data->schema, rng.Next(), 12);
+
+    for (ChaseVariant variant :
+         {ChaseVariant::kSemiOblivious, ChaseVariant::kOblivious,
+          ChaseVariant::kRestricted}) {
+      ChaseOptions serial_options;
+      serial_options.variant = variant;
+      serial_options.max_atoms = 20'000;
+      auto serial = RunChase(*data->database, tgds, serial_options);
+      ASSERT_TRUE(serial.ok()) << serial.status();
+
+      for (unsigned threads : {2u, 4u}) {
+        ChaseOptions parallel_options = serial_options;
+        parallel_options.frontier_threads = threads;
+        auto parallel = RunChase(*data->database, tgds, parallel_options);
+        ASSERT_TRUE(parallel.ok()) << parallel.status();
+        const std::string label =
+            "trial " + std::to_string(trial) + ", variant " +
+            ChaseVariantName(variant) + ", threads " +
+            std::to_string(threads);
+        EXPECT_EQ(parallel->outcome, serial->outcome) << label;
+        EXPECT_EQ(parallel->rounds, serial->rounds) << label;
+        EXPECT_EQ(parallel->triggers_fired, serial->triggers_fired) << label;
+        // Bit-identical instances, null names included: collect in
+        // insertion order.
+        std::vector<GroundAtom> serial_atoms, parallel_atoms;
+        serial->instance.ForEachAtom(
+            [&](const GroundAtom& atom) { serial_atoms.push_back(atom); });
+        parallel->instance.ForEachAtom(
+            [&](const GroundAtom& atom) { parallel_atoms.push_back(atom); });
+        EXPECT_EQ(parallel_atoms, serial_atoms) << label;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// EXISTS-probe edge cases the frontier split exposes.
+
+TEST(FrontierEquivalenceTest, EmptyRelationsNeverEnterTheFrontier) {
+  // Two populated relations, one empty: the seed frontier must only hold
+  // the non-empty ones (the catalog query filters), and the parallel plans
+  // must agree with the serial oracle.
+  auto program = ParseProgram("r(a,b). r(c,c). s(a). t(X,Y) -> r(X,Y).");
+  ASSERT_TRUE(program.ok()) << program.status();
+  storage::Catalog catalog(program->database.get());
+  storage::MemoryShapeSource memory(&catalog);
+  auto oracle = FindShapes(memory, {ShapeFinderMode::kExists, 1});
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+  for (unsigned threads : kThreadSweep) {
+    FrontierStats stats;
+    storage::FindShapesOptions options{ShapeFinderMode::kExists, threads};
+    options.frontier_stats = &stats;
+    auto shapes = FindShapes(memory, options);
+    ASSERT_TRUE(shapes.ok()) << shapes.status();
+    EXPECT_EQ(*shapes, *oracle) << "threads " << threads;
+    if (threads > 1) {
+      EXPECT_EQ(stats.seeds_admitted, 2u);  // r and s; t is empty
+    }
+  }
+}
+
+TEST(FrontierEquivalenceTest, ArityOnePredicatesHaveTrivialLattices) {
+  // An arity-1 lattice is a single node: one relaxed + one full probe, no
+  // children, and the walk must terminate at depth 1.
+  auto program = ParseProgram("p(a). p(b). q(c).");
+  ASSERT_TRUE(program.ok()) << program.status();
+  storage::Catalog catalog(program->database.get());
+  storage::MemoryShapeSource memory(&catalog);
+  auto oracle = FindShapes(memory, {ShapeFinderMode::kExists, 1});
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+  ASSERT_EQ(oracle->size(), 2u);
+  for (unsigned threads : {2u, 8u}) {
+    FrontierStats stats;
+    storage::FindShapesOptions options{ShapeFinderMode::kExists, threads};
+    options.frontier_stats = &stats;
+    auto shapes = FindShapes(memory, options);
+    ASSERT_TRUE(shapes.ok()) << shapes.status();
+    EXPECT_EQ(*shapes, *oracle);
+    EXPECT_EQ(stats.depths, 1u);
+    EXPECT_EQ(stats.items_expanded, 2u);
+    EXPECT_EQ(stats.items_discovered, 0u);
+  }
+}
+
+TEST(FrontierEquivalenceTest, DuplicateSeedShapesAreDeduplicated) {
+  auto program = ParseProgram(R"(
+    r(a,b). r(c,c).
+    r(X,Y) -> s(X,Y).
+    s(X,Y) -> r(Y,X).
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  storage::Catalog catalog(program->database.get());
+  storage::MemoryShapeSource memory(&catalog);
+  auto shapes = FindShapes(memory, {ShapeFinderMode::kScan, 1});
+  ASSERT_TRUE(shapes.ok()) << shapes.status();
+
+  // Seed the worklist with every database shape three times over: the seen
+  // filter must admit each exactly once, for any thread count.
+  std::vector<Shape> duplicated;
+  for (int copy = 0; copy < 3; ++copy) {
+    duplicated.insert(duplicated.end(), shapes->begin(), shapes->end());
+  }
+  auto oracle = DynamicSimplificationFromShapes(
+      *program->schema, program->tgds, *shapes, 1);
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+  for (unsigned threads : kThreadSweep) {
+    auto result = DynamicSimplificationFromShapes(
+        *program->schema, program->tgds, duplicated, threads);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ExpectIdenticalSimplification(
+        *oracle, *result, "duplicated seeds, threads " +
+                              std::to_string(threads));
+    EXPECT_EQ(result->num_initial_shapes, shapes->size());
+  }
+}
+
+TEST(FrontierEquivalenceTest, MoreThreadsThanFrontierItems) {
+  // One arity-2 predicate: the seed frontier is a single item, far fewer
+  // than the workers. The pool must neither deadlock nor miss work, and
+  // every thread count must agree.
+  auto program = ParseProgram("r(a,b). r(a,a).");
+  ASSERT_TRUE(program.ok()) << program.status();
+  storage::Catalog catalog(program->database.get());
+  storage::MemoryShapeSource memory(&catalog);
+  auto oracle = FindShapes(memory, {ShapeFinderMode::kExists, 1});
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+  ASSERT_EQ(oracle->size(), 2u);  // r_[1,2] and r_[1,1]
+  FrontierStats stats;
+  storage::FindShapesOptions options{ShapeFinderMode::kExists, 16};
+  options.frontier_stats = &stats;
+  auto shapes = FindShapes(memory, options);
+  ASSERT_TRUE(shapes.ok()) << shapes.status();
+  EXPECT_EQ(*shapes, *oracle);
+  EXPECT_EQ(stats.worker_expanded.size(), 16u);
+  EXPECT_EQ(stats.seeds_admitted, 1u);
+  EXPECT_EQ(stats.items_expanded, 2u);  // [1,2] then its child [1,1]
+  EXPECT_EQ(stats.depths, 2u);
+}
+
+TEST(FrontierEquivalenceTest, MeteringTotalsAreThreadCountIndependent) {
+  // The frontier split changes which worker issues which probe, never the
+  // probe set: logical access totals must match the serial walk exactly.
+  Rng rng(991);
+  GeneratedData data = MakeRandomData(&rng);
+  storage::Catalog catalog(data.database.get());
+  storage::MemoryShapeSource memory(&catalog);
+  ASSERT_TRUE(FindShapes(memory, {ShapeFinderMode::kExists, 1}).ok());
+  const storage::AccessStats serial = memory.stats();
+  for (unsigned threads : {2u, 8u}) {
+    memory.stats().Reset();
+    ASSERT_TRUE(FindShapes(memory, {ShapeFinderMode::kExists, threads}).ok());
+    EXPECT_EQ(memory.stats().exists_queries, serial.exists_queries)
+        << "threads " << threads;
+    EXPECT_EQ(memory.stats().tuples_scanned, serial.tuples_scanned)
+        << "threads " << threads;
+  }
+}
+
+}  // namespace
+}  // namespace chase

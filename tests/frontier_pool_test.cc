@@ -1,0 +1,238 @@
+// Stress suite for the frontier-expansion engine, written to run under
+// ThreadSanitizer (the CHASE_TSAN CI job builds and runs it): the striped
+// seen-set, the per-worker discovery lists, the per-item output slots, and
+// the depth barrier are all exercised with more workers than cores and
+// deliberately few stripes, on the three adversarial lattice profiles the
+// engine exists for — a wide shallow frontier, a narrow deep one, and one
+// giant predicate whose lattice must spread across the pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "base/frontier_pool.h"
+#include "base/rng.h"
+#include "gen/data_generator.h"
+#include "storage/catalog.h"
+#include "storage/shape_finder.h"
+#include "storage/shape_lattice.h"
+#include "storage/shape_source.h"
+
+namespace chase {
+namespace {
+
+using storage::FindShapes;
+using storage::ShapeFinderMode;
+
+// A synthetic lattice: item i < kLeafFloor discovers 2i+1 and 2i+2 (a
+// binary tree, so deeper items are discovered from exactly one parent),
+// and every item emits its own value. The absorb sequence of a serial run
+// is the canonical reference.
+struct TreeRun {
+  std::vector<uint64_t> absorbed;  // concatenated per-depth frontiers
+  std::vector<size_t> depth_sizes;
+  FrontierStats stats;
+};
+
+TreeRun RunTree(unsigned threads, unsigned stripes, uint64_t leaf_floor,
+                std::vector<uint64_t> seeds) {
+  TreeRun run;
+  FrontierPool<uint64_t, uint64_t> pool(
+      {.threads = threads, .seen_stripes = stripes});
+  using Pool = FrontierPool<uint64_t, uint64_t>;
+  Status status = pool.Run(
+      std::move(seeds),
+      [&](unsigned /*worker*/, const uint64_t& item, uint64_t* out,
+          Pool::Discoveries* discovered) -> Status {
+        *out = item * 3 + 1;
+        if (item < leaf_floor) {
+          discovered->Discover(2 * item + 1);
+          discovered->Discover(2 * item + 2);
+        }
+        return OkStatus();
+      },
+      [&](std::span<const uint64_t> frontier,
+          std::span<uint64_t> outs) -> Status {
+        run.depth_sizes.push_back(frontier.size());
+        for (size_t i = 0; i < frontier.size(); ++i) {
+          EXPECT_EQ(outs[i], frontier[i] * 3 + 1);
+          run.absorbed.push_back(frontier[i]);
+        }
+        return OkStatus();
+      },
+      &run.stats);
+  EXPECT_TRUE(status.ok()) << status;
+  return run;
+}
+
+TEST(FrontierPoolTest, ParallelTreeWalkMatchesSerial) {
+  const TreeRun serial = RunTree(1, 0, 1 << 12, {0});
+  for (unsigned threads : {2u, 4u, 8u, 16u}) {
+    // Two stripes force heavy seen-set contention under TSan.
+    const TreeRun parallel = RunTree(threads, 2, 1 << 12, {0});
+    EXPECT_EQ(parallel.absorbed, serial.absorbed) << threads << " threads";
+    EXPECT_EQ(parallel.depth_sizes, serial.depth_sizes);
+    EXPECT_EQ(parallel.stats.depths, serial.stats.depths);
+    EXPECT_EQ(parallel.stats.items_expanded, serial.stats.items_expanded);
+    EXPECT_EQ(parallel.stats.max_frontier, serial.stats.max_frontier);
+    EXPECT_EQ(std::accumulate(parallel.stats.worker_expanded.begin(),
+                              parallel.stats.worker_expanded.end(),
+                              uint64_t{0}),
+              parallel.stats.items_expanded);
+  }
+}
+
+TEST(FrontierPoolTest, DuplicateDiscoveriesAdmitExactlyOnce) {
+  // Every item discovers the SAME successor set from many parents: the
+  // striped seen-set must admit each successor exactly once however the
+  // concurrent inserts interleave.
+  using Pool = FrontierPool<uint64_t, uint64_t>;
+  for (unsigned threads : {1u, 8u}) {
+    std::vector<uint64_t> seeds(64);
+    std::iota(seeds.begin(), seeds.end(), uint64_t{1000});
+    Pool pool({.threads = threads, .seen_stripes = 2});
+    std::atomic<uint64_t> expansions{0};
+    FrontierStats stats;
+    Status status = pool.Run(
+        std::move(seeds),
+        [&](unsigned, const uint64_t& item, uint64_t*,
+            Pool::Discoveries* discovered) -> Status {
+          expansions.fetch_add(1);
+          if (item >= 1000) {
+            for (uint64_t succ = 0; succ < 32; ++succ) {
+              discovered->Discover(succ);  // everyone discovers [0, 32)
+            }
+          }
+          return OkStatus();
+        },
+        [](std::span<const uint64_t>, std::span<uint64_t>) {
+          return OkStatus();
+        },
+        &stats);
+    ASSERT_TRUE(status.ok()) << status;
+    EXPECT_EQ(expansions.load(), 64u + 32u);
+    EXPECT_EQ(stats.items_discovered, 32u);
+    EXPECT_EQ(stats.depths, 2u);
+  }
+}
+
+TEST(FrontierPoolTest, ExpansionErrorsAbortTheRun) {
+  using Pool = FrontierPool<uint64_t, uint64_t>;
+  for (unsigned threads : {1u, 8u}) {
+    std::vector<uint64_t> seeds(256);
+    std::iota(seeds.begin(), seeds.end(), uint64_t{0});
+    Pool pool({.threads = threads});
+    uint64_t absorbed = 0;
+    Status status = pool.Run(
+        std::move(seeds),
+        [&](unsigned, const uint64_t& item, uint64_t*,
+            Pool::Discoveries*) -> Status {
+          if (item == 97) return InternalError("poisoned item");
+          return OkStatus();
+        },
+        [&](std::span<const uint64_t> frontier, std::span<uint64_t>) {
+          absorbed += frontier.size();
+          return OkStatus();
+        });
+    EXPECT_EQ(status.code(), StatusCode::kInternal) << threads;
+    EXPECT_EQ(absorbed, 0u);  // the failing depth is never absorbed
+  }
+}
+
+TEST(FrontierPoolTest, ParallelForCoversEveryIndexOnce) {
+  for (unsigned threads : {1u, 3u, 8u, 16u}) {
+    const size_t n = 10'000;
+    std::vector<std::atomic<uint32_t>> hits(n);
+    FrontierParallelFor(n, threads, [&](unsigned, size_t index) {
+      hits[index].fetch_add(1);
+    });
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+    }
+  }
+}
+
+TEST(FrontierPoolTest, ForEachChildHandlesMaxArity) {
+  // Regression: with uint8_t loop counters, blocks == 255 (the
+  // Schema::kMaxArity ceiling) wrapped `b` through 0 — an out-of-bounds
+  // MergeBlocks read and an infinite loop. The top of the arity-255
+  // lattice must yield exactly C(255, 2) children and terminate.
+  const IdTuple top = storage::AllDistinctIdTuple(255);
+  size_t children = 0;
+  storage::ForEachChild(top, [&](IdTuple child) {
+    ASSERT_EQ(child.size(), 255u);
+    ++children;
+  });
+  EXPECT_EQ(children, 255u * 254u / 2u);
+}
+
+// --------------------------------------------------------------------------
+// The three adversarial shape-lattice profiles, through the real consumer.
+
+void ExpectFrontierExistsMatchesSerial(const DataGenParams& params,
+                                       const char* label) {
+  auto data = GenerateData(params);
+  ASSERT_TRUE(data.ok()) << data.status();
+  storage::Catalog catalog(data->database.get());
+  storage::MemoryShapeSource memory(&catalog);
+  auto oracle = FindShapes(memory, {ShapeFinderMode::kExists, 1});
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+  for (unsigned threads : {4u, 8u}) {
+    FrontierStats stats;
+    storage::FindShapesOptions options{ShapeFinderMode::kExists, threads};
+    options.frontier_stats = &stats;
+    auto shapes = FindShapes(memory, options);
+    ASSERT_TRUE(shapes.ok()) << shapes.status();
+    EXPECT_EQ(*shapes, *oracle) << label << ", threads " << threads;
+    EXPECT_EQ(std::accumulate(stats.worker_expanded.begin(),
+                              stats.worker_expanded.end(), uint64_t{0}),
+              stats.items_expanded)
+        << label;
+  }
+}
+
+TEST(FrontierPoolTest, WideShallowLattice) {
+  // Many low-arity predicates: the frontier is wide (one seed per
+  // predicate) and drains in a couple of depths.
+  DataGenParams params;
+  params.preds = 40;
+  params.min_arity = 1;
+  params.max_arity = 3;
+  params.dsize = 64;
+  params.rsize = 200;
+  params.seed = 11;
+  ExpectFrontierExistsMatchesSerial(params, "wide-shallow");
+}
+
+TEST(FrontierPoolTest, NarrowDeepLattice) {
+  // One high-arity predicate over a tiny repeated domain: the frontier
+  // starts as a single item and the walk descends many merge levels.
+  DataGenParams params;
+  params.preds = 1;
+  params.min_arity = 7;
+  params.max_arity = 7;
+  params.dsize = 64;
+  params.rsize = 30;
+  params.seed = 12;
+  ExpectFrontierExistsMatchesSerial(params, "narrow-deep");
+}
+
+TEST(FrontierPoolTest, SingleGiantPredicate) {
+  // The case PR 1's per-predicate dealing could never split: one predicate,
+  // one big relation, one lattice. The frontier engine must spread its
+  // probes across the pool and still match the serial walk.
+  DataGenParams params;
+  params.preds = 1;
+  params.min_arity = 6;
+  params.max_arity = 6;
+  params.dsize = 64;
+  params.rsize = 5'000;
+  params.seed = 13;
+  ExpectFrontierExistsMatchesSerial(params, "single-giant");
+}
+
+}  // namespace
+}  // namespace chase

@@ -1,8 +1,14 @@
 // chasectl — the command-line front end to the chase-termination library.
 //
 // Subcommands:
-//   check <file> [--mode=sl|l] [--shapes=mem|db|index]  termination check
-//   chase <file> [--variant=so|ob|re] [--max-atoms=N] [--print]
+//   check <file> [--mode=sl|l] [--shapes=mem|db|index] [--threads=N]
+//                                                  termination check
+//   chase <file> [--variant=so|ob|re] [--max-atoms=N] [--threads=N]
+//                [--print]
+//   simplify <file> [--mode=scan|exists|index] [--threads=N] [--print]
+//                                                  simple_D(Σ) via the
+//                                                  frontier-parallel
+//                                                  worklist
 //   query <file> "<q(X) :- ...>"                   certain answers
 //   findshapes <file> [--backend=memory|disk|index]
 //              [--mode=scan|exists|index] [--threads=N]
@@ -40,8 +46,10 @@
 #include "acyclicity/mfa.h"
 #include "acyclicity/super_weak_acyclicity.h"
 #include "acyclicity/uniform.h"
+#include "base/frontier_pool.h"
 #include "base/timer.h"
 #include "chase/chase_engine.h"
+#include "core/dynamic_simplification.h"
 #include "core/explain.h"
 #include "core/is_chase_finite.h"
 #include "core/normalize.h"
@@ -158,6 +166,23 @@ bool ParsePrefetch(const Args& args, unsigned* prefetch) {
   return ParseBoundedFlag(args, "prefetch", 0, 0, 1u << 16, prefetch);
 }
 
+// --mode=scan|exists|index -> the FindShapes query plan.
+bool ParseFinderMode(const Args& args, storage::ShapeFinderMode* mode) {
+  const std::string raw = args.Get("mode", "scan");
+  if (raw == "scan") {
+    *mode = storage::ShapeFinderMode::kScan;
+  } else if (raw == "exists") {
+    *mode = storage::ShapeFinderMode::kExists;
+  } else if (raw == "index") {
+    *mode = storage::ShapeFinderMode::kIndex;
+  } else {
+    std::cerr << "unknown --mode=" << raw
+              << " (want scan, exists, or index)\n";
+    return false;
+  }
+  return true;
+}
+
 // Default scratch paths are per-invocation so concurrent runs don't stomp
 // each other's heap files.
 std::string ScratchStorePath(const Args& args, const std::string& stem) {
@@ -193,7 +218,8 @@ int Fail(const Status& status) {
 int CmdCheck(const Args& args) {
   if (args.positional.empty()) {
     std::cerr << "usage: chasectl check <file> [--mode=sl|l] "
-                 "[--shapes=mem|db|index] [--snapshot=path.chidx]\n";
+                 "[--shapes=mem|db|index] [--threads=N] "
+                 "[--snapshot=path.chidx]\n";
     return 2;
   }
   auto program = LoadAnyProgram(args.positional[0]);
@@ -216,6 +242,12 @@ int CmdCheck(const Args& args) {
               << "  t-total: " << timer.ElapsedMillis() << " ms\n";
   } else if (mode == "l") {
     LCheckOptions options;
+    // One knob drives both parallel components: the db-dependent FindShapes
+    // and the dynamic-simplification worklist.
+    unsigned threads = 1;
+    if (!ParseThreads(args, &threads)) return 2;
+    options.shape_threads = threads;
+    options.simplify_threads = threads;
     const std::string shapes_flag = args.Get("shapes", "mem");
     std::optional<index::ShardedShapeIndex> shape_index;
     if (shapes_flag == "db") {
@@ -288,13 +320,14 @@ int CmdCheck(const Args& args) {
 int CmdChase(const Args& args) {
   if (args.positional.empty()) {
     std::cerr << "usage: chasectl chase <file> [--variant=so|ob|re] "
-                 "[--max-atoms=N] [--print]\n";
+                 "[--max-atoms=N] [--threads=N] [--print]\n";
     return 2;
   }
   auto program = LoadAnyProgram(args.positional[0]);
   if (!program.ok()) return Fail(program.status());
 
   ChaseOptions options;
+  if (!ParseThreads(args, &options.frontier_threads)) return 2;
   const std::string variant = args.Get("variant", "so");
   if (variant == "so") {
     options.variant = ChaseVariant::kSemiOblivious;
@@ -321,6 +354,62 @@ int CmdChase(const Args& args) {
       std::cout << ToString(*program->schema, *program->database, atom)
                 << ".\n";
     });
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// simplify
+
+int CmdSimplify(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: chasectl simplify <file> "
+                 "[--mode=scan|exists|index] [--threads=N] [--print]\n";
+    return 2;
+  }
+  auto program = LoadAnyProgram(args.positional[0]);
+  if (!program.ok()) return Fail(program.status());
+  if (!AllLinear(program->tgds)) {
+    std::cerr << "simplify requires linear TGDs\n";
+    return 2;
+  }
+
+  unsigned threads = 1;
+  if (!ParseThreads(args, &threads)) return 2;
+  storage::ShapeFinderMode finder_mode;
+  if (!ParseFinderMode(args, &finder_mode)) return 2;
+
+  storage::Catalog catalog(program->database.get());
+  storage::MemoryShapeSource source(&catalog);
+  Timer timer;
+  auto shapes = storage::FindShapes(
+      source, {.mode = finder_mode, .threads = threads});
+  if (!shapes.ok()) return Fail(shapes.status());
+  const double shapes_ms = timer.ElapsedMillis();
+
+  timer.Restart();
+  auto simplified = DynamicSimplificationFromShapes(
+      program->database->schema(), program->tgds, *shapes, threads);
+  if (!simplified.ok()) return Fail(simplified.status());
+  const double simplify_ms = timer.ElapsedMillis();
+
+  const FrontierStats& frontier = simplified->frontier;
+  std::cout << simplified->tgds.size() << " simplified TGD(s) from "
+            << program->tgds.size() << " rule(s)\n"
+            << "  t-shapes:   " << shapes_ms << " ms ("
+            << storage::ShapeFinderModeName(finder_mode) << " plan, "
+            << threads << " thread(s), " << shapes->size()
+            << " db shapes)\n"
+            << "  t-simplify: " << simplify_ms << " ms ("
+            << simplified->num_initial_shapes << " initial shapes, "
+            << simplified->num_derived_shapes << " derived)\n"
+            << "  frontier:   " << frontier.depths << " depth(s), "
+            << frontier.items_expanded << " expanded, widest "
+            << frontier.max_frontier << "\n";
+  if (args.Has("print")) {
+    for (const Tgd& tgd : simplified->tgds) {
+      std::cout << ToString(simplified->shape_schema->schema(), tgd) << "\n";
+    }
   }
   return 0;
 }
@@ -433,27 +522,17 @@ int CmdFindShapes(const Args& args) {
   if (!ParsePrefetch(args, &options.prefetch)) return 2;
   unsigned pool_shards = 0;
   if (!ParsePoolShards(args, &pool_shards)) return 2;
-  const std::string mode = args.Get("mode", "scan");
-  if (mode == "scan") {
-    options.mode = storage::ShapeFinderMode::kScan;
-  } else if (mode == "exists") {
-    options.mode = storage::ShapeFinderMode::kExists;
-  } else if (mode == "index") {
-    options.mode = storage::ShapeFinderMode::kIndex;
-  } else {
-    std::cerr << "unknown --mode=" << mode
-              << " (want scan, exists, or index)\n";
-    return 2;
-  }
+  if (!ParseFinderMode(args, &options.mode)) return 2;
   if (!ParseThreads(args, &options.threads)) return 2;
 
   std::string backend = args.Get("backend", "memory");
   if (backend == "index") {
     // "index" as a backend: the row store behind the materialized-index
     // plan, matching `chasectl index build --backend=memory`.
-    if (args.Has("mode") && mode != "index") {
+    if (args.Has("mode") &&
+        options.mode != storage::ShapeFinderMode::kIndex) {
       std::cerr << "--backend=index runs the index plan; it cannot be "
-                   "combined with --mode=" << mode << "\n";
+                   "combined with --mode=" << args.Get("mode", "") << "\n";
       return 2;
     }
     backend = "memory";
@@ -783,9 +862,12 @@ int Usage() {
   std::cerr <<
       "chasectl — semi-oblivious chase termination toolkit\n"
       "\n"
-      "  chasectl check <file> [--mode=sl|l] [--shapes=mem|db|index]\n"
+      "  chasectl check <file> [--mode=sl|l] [--shapes=mem|db|index] "
+      "[--threads=N]\n"
       "  chasectl explain <file>               (non-termination witness)\n"
       "  chasectl chase <file> [--variant=so|ob|re] [--max-atoms=N] "
+      "[--threads=N] [--print]\n"
+      "  chasectl simplify <file> [--mode=scan|exists|index] [--threads=N] "
       "[--print]\n"
       "  chasectl query <file> \"q(X) :- r(X, Y).\"\n"
       "  chasectl findshapes <file> [--backend=memory|disk|index] "
@@ -818,6 +900,7 @@ int main(int argc, char** argv) {
   if (command == "check") return CmdCheck(args);
   if (command == "explain") return CmdExplain(args);
   if (command == "chase") return CmdChase(args);
+  if (command == "simplify") return CmdSimplify(args);
   if (command == "query") return CmdQuery(args);
   if (command == "findshapes") return CmdFindShapes(args);
   if (command == "index") return CmdIndex(args);
