@@ -13,10 +13,19 @@
 // expanded) prove the lattice frontier itself is being divided — under
 // per-predicate dealing every row would show busy-workers=1.
 //
+// Stage 3 profiles the opposite adversary: thousands of two-item depths,
+// where the engine does almost no work per depth and the inter-depth
+// machinery dominates. The workers are now spawned once per run and
+// synchronized by a reusable generation barrier, so the `us-depth` column
+// (per-depth overhead) measures a condvar cycle instead of the thread
+// spawn+join every depth used to pay.
+//
 // NOTE: this container is single-core, so wall-clock parallel gains don't
 // show here — the expansion counters do (same caveat as
-// ablation_pool_sharding). Every configuration is checked bit-identical
-// against the serial oracle before its row is emitted.
+// ablation_pool_sharding), and the us-depth column is counter-based
+// per-depth overhead, not a parallelism measurement. Every configuration
+// is checked bit-identical against the serial oracle before its row is
+// emitted.
 
 #include <algorithm>
 #include <iostream>
@@ -33,7 +42,8 @@ using namespace chase::bench;
 
 namespace {
 
-void WorkerColumns(const FrontierStats& stats, std::vector<std::string>* row) {
+void WorkerColumns(const FrontierStats& stats, double best_ms,
+                   std::vector<std::string>* row) {
   uint64_t busy = 0;
   uint64_t w_min = UINT64_MAX;
   uint64_t w_max = 0;
@@ -43,6 +53,10 @@ void WorkerColumns(const FrontierStats& stats, std::vector<std::string>* row) {
     w_max = std::max(w_max, expanded);
   }
   row->push_back(std::to_string(stats.depths));
+  // Per-depth overhead in microseconds: on the shallow profile this is
+  // almost pure barrier cost (one condvar cycle per depth).
+  row->push_back(
+      Fmt(best_ms * 1000.0 / std::max<uint64_t>(1, stats.depths), 2));
   row->push_back(std::to_string(stats.items_expanded));
   row->push_back(std::to_string(busy));
   row->push_back(std::to_string(w_min == UINT64_MAX ? 0 : w_min));
@@ -58,8 +72,8 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> columns = {"stage",   "arity", "threads",
                                       "t-ms",    "speedup", "depths",
-                                      "expanded", "busy-workers", "w-min",
-                                      "w-max"};
+                                      "us-depth", "expanded",
+                                      "busy-workers", "w-min", "w-max"};
   for (const std::string& name : AccessColumnNames()) {
     columns.push_back(name);
   }
@@ -117,7 +131,7 @@ int main(int argc, char** argv) {
                                       FmtMs(best_ms),
                                       Fmt(base_ms / std::max(best_ms, 1e-6), 1) +
                                           "x"};
-      WorkerColumns(stats, &row);
+      WorkerColumns(stats, best_ms, &row);
       for (const std::string& value :
            AccessColumnValues(access, source.Io())) {
         row.push_back(value);
@@ -192,7 +206,7 @@ int main(int argc, char** argv) {
                                       FmtMs(best_ms),
                                       Fmt(base_ms / std::max(best_ms, 1e-6), 1) +
                                           "x"};
-      WorkerColumns(stats, &row);
+      WorkerColumns(stats, best_ms, &row);
       // The worklist reads shapes, not the database: uniform metering
       // columns are zero by construction here.
       for (const std::string& value :
@@ -203,9 +217,72 @@ int main(int argc, char** argv) {
     }
   }
 
+  // -------------------------------------------------------------------
+  // Stage 3: many shallow depths — a synthetic chain lattice of TWO items
+  // per depth (a one-item frontier would take ParallelFor's inline fast
+  // path and never touch the barrier), so each depth's expansion is two
+  // trivial callbacks and the t-ms column is almost entirely inter-depth
+  // machinery. With the persistent pool this is one thread spawn per run
+  // plus a barrier cycle per depth; under the old per-depth respawn it was
+  // `threads` spawns and joins per depth, dominating exactly this profile.
+  {
+    const uint64_t depths = std::max<uint64_t>(
+        16, static_cast<uint64_t>(4'000 * flags.scale));
+    double base_ms = 0;
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+      double best_ms = 0;
+      FrontierStats stats;
+      for (uint32_t rep = 0; rep < reps; ++rep) {
+        using Pool = FrontierPool<uint64_t, uint64_t>;
+        Pool pool({.threads = threads});
+        uint64_t absorbed = 0;
+        Timer timer;
+        Status status = pool.Run(
+            {0, 1},
+            [&](unsigned, const uint64_t& item, uint64_t* out,
+                Pool::Discoveries* discovered) -> Status {
+              *out = item + 2;
+              const uint64_t depth = item / 2;
+              if (depth + 1 < depths) {
+                discovered->Discover(2 * (depth + 1));
+                discovered->Discover(2 * (depth + 1) + 1);
+              }
+              return OkStatus();
+            },
+            [&](std::span<const uint64_t> frontier,
+                std::span<uint64_t>) -> Status {
+              absorbed += frontier.size();
+              return OkStatus();
+            },
+            &stats);
+        const double ms = timer.ElapsedMillis();
+        if (!status.ok() || absorbed != 2 * depths) {
+          std::cerr << "shallow-depth chain mismatch (threads=" << threads
+                    << ")\n";
+          return 1;
+        }
+        best_ms = rep == 0 ? ms : std::min(best_ms, ms);
+      }
+      if (threads == 1) base_ms = best_ms;
+      std::vector<std::string> row = {"shallow", "-",
+                                      std::to_string(threads),
+                                      FmtMs(best_ms),
+                                      Fmt(base_ms / std::max(best_ms, 1e-6), 1) +
+                                          "x"};
+      WorkerColumns(stats, best_ms, &row);
+      // Synthetic chain: no database access, metering columns are zero.
+      for (const std::string& value :
+           AccessColumnValues(storage::AccessStats(), storage::IoCounters())) {
+        row.push_back(value);
+      }
+      table.AddRow(row);
+    }
+  }
+
   Emit(flags,
        "Ablation: frontier parallelism (EXISTS lattice walk on one giant "
-       "predicate; dynamic-simplification worklist)",
+       "predicate; dynamic-simplification worklist; shallow-depth barrier "
+       "overhead)",
        table);
   return 0;
 }

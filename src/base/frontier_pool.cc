@@ -1,36 +1,92 @@
 #include "base/frontier_pool.h"
 
-#include <atomic>
-#include <thread>
-
 namespace chase {
+
+WorkerPool::WorkerPool(unsigned threads) : threads_(std::max(1u, threads)) {
+  workers_.reserve(threads_ - 1);
+  for (unsigned t = 1; t < threads_; ++t) {
+    workers_.emplace_back(&WorkerPool::Loop, this, t);
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void WorkerPool::RunChunks(unsigned worker) {
+  // Chunks of roughly equal size, a few per thread, dealt dynamically: a
+  // worker stuck on one expensive index only holds back its chunk, and the
+  // tail of the index space still spreads across the pool. Once the abort
+  // flag trips, no further chunk is claimed pool-wide.
+  while (abort_ == nullptr || !abort_->load(std::memory_order_acquire)) {
+    const size_t first = next_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (first >= n_) break;
+    const size_t last = std::min(n_, first + chunk_);
+    for (size_t index = first; index < last; ++index) {
+      (*work_)(worker, index);
+    }
+  }
+}
+
+void WorkerPool::ParallelFor(
+    size_t n, const std::function<void(unsigned worker, size_t index)>& work,
+    const std::atomic<bool>* abort) {
+  if (n == 0) return;
+  if (threads_ == 1 || n == 1) {
+    for (size_t index = 0; index < n; ++index) {
+      if (abort != nullptr && abort->load(std::memory_order_acquire)) return;
+      work(0, index);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    n_ = n;
+    chunk_ = FrontierChunkSize(n, threads_);
+    work_ = &work;
+    abort_ = abort;
+    next_.store(0, std::memory_order_relaxed);
+    running_ = threads_ - 1;
+    ++epoch_;  // the reusable barrier: workers wake on the advance
+  }
+  start_cv_.notify_all();
+  RunChunks(0);  // the calling thread is worker 0
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return running_ == 0; });
+  work_ = nullptr;
+  abort_ = nullptr;
+}
+
+void WorkerPool::Loop(unsigned worker) {
+  uint64_t seen_epoch = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    start_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+    if (stop_) return;
+    seen_epoch = epoch_;
+    lock.unlock();
+    RunChunks(worker);
+    lock.lock();
+    // Only the ParallelFor caller waits on done_cv_, so one wakeup is
+    // enough — and only the last worker to finish issues it.
+    if (--running_ == 0) done_cv_.notify_one();
+  }
+}
 
 void FrontierParallelFor(
     size_t n, unsigned threads,
     const std::function<void(unsigned worker, size_t index)>& work) {
-  threads = std::max(1u, threads);
-  if (threads == 1 || n <= 1) {
+  if (threads <= 1 || n <= 1) {
     for (size_t index = 0; index < n; ++index) work(0, index);
     return;
   }
-
-  // Chunks of roughly equal size, a few per thread, dealt dynamically: a
-  // worker stuck on one expensive index only holds back its chunk, and the
-  // tail of the index space still spreads across the pool.
-  const size_t chunk = std::max<size_t>(1, n / (4 * threads));
-  std::atomic<size_t> next{0};
-  auto run = [&](unsigned worker) {
-    while (true) {
-      const size_t first = next.fetch_add(chunk);
-      if (first >= n) break;
-      const size_t last = std::min(n, first + chunk);
-      for (size_t index = first; index < last; ++index) work(worker, index);
-    }
-  };
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) workers.emplace_back(run, t);
-  for (std::thread& worker : workers) worker.join();
+  WorkerPool pool(threads);
+  pool.ParallelFor(n, work);
 }
 
 }  // namespace chase

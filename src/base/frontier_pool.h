@@ -13,8 +13,13 @@
 // Items at the same depth are independent by construction, so the engine
 // expands each depth in parallel and barriers between depths:
 //
-//  * the frontier is split into chunks dealt dynamically to a worker pool
-//    (the same range-partitioned chunking discipline as
+//  * the workers are spawned ONCE — by the WorkerPool below — and reused
+//    across depths through a generation-counted condvar barrier, so a
+//    workload of many shallow depths (dynamic simplification, per-round
+//    chase trigger enumeration) pays a wakeup per depth, not a thread
+//    spawn+join per depth;
+//  * each depth's frontier is split into chunks dealt dynamically to the
+//    pool (the same range-partitioned chunking discipline as
 //    storage::ParallelTupleScan), so one expensive item cannot pin the
 //    whole depth on a single worker;
 //  * discovered successors pass through a shared seen-set under striped
@@ -25,11 +30,14 @@
 //  * per-item outputs are written into a per-depth slot vector and handed
 //    to a serial `absorb` callback in frontier order, so anything the
 //    caller accumulates (emitted TGDs, interned predicates) is ordered
-//    identically to a single-threaded run.
+//    identically to a single-threaded run. Consumers whose absorption is
+//    associative and commutative (set inserts) can instead opt into a
+//    parallel absorb that runs per-chunk on the same pool — see
+//    RunParallelAbsorb.
 //
 // The net contract: Run with N threads produces bit-identical results to
 // Run with 1 thread (which executes inline on the calling thread, with no
-// pool and no latching). tests/frontier_equivalence_test.cc holds both
+// pool and no latching). tests/frontier_equivalence_test.cc holds the
 // consumers to it; tests/frontier_pool_test.cc stresses the engine itself
 // under ThreadSanitizer.
 
@@ -37,11 +45,15 @@
 #define CHASE_BASE_FRONTIER_POOL_H_
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <span>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -51,13 +63,77 @@
 
 namespace chase {
 
-// Runs work(worker, index) for every index in [0, n), partitioning the
-// index space into chunks of roughly equal size (a few per thread) that are
-// dealt dynamically to `threads` workers, so uneven per-index cost still
-// balances. threads <= 1 (or a single-index space) runs inline on the
-// calling thread as worker 0. Within one worker, indices are visited in
-// ascending order per chunk; across workers, any interleaving — callers
-// must write only to index-private or worker-private state, or synchronize.
+// The one chunk-size heuristic behind every dealing site: roughly a few
+// chunks per thread, so dynamically dealt chunks still balance uneven
+// per-index cost. This is also the deterministic-boundary rule the
+// parallel-absorb contract documents (chunk boundaries depend only on the
+// index-space size and the thread count) — keep every copy of the formula
+// here so the sites cannot drift apart.
+inline size_t FrontierChunkSize(size_t n, unsigned threads) {
+  return std::max<size_t>(1, n / (4 * std::max(1u, threads)));
+}
+
+// A persistent pool of worker threads with a reusable start/finish barrier.
+// Construction spawns threads-1 workers (the thread calling ParallelFor
+// always participates as worker 0); every ParallelFor reuses them, so a
+// caller that loops — depths of a frontier walk, rounds of the chase —
+// pays one condvar round-trip per iteration instead of a thread spawn and
+// join. The barrier is a generation counter: workers sleep until the
+// epoch advances, run the dealt chunks of that epoch, and report back;
+// ParallelFor returns once every worker has reported, so task state can be
+// reused for the next epoch without further synchronization.
+class WorkerPool {
+ public:
+  // threads <= 1 spawns no workers; ParallelFor then runs inline.
+  explicit WorkerPool(unsigned threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  unsigned threads() const { return threads_; }
+
+  // Runs work(worker, index) for every index in [0, n), partitioning the
+  // index space into chunks of roughly equal size (a few per thread) dealt
+  // dynamically, so uneven per-index cost still balances. Blocks until all
+  // dealt indices ran. Within one worker, indices ascend per chunk; across
+  // workers, any interleaving — callers must write only to index-private
+  // or worker-private state, or synchronize. Not reentrant: one
+  // ParallelFor at a time per pool.
+  //
+  // If `abort` is non-null, no further chunk is claimed once it reads
+  // true; indices of already-claimed chunks still run, so `work` must
+  // check the flag itself where per-index stop matters.
+  void ParallelFor(size_t n,
+                   const std::function<void(unsigned worker, size_t index)>& work,
+                   const std::atomic<bool>* abort = nullptr);
+
+ private:
+  void Loop(unsigned worker);
+  void RunChunks(unsigned worker);
+
+  const unsigned threads_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;  // wakes workers on an epoch advance
+  std::condition_variable done_cv_;   // wakes ParallelFor when all report
+  uint64_t epoch_ = 0;
+  unsigned running_ = 0;  // workers still inside the current epoch
+  bool stop_ = false;
+  // The current task. Written under mu_ before the epoch advances, read by
+  // workers after they observe the new epoch under mu_ — so the reads in
+  // RunChunks outside the latch are ordered by the barrier itself.
+  size_t n_ = 0;
+  size_t chunk_ = 1;
+  const std::function<void(unsigned, size_t)>* work_ = nullptr;
+  const std::atomic<bool>* abort_ = nullptr;
+  std::atomic<size_t> next_{0};
+  std::vector<std::thread> workers_;
+};
+
+// One-shot convenience: runs work(worker, index) for every index in [0, n)
+// on a transient pool (threads <= 1 or a single-index space runs inline on
+// the calling thread as worker 0). Spawns and joins threads per call —
+// callers that loop should hold a WorkerPool instead.
 void FrontierParallelFor(
     size_t n, unsigned threads,
     const std::function<void(unsigned worker, size_t index)>& work);
@@ -65,11 +141,13 @@ void FrontierParallelFor(
 // Counters reported by FrontierPool::Run. worker_expanded proves how the
 // frontier itself was split: with one giant work item source (e.g. a single
 // high-arity predicate's lattice), multiple non-zero entries mean multiple
-// workers expanded parts of it.
+// workers expanded parts of it. Populated on every exit path, error
+// returns included, with items_expanded always equal to the number of
+// `expand` invocations that actually ran (= the sum of worker_expanded).
 struct FrontierStats {
   uint64_t depths = 0;           // number of synchronized frontier waves
   uint64_t seeds_admitted = 0;   // unique seeds (duplicates are dropped)
-  uint64_t items_expanded = 0;   // total unique items expanded, seeds incl.
+  uint64_t items_expanded = 0;   // unique items actually expanded
   uint64_t items_discovered = 0;  // successors admitted past the seen filter
   uint64_t max_frontier = 0;     // widest single depth
   std::vector<uint64_t> worker_expanded;  // per-worker expansion counts
@@ -84,6 +162,12 @@ class FrontierPool {
   struct Options {
     unsigned threads = 1;       // <= 1 expands inline, no pool, no latching
     unsigned seen_stripes = 0;  // 0 = auto (scales with the thread count)
+    // When non-null, depths run on this caller-owned persistent pool (its
+    // thread count wins over `threads`), so several engine runs — or an
+    // engine run and other parallel phases of the same algorithm — share
+    // one set of workers. Otherwise Run spawns its own pool, once for the
+    // whole run.
+    WorkerPool* pool = nullptr;
   };
 
   // Successor sink handed to each expansion. Thread-confined: a worker only
@@ -106,11 +190,14 @@ class FrontierPool {
     std::vector<Item>* fresh_;
   };
 
-  // Expands one item: fills `out` (absorbed serially after the depth
-  // barrier) and reports successors through `discovered`. Runs concurrently
-  // with other expansions of the same depth; `worker` in [0, threads)
-  // indexes any caller-side thread-local state. A non-OK status aborts the
-  // run after the current depth's in-flight expansions finish.
+  // Expands one item: fills `out` (absorbed after the depth barrier) and
+  // reports successors through `discovered`. Runs concurrently with other
+  // expansions of the same depth; `worker` in [0, threads) indexes any
+  // caller-side thread-local state. A non-OK status aborts the run: no
+  // further expansion starts anywhere in the pool (a shared abort flag
+  // stops both chunk dealing and the per-index dispatch), the depth's
+  // in-flight expansions finish, and Run returns the error without
+  // absorbing the failed depth.
   using ExpandFn = std::function<Status(unsigned worker, const Item& item,
                                         Out* out, Discoveries* discovered)>;
 
@@ -118,6 +205,18 @@ class FrontierPool {
   // order. Runs on the calling thread between depth barriers.
   using AbsorbFn =
       std::function<Status(std::span<const Item> frontier,
+                           std::span<Out> outs)>;
+
+  // The opt-in parallel absorb: consumes one deterministic contiguous
+  // chunk of a depth's canonical frontier. Chunk boundaries depend only on
+  // the frontier size and the thread count — never on scheduling — but
+  // calls run concurrently on the pool and in arbitrary chunk order, so a
+  // consumer opting in guarantees its absorption is associative and
+  // commutative across chunks (e.g. inserts into a set whose final
+  // extraction is sorted). `worker` indexes caller-side thread-local
+  // accumulators: calls for the same worker never overlap.
+  using ParallelAbsorbFn =
+      std::function<Status(unsigned worker, std::span<const Item> frontier,
                            std::span<Out> outs)>;
 
   explicit FrontierPool(Options options) : options_(options) {}
@@ -128,7 +227,32 @@ class FrontierPool {
   // seeds and the expansion function, never on thread count or scheduling.
   Status Run(std::vector<Item> seeds, const ExpandFn& expand,
              const AbsorbFn& absorb, FrontierStats* stats = nullptr) {
-    const unsigned threads = std::max(1u, options_.threads);
+    return RunImpl(std::move(seeds), expand, &absorb, nullptr, stats);
+  }
+
+  // As Run, but each depth is absorbed per-chunk on the pool through
+  // `absorb` (see ParallelAbsorbFn for the associativity contract the
+  // caller signs up to). The expansion side — frontiers, seen-set,
+  // discovery — is deterministic exactly as in Run.
+  Status RunParallelAbsorb(std::vector<Item> seeds, const ExpandFn& expand,
+                           const ParallelAbsorbFn& absorb,
+                           FrontierStats* stats = nullptr) {
+    return RunImpl(std::move(seeds), expand, nullptr, &absorb, stats);
+  }
+
+ private:
+  Status RunImpl(std::vector<Item> seeds, const ExpandFn& expand,
+                 const AbsorbFn* absorb, const ParallelAbsorbFn* par_absorb,
+                 FrontierStats* stats) {
+    WorkerPool* pool = options_.pool;
+    std::optional<WorkerPool> owned_pool;
+    if (pool == nullptr) {
+      // The run's own persistent pool: workers spawn here, once, and every
+      // depth below reuses them through the barrier.
+      owned_pool.emplace(std::max(1u, options_.threads));
+      pool = &*owned_pool;
+    }
+    const unsigned threads = std::max(1u, pool->threads());
     // Stripe counts are rounded up to a power of two: the stripe pick masks
     // the mixed hash with (stripes - 1). A serial run keeps one unlatched
     // stripe — no mutex on the hot Discover path.
@@ -142,7 +266,6 @@ class FrontierPool {
     FrontierStats local_stats;
     FrontierStats& out_stats = stats != nullptr ? *stats : local_stats;
     out_stats = FrontierStats();
-    out_stats.worker_expanded.assign(threads, 0);
 
     // Seed admission is serial: seed lists are small, and admission order
     // must not leak into the canonical sort's tie-free ordering anyway.
@@ -155,45 +278,100 @@ class FrontierPool {
     out_stats.seeds_admitted = frontier.size();
 
     std::vector<PaddedU64> expanded(threads);
-    while (!frontier.empty()) {
-      ++out_stats.depths;
-      out_stats.max_frontier =
-          std::max<uint64_t>(out_stats.max_frontier, frontier.size());
-      std::vector<Out> outs(frontier.size());
-      std::vector<std::vector<Item>> fresh(threads);
-      std::vector<Status> worker_status(threads);
-      FrontierParallelFor(
-          frontier.size(), threads, [&](unsigned worker, size_t index) {
-            if (!worker_status[worker].ok()) return;
-            Discoveries discovered(&seen, &fresh[worker]);
-            worker_status[worker] =
-                expand(worker, frontier[index], &outs[index], &discovered);
-            ++expanded[worker].value;
-          });
-      for (Status& status : worker_status) CHASE_RETURN_IF_ERROR(status);
-      out_stats.items_expanded += frontier.size();
-      CHASE_RETURN_IF_ERROR(absorb(frontier, outs));
+    // The depth loop proper, wrapped so that every exit path — error or
+    // drained frontier — falls through the stats finalization below.
+    auto run_depths = [&]() -> Status {
+      while (!frontier.empty()) {
+        ++out_stats.depths;
+        out_stats.max_frontier =
+            std::max<uint64_t>(out_stats.max_frontier, frontier.size());
+        std::vector<Out> outs(frontier.size());
+        std::vector<std::vector<Item>> fresh(threads);
+        std::vector<Status> worker_status(threads);
+        // The shared abort: the first failing expansion trips it, chunk
+        // dealing stops pool-wide, and workers skip every index they had
+        // already been dealt — a failed depth drains promptly instead of
+        // expanding to the end on the healthy workers.
+        std::atomic<bool> abort{false};
+        pool->ParallelFor(
+            frontier.size(),
+            [&](unsigned worker, size_t index) {
+              if (abort.load(std::memory_order_acquire)) return;
+              if (!worker_status[worker].ok()) return;
+              Discoveries discovered(&seen, &fresh[worker]);
+              ++expanded[worker].value;
+              Status status =
+                  expand(worker, frontier[index], &outs[index], &discovered);
+              if (!status.ok()) {
+                worker_status[worker] = std::move(status);
+                abort.store(true, std::memory_order_release);
+              }
+            },
+            &abort);
+        for (Status& status : worker_status) CHASE_RETURN_IF_ERROR(status);
+        CHASE_RETURN_IF_ERROR(
+            Absorb(pool, threads, frontier, outs, absorb, par_absorb));
 
-      // Barrier reached: merge the per-worker discoveries and sort them
-      // into the canonical next frontier.
-      size_t total = 0;
-      for (const std::vector<Item>& items : fresh) total += items.size();
-      std::vector<Item> next;
-      next.reserve(total);
-      for (std::vector<Item>& items : fresh) {
-        for (Item& item : items) next.push_back(std::move(item));
+        // Barrier reached: merge the per-worker discoveries and sort them
+        // into the canonical next frontier.
+        size_t total = 0;
+        for (const std::vector<Item>& items : fresh) total += items.size();
+        std::vector<Item> next;
+        next.reserve(total);
+        for (std::vector<Item>& items : fresh) {
+          for (Item& item : items) next.push_back(std::move(item));
+        }
+        std::sort(next.begin(), next.end());
+        out_stats.items_discovered += next.size();
+        frontier = std::move(next);
       }
-      std::sort(next.begin(), next.end());
-      out_stats.items_discovered += next.size();
-      frontier = std::move(next);
-    }
+      return OkStatus();
+    };
+    const Status status = run_depths();
+    // Stats are populated on every exit path, and items_expanded counts
+    // only expansions that actually ran (error-skipped items never count).
+    out_stats.worker_expanded.assign(threads, 0);
+    out_stats.items_expanded = 0;
     for (unsigned t = 0; t < threads; ++t) {
       out_stats.worker_expanded[t] = expanded[t].value;
+      out_stats.items_expanded += expanded[t].value;
     }
+    return status;
+  }
+
+  // One depth's absorb: serial in canonical order, or — when the consumer
+  // opted in — per-chunk on the pool with deterministic chunk boundaries.
+  Status Absorb(WorkerPool* pool, unsigned threads,
+                std::vector<Item>& frontier, std::vector<Out>& outs,
+                const AbsorbFn* absorb, const ParallelAbsorbFn* par_absorb) {
+    if (absorb != nullptr) {
+      return (*absorb)(frontier, std::span<Out>(outs));
+    }
+    const std::span<const Item> items(frontier);
+    const std::span<Out> slots(outs);
+    const size_t chunk = FrontierChunkSize(frontier.size(), threads);
+    const size_t num_chunks = (frontier.size() + chunk - 1) / chunk;
+    std::vector<Status> worker_status(threads);
+    std::atomic<bool> abort{false};
+    pool->ParallelFor(
+        num_chunks,
+        [&](unsigned worker, size_t c) {
+          if (abort.load(std::memory_order_acquire)) return;
+          if (!worker_status[worker].ok()) return;
+          const size_t first = c * chunk;
+          const size_t count = std::min(chunk, frontier.size() - first);
+          Status status = (*par_absorb)(worker, items.subspan(first, count),
+                                        slots.subspan(first, count));
+          if (!status.ok()) {
+            worker_status[worker] = std::move(status);
+            abort.store(true, std::memory_order_release);
+          }
+        },
+        &abort);
+    for (Status& status : worker_status) CHASE_RETURN_IF_ERROR(status);
     return OkStatus();
   }
 
- private:
   Options options_;
 };
 

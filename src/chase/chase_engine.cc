@@ -1,5 +1,7 @@
 #include "chase/chase_engine.h"
 
+#include <optional>
+#include <span>
 #include <unordered_set>
 
 #include "base/frontier_pool.h"
@@ -140,13 +142,25 @@ struct EnumTask {
 
 // True iff some extension of the frontier assignment `h` maps every head
 // atom into `instance` (the restricted chase's satisfaction test). `h` must
-// be sized tgd.num_vars() with existential variables unbound.
+// be sized tgd.num_vars() with existential variables unbound. When `view`
+// is non-null, only rows below the round-start watermark are read — the
+// conservative pre-filter the parallel restricted path evaluates on the
+// worker pool: satisfaction is monotone (atoms are never removed), so a
+// head satisfied by the frozen prefix is satisfied at apply time too, and
+// only the survivors re-check against the full instance serially.
 bool HeadSatisfied(const Tgd& tgd, const Instance& instance,
-                   std::vector<Term>& h, std::vector<VarId>& trail) {
+                   const RoundView* view, std::vector<Term>& h,
+                   std::vector<VarId>& trail) {
   const auto& head = tgd.head();
   auto recurse = [&](auto&& self, size_t index) -> bool {
     if (index == head.size()) return true;
-    const auto& atoms = instance.AtomsOf(head[index].pred);
+    const std::span<const GroundAtom> all(instance.AtomsOf(head[index].pred));
+    const std::span<const GroundAtom> atoms =
+        view == nullptr
+            ? all
+            : all.first(std::min(all.size(),
+                                 static_cast<size_t>(
+                                     view->CurOf(head[index].pred))));
     for (const GroundAtom& atom : atoms) {
       const size_t mark = trail.size();
       if (TryBind(head[index], atom, h, trail)) {
@@ -217,18 +231,24 @@ StatusOr<ChaseResult> RunChase(const Database& database,
   std::vector<VarId> trail;
   std::vector<GroundAtom> pending;  // atoms produced in the current round
 
-  // The restricted variant's satisfaction check must observe atoms applied
-  // earlier in the same round, so its enumeration stays serial; the other
-  // variants enumerate against the frozen round-start prefix only. The
-  // parallel path is further gated to linear rule sets (single-atom
-  // bodies): there one delta row yields at most one homomorphism, so a
-  // task's buffered homs are bounded by its chunk size — a multi-atom body
-  // could cross-product a chunk against whole relations and materialize
-  // unboundedly more than the streaming serial path ever holds.
+  // The parallel path is gated to linear rule sets (single-atom bodies):
+  // there one delta row yields at most one homomorphism, so a task's
+  // buffered homs are bounded by its chunk size — a multi-atom body could
+  // cross-product a chunk against whole relations and materialize
+  // unboundedly more than the streaming serial path ever holds. The
+  // restricted variant enumerates on the pool too: its satisfaction check
+  // must observe atoms applied earlier in the same round, so the workers
+  // only run a conservative pre-filter against the frozen round-start
+  // prefix (satisfied there => satisfied at apply time, skip for good) and
+  // the survivors re-check serially in exact firing order.
   const unsigned enum_threads =
-      options.variant == ChaseVariant::kRestricted || !AllLinear(tgds)
-          ? 1
-          : std::max(1u, options.frontier_threads);
+      !AllLinear(tgds) ? 1 : std::max(1u, options.frontier_threads);
+  const bool restricted = options.variant == ChaseVariant::kRestricted;
+  // The pool is spawned once here and reused by every wave of every round
+  // below through its generation barrier — per-round thread spawn cost was
+  // exactly what dominated shallow-but-many-round workloads.
+  std::optional<WorkerPool> pool;
+  if (enum_threads > 1) pool.emplace(enum_threads);
 
   while (true) {
     if (result.rounds >= options.max_rounds) {
@@ -252,7 +272,9 @@ StatusOr<ChaseResult> RunChase(const Database& database,
         // Only the frontier restriction matters for satisfaction;
         // existentials are unbound here by construction.
         std::vector<VarId> head_trail;
-        if (HeadSatisfied(tgd, instance, hom, head_trail)) return;
+        if (HeadSatisfied(tgd, instance, /*view=*/nullptr, hom, head_trail)) {
+          return;
+        }
       } else {
         std::vector<uint64_t> key;
         if (options.variant == ChaseVariant::kSemiOblivious) {
@@ -333,8 +355,7 @@ StatusOr<ChaseResult> RunChase(const Database& database,
         const PredId pred = tgds[rule].body()[0].pred;
         total_delta += view.CurOf(pred) - view.PrevOf(pred);
       }
-      const size_t chunk =
-          std::max<uint64_t>(1, total_delta / (4 * enum_threads));
+      const size_t chunk = FrontierChunkSize(total_delta, enum_threads);
       for (size_t rule = 0; rule < tgds.size(); ++rule) {
         const auto& body = tgds[rule].body();
         for (size_t delta_pos = 0; delta_pos < body.size(); ++delta_pos) {
@@ -362,22 +383,37 @@ StatusOr<ChaseResult> RunChase(const Database& database,
            first += wave) {
         const size_t count = std::min(wave, tasks.size() - first);
         std::vector<std::vector<std::vector<Term>>> homs(count);
-        FrontierParallelFor(
-            count, enum_threads, [&](unsigned /*worker*/, size_t i) {
-              const EnumTask& task = tasks[first + i];
-              const Tgd& tgd = tgds[task.rule];
-              std::vector<Term> task_h(tgd.num_vars(), kUnbound);
-              std::vector<VarId> task_trail;
-              ForEachDeltaHom(tgd, instance, view, task.delta_pos,
-                              task.delta_begin, task.delta_end, task_h,
-                              task_trail, [&](std::vector<Term>& hom) {
-                                homs[i].push_back(hom);
-                              });
-            });
+        // Restricted only: presat[i][j] records that hom j of task i had
+        // its head satisfied by the round-start prefix already — decided on
+        // the workers, skipped for good on the serial apply path below.
+        std::vector<std::vector<char>> presat(count);
+        pool->ParallelFor(count, [&](unsigned /*worker*/, size_t i) {
+          const EnumTask& task = tasks[first + i];
+          const Tgd& tgd = tgds[task.rule];
+          std::vector<Term> task_h(tgd.num_vars(), kUnbound);
+          std::vector<VarId> task_trail;
+          ForEachDeltaHom(tgd, instance, view, task.delta_pos,
+                          task.delta_begin, task.delta_end, task_h,
+                          task_trail, [&](std::vector<Term>& hom) {
+                            if (restricted) {
+                              std::vector<VarId> head_trail;
+                              presat[i].push_back(HeadSatisfied(
+                                  tgd, instance, &view, hom, head_trail));
+                            }
+                            homs[i].push_back(hom);
+                          });
+        });
         for (size_t i = 0; i < count && !hit_atom_limit; ++i) {
-          for (std::vector<Term>& hom : homs[i]) {
+          for (size_t j = 0; j < homs[i].size(); ++j) {
             if (hit_atom_limit) break;
-            fire(tasks[first + i].rule, hom);
+            if (restricted && presat[i][j] != 0) {
+              // The serial path would have found the same witness (the
+              // prefix is a subset of the instance it checks) and skipped
+              // this trigger without firing; do the same, minus the check.
+              ++result.triggers_prefiltered;
+              continue;
+            }
+            fire(tasks[first + i].rule, homs[i][j]);
           }
         }
       }
@@ -419,7 +455,8 @@ bool Satisfies(const Instance& instance, const std::vector<Tgd>& tgds) {
                       [&](std::vector<Term>& hom) {
                         if (violated) return;
                         std::vector<VarId> head_trail;
-                        if (!HeadSatisfied(tgd, instance, hom, head_trail)) {
+                        if (!HeadSatisfied(tgd, instance, /*view=*/nullptr,
+                                           hom, head_trail)) {
                           violated = true;
                         }
                       });

@@ -59,16 +59,20 @@ struct ChaseOptions {
   index::ShardedShapeIndex* shape_index = nullptr;
   // Worker threads for per-round trigger enumeration (<= 1 enumerates
   // inline). A round is a frontier: bodies only match against atoms from
-  // earlier rounds, so the oblivious and semi-oblivious variants over
-  // linear TGDs enumerate triggers in parallel (chase::FrontierParallelFor
-  // over per-rule delta ranges, in bounded waves) and then apply them
-  // serially in the exact serial order — the resulting instance, null
-  // numbering, rounds, and trigger count are bit-identical to a
-  // single-threaded run. Enumeration stays serial regardless of this knob
-  // for the restricted variant (its satisfaction check reads atoms applied
-  // earlier in the same round) and for non-linear rule sets (a multi-atom
-  // body's buffered homomorphisms per task would not be bounded by the
-  // delta chunk size).
+  // earlier rounds, so over linear rule sets all three variants enumerate
+  // triggers on a persistent chase::WorkerPool (spawned once per RunChase,
+  // reused across rounds through its barrier; per-rule delta ranges in
+  // bounded waves) and then apply them serially in the exact serial order —
+  // the resulting instance, null numbering, rounds, and trigger count are
+  // bit-identical to a single-threaded run. For the restricted variant the
+  // workers additionally run a conservative satisfaction pre-filter
+  // against the frozen round-start prefix: a head satisfied there is
+  // satisfied at apply time too (atoms are never removed), so only the
+  // surviving triggers re-check serially against same-round atoms,
+  // shrinking the serial tail without changing any firing decision.
+  // Enumeration stays serial regardless of this knob for non-linear rule
+  // sets (a multi-atom body's buffered homomorphisms per task would not be
+  // bounded by the delta chunk size).
   unsigned frontier_threads = 1;
 };
 
@@ -85,6 +89,13 @@ struct ChaseResult {
   ChaseOutcome outcome;
   uint64_t rounds = 0;
   uint64_t triggers_fired = 0;
+  // Restricted variant with frontier_threads > 1 only: triggers whose head
+  // the parallel pre-filter proved satisfied against the round-start
+  // prefix, so the serial apply path skipped them without re-checking.
+  // Always 0 for a serial run (it checks and skips the same triggers, just
+  // on the serial path) — diagnostics only, never part of the
+  // bit-identical-result contract.
+  uint64_t triggers_prefiltered = 0;
 
   explicit ChaseResult(Instance i) : instance(std::move(i)) {}
 };

@@ -42,10 +42,18 @@ Shape ShapeUnderSpecialization(const Tgd& tgd, const RuleAtom& atom,
   return Shape(atom.pred, IdOf(std::span<const VarId>(tuple)));
 }
 
-// The (rule, specialization) pairs one shape admits — the parallel half of
-// an expansion; SimplifyTgd runs serially in absorb.
+// The (rule, specialization) pairs one shape admits, with the head shapes
+// derived under each specialization — the parallel half of an expansion.
+// The head shapes are computed exactly once, here on the workers: the same
+// vector feeds successor discovery AND the serial SimplifyTgd absorb call,
+// which previously re-derived every head shape a second time.
+struct ShapeMatch {
+  size_t rule;
+  Specialization f;
+  std::vector<Shape> head_shapes;
+};
 struct ShapeMatches {
-  std::vector<std::pair<size_t, Specialization>> rules;
+  std::vector<ShapeMatch> rules;
 };
 
 }  // namespace
@@ -92,20 +100,26 @@ StatusOr<DynamicSimplificationResult> DynamicSimplificationFromShapes(
           const Tgd& tgd = tgds[rule];
           if (!BodyHomToShape(tgd, shape.id, var_id_values)) continue;
           Specialization f = SpecializationFromIdValues(var_id_values);
+          std::vector<Shape> head_shapes;
+          head_shapes.reserve(tgd.head().size());
           for (const RuleAtom& head_atom : tgd.head()) {
-            discovered->Discover(ShapeUnderSpecialization(tgd, head_atom, f));
+            head_shapes.push_back(
+                ShapeUnderSpecialization(tgd, head_atom, f));
+            discovered->Discover(head_shapes.back());
           }
-          out->rules.emplace_back(rule, std::move(f));
+          out->rules.push_back(
+              {rule, std::move(f), std::move(head_shapes)});
         }
         return OkStatus();
       },
       [&](std::span<const Shape> frontier,
           std::span<ShapeMatches> outs) -> Status {
         for (size_t i = 0; i < frontier.size(); ++i) {
-          for (auto& [rule, f] : outs[i].rules) {
+          for (ShapeMatch& match : outs[i].rules) {
             CHASE_ASSIGN_OR_RETURN(
                 Tgd simplified,
-                SimplifyTgd(tgds[rule], f, *result.shape_schema, nullptr));
+                SimplifyTgd(tgds[match.rule], match.f, *result.shape_schema,
+                            std::span<const Shape>(match.head_shapes)));
             result.tgds.push_back(std::move(simplified));
           }
         }

@@ -14,47 +14,108 @@ PredId ShapeSchema::Intern(const Shape& shape) {
   return id;
 }
 
-RuleAtom SimplifyRuleAtom(const RuleAtom& atom,
-                          const std::vector<VarId>& subst,
-                          ShapeSchema& shape_schema, Shape* shape_out) {
+namespace {
+
+// The one construction path for a simplified atom. When `precomputed` is
+// non-null it is interned as the atom's shape instead of re-deriving the
+// canonicalization from the substituted tuple — the arguments always come
+// from the tuple either way, so both SimplifyTgd overloads stay in
+// lockstep by construction.
+RuleAtom SimplifyRuleAtomImpl(const RuleAtom& atom,
+                              const std::vector<VarId>& subst,
+                              ShapeSchema& shape_schema,
+                              const Shape* precomputed, Shape* shape_out) {
   std::vector<VarId> tuple;
   tuple.reserve(atom.args.size());
   for (VarId var : atom.args) tuple.push_back(subst[var]);
-  Shape shape(atom.pred, IdOf(std::span<const VarId>(tuple)));
   RuleAtom simplified;
-  simplified.pred = shape_schema.Intern(shape);
+  if (precomputed != nullptr) {
+    simplified.pred = shape_schema.Intern(*precomputed);
+  } else {
+    Shape shape(atom.pred, IdOf(std::span<const VarId>(tuple)));
+    simplified.pred = shape_schema.Intern(shape);
+    if (shape_out != nullptr) *shape_out = std::move(shape);
+  }
   simplified.args = UniqueOf(std::span<const VarId>(tuple));
-  if (shape_out != nullptr) *shape_out = std::move(shape);
   return simplified;
 }
 
-StatusOr<Tgd> SimplifyTgd(const Tgd& tgd, const Specialization& f,
-                          ShapeSchema& shape_schema,
-                          std::vector<Shape>* head_shapes) {
+}  // namespace
+
+RuleAtom SimplifyRuleAtom(const RuleAtom& atom,
+                          const std::vector<VarId>& subst,
+                          ShapeSchema& shape_schema, Shape* shape_out) {
+  return SimplifyRuleAtomImpl(atom, subst, shape_schema, nullptr, shape_out);
+}
+
+namespace {
+
+Status ValidateSimplification(const Tgd& tgd, const Specialization& f) {
   if (!tgd.IsLinear()) {
     return InvalidArgumentError("simplification requires a linear TGD");
   }
   if (f.size() != tgd.num_universal() || !IsValidSpecialization(f)) {
     return InvalidArgumentError("invalid specialization for this TGD");
   }
-  // The distinct body variables of a normalized linear TGD are exactly the
-  // universal variables 0..num_universal-1, in first-occurrence order, so the
-  // specialization applies to variable ids directly. Existential variables
-  // are untouched.
+  return OkStatus();
+}
+
+// The distinct body variables of a normalized linear TGD are exactly the
+// universal variables 0..num_universal-1, in first-occurrence order, so the
+// specialization applies to variable ids directly. Existential variables
+// are untouched.
+std::vector<VarId> SubstOf(const Tgd& tgd, const Specialization& f) {
   std::vector<VarId> subst(tgd.num_vars());
   for (VarId var = 0; var < tgd.num_vars(); ++var) {
     subst[var] = tgd.IsUniversal(var) ? f[var] : var;
   }
+  return subst;
+}
+
+// The one simplification path behind both SimplifyTgd overloads.
+// `precomputed_heads`, when non-null, points at head().size() shapes
+// interned in place of re-deriving each head atom's canonicalization;
+// `head_shapes_out` collects the derived shapes for callers that want
+// them (only meaningful when deriving, i.e. precomputed_heads == null).
+StatusOr<Tgd> SimplifyTgdImpl(const Tgd& tgd, const Specialization& f,
+                              ShapeSchema& shape_schema,
+                              const Shape* precomputed_heads,
+                              std::vector<Shape>* head_shapes_out) {
+  CHASE_RETURN_IF_ERROR(ValidateSimplification(tgd, f));
+  const std::vector<VarId> subst = SubstOf(tgd, f);
   std::vector<RuleAtom> body = {
       SimplifyRuleAtom(tgd.body()[0], subst, shape_schema, nullptr)};
   std::vector<RuleAtom> head;
   head.reserve(tgd.head().size());
-  for (const RuleAtom& head_atom : tgd.head()) {
+  for (size_t i = 0; i < tgd.head().size(); ++i) {
     Shape shape;
-    head.push_back(SimplifyRuleAtom(head_atom, subst, shape_schema, &shape));
-    if (head_shapes != nullptr) head_shapes->push_back(std::move(shape));
+    head.push_back(SimplifyRuleAtomImpl(
+        tgd.head()[i], subst, shape_schema,
+        precomputed_heads != nullptr ? &precomputed_heads[i] : nullptr,
+        head_shapes_out != nullptr ? &shape : nullptr));
+    if (head_shapes_out != nullptr) {
+      head_shapes_out->push_back(std::move(shape));
+    }
   }
   return Tgd::Create(std::move(body), std::move(head));
+}
+
+}  // namespace
+
+StatusOr<Tgd> SimplifyTgd(const Tgd& tgd, const Specialization& f,
+                          ShapeSchema& shape_schema,
+                          std::vector<Shape>* head_shapes) {
+  return SimplifyTgdImpl(tgd, f, shape_schema, nullptr, head_shapes);
+}
+
+StatusOr<Tgd> SimplifyTgd(const Tgd& tgd, const Specialization& f,
+                          ShapeSchema& shape_schema,
+                          std::span<const Shape> head_shapes) {
+  if (head_shapes.size() != tgd.head().size()) {
+    return InvalidArgumentError(
+        "precomputed head shapes do not match the TGD's head");
+  }
+  return SimplifyTgdImpl(tgd, f, shape_schema, head_shapes.data(), nullptr);
 }
 
 StatusOr<StaticSimplificationResult> StaticSimplification(

@@ -24,6 +24,7 @@ Prefetcher::~Prefetcher() {
 
 void Prefetcher::Enqueue(std::span<const PageId> pages) {
   if (pages.empty()) return;
+  size_t admitted = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (size_t i = 0; i < pages.size(); ++i) {
@@ -32,9 +33,17 @@ void Prefetcher::Enqueue(std::span<const PageId> pages) {
         break;
       }
       queue_.push_back(pages[i]);
+      ++admitted;
     }
   }
-  cv_.notify_all();
+  // Each admitted page is handled by exactly one worker, so wake exactly
+  // one worker per page (capped at the pool size) — notify_all here made
+  // every ranged scan's per-page Enqueue stampede the whole pool awake to
+  // fight over one queue entry, and woke workers even when a full queue
+  // admitted nothing.
+  for (size_t i = std::min(admitted, workers_.size()); i > 0; --i) {
+    cv_.notify_one();
+  }
 }
 
 uint64_t Prefetcher::dropped() const {

@@ -40,6 +40,8 @@ class Prefetcher {
   Prefetcher& operator=(const Prefetcher&) = delete;
 
   // Queues pages for read-ahead; silently drops requests past kMaxQueue.
+  // Wakes one worker per admitted page (no wakeup at all when the queue
+  // was full), so a scan enqueueing page-by-page never stampedes the pool.
   void Enqueue(std::span<const PageId> pages);
   void Enqueue(PageId page) { Enqueue(std::span<const PageId>(&page, 1)); }
 

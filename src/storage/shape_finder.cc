@@ -67,7 +67,8 @@ Status WalkShapesForPred(const ShapeSource& source, PredId pred,
 // children when its relaxed query succeeded, just like the serial walk.
 Status WalkShapesFrontier(const ShapeSource& source,
                           const std::vector<PredId>& preds, unsigned threads,
-                          ShapeSet* shapes, FrontierStats* frontier_stats) {
+                          bool parallel_absorb, ShapeSet* shapes,
+                          FrontierStats* frontier_stats) {
   struct Probe {
     bool present = false;
   };
@@ -79,34 +80,56 @@ Status WalkShapesFrontier(const ShapeSource& source,
 
   std::vector<AccessStats> local_stats(threads);
   FrontierPool<Shape, Probe, ShapeHash> pool({.threads = threads});
-  const Status status = pool.Run(
-      std::move(seeds),
+  const auto expand =
       [&](unsigned worker, const Shape& candidate, Probe* out,
           FrontierPool<Shape, Probe, ShapeHash>::Discoveries* discovered)
-          -> Status {
-        AccessStats* stats = &local_stats[worker];
-        CHASE_ASSIGN_OR_RETURN(
-            const bool relaxed,
-            ProbeShapeExists(source, candidate.pred, candidate.id,
-                             /*exact=*/false, stats));
-        if (!relaxed) return OkStatus();  // prunes the whole subtree
-        CHASE_ASSIGN_OR_RETURN(
-            const bool full,
-            ProbeShapeExists(source, candidate.pred, candidate.id,
-                             /*exact=*/true, stats));
-        out->present = full;
-        ForEachChild(candidate.id, [&](IdTuple child) {
-          discovered->Discover(Shape(candidate.pred, std::move(child)));
-        });
-        return OkStatus();
-      },
-      [&](std::span<const Shape> frontier, std::span<Probe> outs) -> Status {
-        for (size_t i = 0; i < frontier.size(); ++i) {
-          if (outs[i].present) shapes->insert(frontier[i]);
-        }
-        return OkStatus();
-      },
-      frontier_stats);
+      -> Status {
+    AccessStats* stats = &local_stats[worker];
+    CHASE_ASSIGN_OR_RETURN(
+        const bool relaxed,
+        ProbeShapeExists(source, candidate.pred, candidate.id,
+                         /*exact=*/false, stats));
+    if (!relaxed) return OkStatus();  // prunes the whole subtree
+    CHASE_ASSIGN_OR_RETURN(
+        const bool full,
+        ProbeShapeExists(source, candidate.pred, candidate.id,
+                         /*exact=*/true, stats));
+    out->present = full;
+    ForEachChild(candidate.id, [&](IdTuple child) {
+      discovered->Discover(Shape(candidate.pred, std::move(child)));
+    });
+    return OkStatus();
+  };
+  Status status;
+  if (parallel_absorb) {
+    // Shape inserts are associative and commutative (the caller sorts on
+    // extraction), so each depth's confirmed shapes are absorbed per-chunk
+    // on the pool into worker-private sets merged once at the end —
+    // nothing of the depth's tail runs serially between barriers.
+    std::vector<ShapeSet> local_shapes(threads);
+    status = pool.RunParallelAbsorb(
+        std::move(seeds), expand,
+        [&](unsigned worker, std::span<const Shape> frontier,
+            std::span<Probe> outs) -> Status {
+          for (size_t i = 0; i < frontier.size(); ++i) {
+            if (outs[i].present) local_shapes[worker].insert(frontier[i]);
+          }
+          return OkStatus();
+        },
+        frontier_stats);
+    for (unsigned t = 0; t < threads; ++t) shapes->merge(local_shapes[t]);
+  } else {
+    status = pool.Run(
+        std::move(seeds), expand,
+        [&](std::span<const Shape> frontier,
+            std::span<Probe> outs) -> Status {
+          for (size_t i = 0; i < frontier.size(); ++i) {
+            if (outs[i].present) shapes->insert(frontier[i]);
+          }
+          return OkStatus();
+        },
+        frontier_stats);
+  }
   for (unsigned t = 0; t < threads; ++t) {
     source.stats().MergeFrom(local_stats[t]);
   }
@@ -156,7 +179,8 @@ StatusOr<std::vector<Shape>> FindShapes(const ShapeSource& source,
       if (!status.ok()) break;
     }
   } else {
-    status = WalkShapesFrontier(source, preds, threads, &shapes,
+    status = WalkShapesFrontier(source, preds, threads,
+                                options.parallel_absorb, &shapes,
                                 options.frontier_stats);
   }
   CHASE_RETURN_IF_ERROR(status);

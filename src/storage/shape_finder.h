@@ -65,6 +65,13 @@ struct FindShapesOptions {
   // ignore it. Overlaps cold-pool page faults with tuple hashing; never
   // changes results.
   unsigned prefetch = 0;
+  // Exists plan with threads > 1 only: absorb each depth's confirmed
+  // shapes per-chunk on the worker pool instead of serially between
+  // barriers. Shape insertion is associative and commutative (the result
+  // is sorted on extraction), so this never changes the returned set —
+  // the knob exists so the serial-absorb oracle stays reachable for the
+  // differential sweeps (tests/frontier_equivalence_test.cc).
+  bool parallel_absorb = true;
   // When non-null and the exists plan runs frontier-parallel (threads > 1),
   // receives the engine's depth/expansion counters — per-worker expansion
   // counts included, which is how bench/ablation_frontier_parallel.cc shows

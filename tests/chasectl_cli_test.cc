@@ -1,0 +1,115 @@
+// CLI regression suite for chasectl, driving the real binary (path baked
+// in as CHASECTL_PATH by CMake). The focus is flag hygiene: every numeric
+// flag of every subcommand must diagnose a malformed value and exit with
+// code 2 — never die by an uncaught std::invalid_argument out of a raw
+// string-to-integer conversion, which is exactly how `--threads=abc` used
+// to kill the process. A signal death (WIFEXITED false) fails the test, so
+// any resurrected uncaught-exception path is caught here.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::string TempDir() {
+  const char* dir = std::getenv("TMPDIR");
+  return dir != nullptr ? dir : "/tmp";
+}
+
+// Runs `chasectl <args>`, asserting the process exited (as opposed to
+// dying by signal — an uncaught exception aborts) and returning its exit
+// code.
+int RunChasectl(const std::string& args) {
+  const std::string command =
+      std::string(CHASECTL_PATH) + " " + args + " >/dev/null 2>&1";
+  const int raw = std::system(command.c_str());
+  EXPECT_TRUE(WIFEXITED(raw)) << "chasectl died by signal on: " << args;
+  return WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+}
+
+class ChasectlCliTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    program_path_ = TempDir() + "/chasectl_cli_test.dlgp";
+    std::ofstream out(program_path_);
+    out << "r(a,b). r(c,c). s(a).\n"
+           "r(X,Y) -> r(Y,X).\n";
+  }
+
+  static std::string program_path_;
+};
+
+std::string ChasectlCliTest::program_path_;
+
+TEST_F(ChasectlCliTest, MalformedNumericFlagsExitTwo) {
+  const std::string file = program_path_;
+  const std::string out_idx = TempDir() + "/chasectl_cli_test_bad.chidx";
+  const std::string out_gen = TempDir() + "/chasectl_cli_test_bad.dlgp";
+  // Every (invocation, numeric flag) pair the CLI accepts; %s is replaced
+  // with each malformed value below.
+  const std::vector<std::string> invocations = {
+      "check " + file + " --mode=l --threads=%s",
+      "chase " + file + " --threads=%s",
+      "chase " + file + " --max-atoms=%s",
+      "simplify " + file + " --threads=%s",
+      "findshapes " + file + " --threads=%s",
+      "findshapes " + file + " --shards=%s",
+      "findshapes " + file + " --pool-shards=%s",
+      "findshapes " + file + " --prefetch=%s",
+      "index build " + file + " " + out_idx + " --threads=%s",
+      "index build " + file + " " + out_idx + " --shards=%s",
+      "generate " + out_gen + " --preds=%s",
+      "generate " + out_gen + " --arity=%s",
+      "generate " + out_gen + " --domain=%s",
+      "generate " + out_gen + " --tuples=%s",
+      "generate " + out_gen + " --seed=%s",
+      "generate " + out_gen + " --tgds=%s",
+  };
+  // Non-numeric, trailing garbage, negative, and past-uint64 overflow.
+  const std::vector<std::string> bad_values = {
+      "abc", "3x", "-3", "18446744073709551616"};
+  for (const std::string& invocation : invocations) {
+    for (const std::string& value : bad_values) {
+      std::string args = invocation;
+      args.replace(args.find("%s"), 2, value);
+      EXPECT_EQ(RunChasectl(args), 2) << args;
+    }
+  }
+}
+
+TEST_F(ChasectlCliTest, OutOfRangeNumericFlagsExitTwo) {
+  // In-format but out-of-bounds values: threads has a [1, 1024] window and
+  // generate's arity is capped at Schema::kMaxArity.
+  EXPECT_EQ(RunChasectl("chase " + program_path_ + " --threads=0"), 2);
+  EXPECT_EQ(RunChasectl("chase " + program_path_ + " --threads=4096"), 2);
+  EXPECT_EQ(RunChasectl("generate " + TempDir() +
+                        "/chasectl_cli_test_bad.dlgp --arity=300"),
+            2);
+}
+
+TEST_F(ChasectlCliTest, WellFormedFlagsStillRun) {
+  EXPECT_EQ(RunChasectl("chase " + program_path_ +
+                        " --variant=re --threads=2 --max-atoms=1000"),
+            0);
+  EXPECT_EQ(RunChasectl("findshapes " + program_path_ +
+                        " --mode=exists --threads=2 --absorb=parallel"),
+            0);
+  EXPECT_EQ(RunChasectl("findshapes " + program_path_ +
+                        " --mode=exists --threads=2 --absorb=serial"),
+            0);
+  EXPECT_EQ(RunChasectl("check " + program_path_ + " --mode=l --threads=2"),
+            0);
+}
+
+TEST_F(ChasectlCliTest, UnknownEnumValuesExitTwo) {
+  EXPECT_EQ(RunChasectl("findshapes " + program_path_ + " --absorb=bogus"),
+            2);
+  EXPECT_EQ(RunChasectl("chase " + program_path_ + " --variant=bogus"), 2);
+}
+
+}  // namespace

@@ -216,7 +216,11 @@ TEST(FrontierEquivalenceTest, ParallelChaseEnumerationMatchesSerial) {
       auto serial = RunChase(*data->database, tgds, serial_options);
       ASSERT_TRUE(serial.ok()) << serial.status();
 
-      for (unsigned threads : {2u, 4u}) {
+      // The serial run never pre-filters (it checks and skips on the
+      // serial path itself).
+      EXPECT_EQ(serial->triggers_prefiltered, 0u);
+
+      for (unsigned threads : kThreadSweep) {
         ChaseOptions parallel_options = serial_options;
         parallel_options.frontier_threads = threads;
         auto parallel = RunChase(*data->database, tgds, parallel_options);
@@ -236,6 +240,74 @@ TEST(FrontierEquivalenceTest, ParallelChaseEnumerationMatchesSerial) {
         parallel->instance.ForEachAtom(
             [&](const GroundAtom& atom) { parallel_atoms.push_back(atom); });
         EXPECT_EQ(parallel_atoms, serial_atoms) << label;
+      }
+    }
+  }
+}
+
+TEST(FrontierEquivalenceTest, RestrictedPrefilterSkipsSatisfiedTriggers) {
+  // A workload built so the restricted chase's satisfaction check matters:
+  // the e-cycle rule is satisfied for every trigger (e(Y,Z) always has a
+  // witness on a cycle), the f rule only for X=a. The parallel pre-filter
+  // must skip exactly the triggers whose witness existed at round start —
+  // here all four satisfied ones, a deterministic count because the
+  // pre-filter reads only the frozen round-start prefix — while firing
+  // decisions, null ids, and the instance stay bit-identical to serial.
+  auto program = ParseProgram(R"(
+    e(a,b). e(b,c). e(c,a). f(a).
+    e(X,Y) -> e(Y,Z).
+    e(X,Y) -> f(X).
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+
+  ChaseOptions serial_options;
+  serial_options.variant = ChaseVariant::kRestricted;
+  auto serial = RunChase(*program->database, program->tgds, serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  EXPECT_EQ(serial->outcome, ChaseOutcome::kFixpoint);
+  EXPECT_EQ(serial->triggers_fired, 2u);  // f(b), f(c)
+  EXPECT_EQ(serial->triggers_prefiltered, 0u);
+
+  for (unsigned threads : {2u, 4u, 8u}) {
+    ChaseOptions options = serial_options;
+    options.frontier_threads = threads;
+    auto parallel = RunChase(*program->database, program->tgds, options);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    EXPECT_EQ(parallel->outcome, serial->outcome) << threads;
+    EXPECT_EQ(parallel->rounds, serial->rounds) << threads;
+    EXPECT_EQ(parallel->triggers_fired, 2u) << threads;
+    // 3 satisfied e-cycle triggers + the f(a) trigger, decided on the pool.
+    EXPECT_EQ(parallel->triggers_prefiltered, 4u) << threads;
+    std::vector<GroundAtom> serial_atoms, parallel_atoms;
+    serial->instance.ForEachAtom(
+        [&](const GroundAtom& atom) { serial_atoms.push_back(atom); });
+    parallel->instance.ForEachAtom(
+        [&](const GroundAtom& atom) { parallel_atoms.push_back(atom); });
+    EXPECT_EQ(parallel_atoms, serial_atoms) << threads;
+  }
+}
+
+TEST(FrontierEquivalenceTest, ParallelAbsorbMatchesSerialAbsorbSweep) {
+  // The exists plan's opt-in parallel absorb must never change shape(D):
+  // sweep both absorb modes against the serial-walk oracle.
+  Rng rng(515151);
+  for (int trial = 0; trial < 4; ++trial) {
+    GeneratedData data = MakeRandomData(&rng);
+    storage::Catalog catalog(data.database.get());
+    storage::MemoryShapeSource memory(&catalog);
+    auto oracle = FindShapes(memory, {ShapeFinderMode::kExists, 1});
+    ASSERT_TRUE(oracle.ok()) << oracle.status();
+    for (bool parallel_absorb : {false, true}) {
+      for (unsigned threads : kThreadSweep) {
+        storage::FindShapesOptions options{ShapeFinderMode::kExists,
+                                           threads};
+        options.parallel_absorb = parallel_absorb;
+        auto shapes = FindShapes(memory, options);
+        ASSERT_TRUE(shapes.ok()) << shapes.status();
+        EXPECT_EQ(*shapes, *oracle)
+            << "trial " << trial << ", absorb "
+            << (parallel_absorb ? "parallel" : "serial") << ", threads "
+            << threads;
       }
     }
   }

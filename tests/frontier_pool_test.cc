@@ -9,11 +9,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "base/frontier_pool.h"
+#include "base/padded.h"
 #include "base/rng.h"
 #include "gen/data_generator.h"
 #include "storage/catalog.h"
@@ -119,26 +122,222 @@ TEST(FrontierPoolTest, DuplicateDiscoveriesAdmitExactlyOnce) {
   }
 }
 
-TEST(FrontierPoolTest, ExpansionErrorsAbortTheRun) {
+TEST(FrontierPoolTest, ExpansionErrorsAbortTheRunPromptly) {
+  // The shared abort contract: after the first expansion errors, no
+  // further expansion starts anywhere in the pool — healthy workers stop
+  // claiming chunks and skip indices they were already dealt. Seed 0 is
+  // poisoned (it sorts first, so the first dealt chunk hits it
+  // immediately); every healthy expansion parks until the poison has
+  // errored plus a grace period for the engine to trip the abort, so at
+  // most a couple of expansions per worker can ever run (the poisoned one,
+  // each worker's in-flight one, and — if the poisoned thread loses its
+  // timeslice between returning the error and the engine's abort store —
+  // one straggler per worker). The 2*threads bound is loose against that
+  // scheduling window yet still 256x below the 4096-item frontier a
+  // non-aborting engine would expand.
   using Pool = FrontierPool<uint64_t, uint64_t>;
   for (unsigned threads : {1u, 8u}) {
-    std::vector<uint64_t> seeds(256);
+    std::vector<uint64_t> seeds(4096);
     std::iota(seeds.begin(), seeds.end(), uint64_t{0});
     Pool pool({.threads = threads});
+    std::atomic<uint64_t> expansions{0};
+    std::atomic<bool> error_returned{false};
     uint64_t absorbed = 0;
+    FrontierStats stats;
     Status status = pool.Run(
         std::move(seeds),
         [&](unsigned, const uint64_t& item, uint64_t*,
             Pool::Discoveries*) -> Status {
-          if (item == 97) return InternalError("poisoned item");
+          expansions.fetch_add(1);
+          if (item == 0) {
+            error_returned.store(true);
+            return InternalError("poisoned item");
+          }
+          for (int spin = 0; spin < 10'000 && !error_returned.load();
+               ++spin) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
           return OkStatus();
         },
         [&](std::span<const uint64_t> frontier, std::span<uint64_t>) {
           absorbed += frontier.size();
           return OkStatus();
-        });
+        },
+        &stats);
     EXPECT_EQ(status.code(), StatusCode::kInternal) << threads;
     EXPECT_EQ(absorbed, 0u);  // the failing depth is never absorbed
+    EXPECT_LE(expansions.load(), uint64_t{2} * threads);
+    if (threads == 1) EXPECT_EQ(expansions.load(), 1u);
+    // Stats are populated on the error path too, and count exactly the
+    // expansions that ran — not the frontier items that were error-skipped.
+    ASSERT_EQ(stats.worker_expanded.size(), threads);
+    EXPECT_EQ(std::accumulate(stats.worker_expanded.begin(),
+                              stats.worker_expanded.end(), uint64_t{0}),
+              expansions.load());
+    EXPECT_EQ(stats.items_expanded, expansions.load());
+    EXPECT_EQ(stats.seeds_admitted, 4096u);
+    EXPECT_EQ(stats.depths, 1u);
+  }
+}
+
+TEST(FrontierPoolTest, BarrierReuseOverThousandsOfShallowDepths) {
+  // A two-wide chain lattice: items {2d, 2d+1} at depth d, thousands of
+  // depths. Two items per depth matter: a one-item frontier takes
+  // ParallelFor's inline fast path, so only n >= 2 actually cycles the
+  // persistent pool's generation barrier — which is the thing this test
+  // stresses, once per depth, the profile the per-depth thread respawn
+  // made pathological. The absorb sequence must still be exactly the
+  // chain. Runs under the TSan CI job like the rest of this suite.
+  constexpr uint64_t kDepths = 3000;
+  for (unsigned threads : {2u, 8u}) {
+    using Pool = FrontierPool<uint64_t, uint64_t>;
+    Pool pool({.threads = threads, .seen_stripes = 2});
+    std::vector<uint64_t> absorbed;
+    FrontierStats stats;
+    Status status = pool.Run(
+        {0, 1},
+        [&](unsigned, const uint64_t& item, uint64_t* out,
+            Pool::Discoveries* discovered) -> Status {
+          *out = item + 2;
+          const uint64_t depth = item / 2;
+          if (depth + 1 < kDepths) {
+            discovered->Discover(2 * (depth + 1));
+            discovered->Discover(2 * (depth + 1) + 1);
+          }
+          return OkStatus();
+        },
+        [&](std::span<const uint64_t> frontier,
+            std::span<uint64_t> outs) -> Status {
+          EXPECT_EQ(frontier.size(), 2u);
+          for (size_t i = 0; i < frontier.size(); ++i) {
+            EXPECT_EQ(outs[i], frontier[i] + 2);
+            absorbed.push_back(frontier[i]);
+          }
+          return OkStatus();
+        },
+        &stats);
+    ASSERT_TRUE(status.ok()) << status;
+    EXPECT_EQ(stats.depths, kDepths);
+    EXPECT_EQ(stats.max_frontier, 2u);
+    ASSERT_EQ(absorbed.size(), 2 * kDepths);
+    for (uint64_t i = 0; i < 2 * kDepths; ++i) {
+      ASSERT_EQ(absorbed[i], i);
+    }
+  }
+}
+
+TEST(FrontierPoolTest, SharedExternalWorkerPoolAcrossRuns) {
+  // A caller-owned WorkerPool drives several engine runs (the chase engine
+  // does exactly this across rounds): its thread count wins over
+  // Options::threads, and results stay identical to the serial reference.
+  const TreeRun serial = RunTree(1, 0, 1 << 10, {0});
+  WorkerPool shared(4);
+  for (int run = 0; run < 3; ++run) {
+    TreeRun result;
+    FrontierPool<uint64_t, uint64_t> pool(
+        {.threads = 1, .seen_stripes = 2, .pool = &shared});
+    using Pool = FrontierPool<uint64_t, uint64_t>;
+    Status status = pool.Run(
+        {0},
+        [&](unsigned /*worker*/, const uint64_t& item, uint64_t* out,
+            Pool::Discoveries* discovered) -> Status {
+          *out = item * 3 + 1;
+          if (item < (1 << 10)) {
+            discovered->Discover(2 * item + 1);
+            discovered->Discover(2 * item + 2);
+          }
+          return OkStatus();
+        },
+        [&](std::span<const uint64_t> frontier,
+            std::span<uint64_t> outs) -> Status {
+          result.depth_sizes.push_back(frontier.size());
+          for (size_t i = 0; i < frontier.size(); ++i) {
+            EXPECT_EQ(outs[i], frontier[i] * 3 + 1);
+            result.absorbed.push_back(frontier[i]);
+          }
+          return OkStatus();
+        },
+        &result.stats);
+    ASSERT_TRUE(status.ok()) << status;
+    EXPECT_EQ(result.absorbed, serial.absorbed) << "run " << run;
+    EXPECT_EQ(result.stats.worker_expanded.size(), 4u);
+  }
+}
+
+TEST(FrontierPoolTest, ParallelAbsorbMatchesSerialAbsorb) {
+  // The opt-in associative absorb: per-chunk calls on the pool, worker-
+  // private accumulators, one merge at the end — the totals must match the
+  // serial-absorb reference at every thread count (the per-chunk splits
+  // are deterministic, the call order is not; the accumulation is
+  // commutative, so the merged result is).
+  const TreeRun serial = RunTree(1, 0, 1 << 12, {0});
+  uint64_t serial_sum = 0;
+  for (uint64_t item : serial.absorbed) serial_sum += item * 3 + 1;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    using Pool = FrontierPool<uint64_t, uint64_t>;
+    Pool pool({.threads = threads, .seen_stripes = 2});
+    std::vector<PaddedU64> worker_sum(threads);
+    std::vector<PaddedU64> worker_items(threads);
+    std::atomic<uint64_t> out_mismatches{0};
+    FrontierStats stats;
+    Status status = pool.RunParallelAbsorb(
+        {0},
+        [&](unsigned /*worker*/, const uint64_t& item, uint64_t* out,
+            Pool::Discoveries* discovered) -> Status {
+          *out = item * 3 + 1;
+          if (item < (1 << 12)) {
+            discovered->Discover(2 * item + 1);
+            discovered->Discover(2 * item + 2);
+          }
+          return OkStatus();
+        },
+        [&](unsigned worker, std::span<const uint64_t> frontier,
+            std::span<uint64_t> outs) -> Status {
+          for (size_t i = 0; i < frontier.size(); ++i) {
+            if (outs[i] != frontier[i] * 3 + 1) out_mismatches.fetch_add(1);
+            worker_sum[worker].value += outs[i];
+            ++worker_items[worker].value;
+          }
+          return OkStatus();
+        },
+        &stats);
+    ASSERT_TRUE(status.ok()) << status;
+    EXPECT_EQ(out_mismatches.load(), 0u);
+    uint64_t total_sum = 0, total_items = 0;
+    for (unsigned t = 0; t < threads; ++t) {
+      total_sum += worker_sum[t].value;
+      total_items += worker_items[t].value;
+    }
+    EXPECT_EQ(total_sum, serial_sum) << threads << " threads";
+    EXPECT_EQ(total_items, serial.absorbed.size());
+    EXPECT_EQ(stats.depths, serial.stats.depths);
+    EXPECT_EQ(stats.items_expanded, serial.stats.items_expanded);
+  }
+}
+
+TEST(FrontierPoolTest, ParallelAbsorbErrorsAbortTheRun) {
+  using Pool = FrontierPool<uint64_t, uint64_t>;
+  for (unsigned threads : {1u, 8u}) {
+    std::vector<uint64_t> seeds(512);
+    std::iota(seeds.begin(), seeds.end(), uint64_t{0});
+    Pool pool({.threads = threads});
+    FrontierStats stats;
+    Status status = pool.RunParallelAbsorb(
+        std::move(seeds),
+        [&](unsigned, const uint64_t&, uint64_t*,
+            Pool::Discoveries*) -> Status { return OkStatus(); },
+        [&](unsigned, std::span<const uint64_t> frontier,
+            std::span<uint64_t>) -> Status {
+          for (uint64_t item : frontier) {
+            if (item == 5) return InternalError("poisoned chunk");
+          }
+          return OkStatus();
+        },
+        &stats);
+    EXPECT_EQ(status.code(), StatusCode::kInternal) << threads;
+    // The depth fully expanded before its absorb failed.
+    EXPECT_EQ(stats.items_expanded, 512u);
   }
 }
 

@@ -13,6 +13,7 @@
 //   findshapes <file> [--backend=memory|disk|index]
 //              [--mode=scan|exists|index] [--threads=N]
 //              [--pool-shards=N] [--prefetch=K]
+//              [--absorb=parallel|serial]
 //              [--snapshot=path.chidx]             shape(D) via ShapeSource
 //   index build <file> <out.chidx> [--backend=memory|disk] [--threads=N]
 //              [--shards=N]                        materialize shape(D)
@@ -31,6 +32,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -102,10 +104,6 @@ struct Args {
     auto it = flags.find(key);
     return it == flags.end() ? fallback : it->second;
   }
-  uint64_t GetInt(const std::string& key, uint64_t fallback) const {
-    auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::stoull(it->second);
-  }
   bool Has(const std::string& key) const { return flags.count(key) > 0; }
 };
 
@@ -114,19 +112,30 @@ bool IsBinaryPath(const std::string& path) {
 }
 
 // Parses an integer flag into [lo, hi]; diagnoses and returns false on
-// non-numeric, negative, or out-of-range values.
-bool ParseBoundedFlag(const Args& args, const std::string& key,
-                      uint64_t fallback, uint64_t lo, uint64_t hi,
-                      unsigned* out) {
+// non-numeric, negative, or out-of-range values — every numeric flag goes
+// through here, so a malformed value is a diagnosed exit-code-2 failure,
+// never an uncaught std::invalid_argument out of a raw conversion.
+bool ParseU64Flag(const Args& args, const std::string& key, uint64_t fallback,
+                  uint64_t lo, uint64_t hi, uint64_t* out) {
   const std::string raw = args.Get(key, std::to_string(fallback));
+  errno = 0;
   char* end = nullptr;
   const unsigned long long value = std::strtoull(raw.c_str(), &end, 10);
-  if (end == raw.c_str() || *end != '\0' || raw[0] == '-' || value < lo ||
-      value > hi) {
+  if (raw.empty() || end == raw.c_str() || *end != '\0' || raw[0] == '-' ||
+      errno == ERANGE || value < lo || value > hi) {
     std::cerr << "bad --" << key << "=" << raw << " (want an integer in ["
               << lo << ", " << hi << "])\n";
     return false;
   }
+  *out = value;
+  return true;
+}
+
+bool ParseBoundedFlag(const Args& args, const std::string& key,
+                      uint64_t fallback, uint64_t lo, uint64_t hi,
+                      unsigned* out) {
+  uint64_t value = 0;
+  if (!ParseU64Flag(args, key, fallback, lo, hi, &value)) return false;
   *out = static_cast<unsigned>(value);
   return true;
 }
@@ -164,6 +173,22 @@ uint32_t DiskPoolFrames(unsigned threads, unsigned pool_shards) {
 // Read-ahead depth in pages; 0 = off.
 bool ParsePrefetch(const Args& args, unsigned* prefetch) {
   return ParseBoundedFlag(args, "prefetch", 0, 0, 1u << 16, prefetch);
+}
+
+// --absorb=parallel|serial -> how the exists plan's frontier engine
+// absorbs each depth's confirmed shapes (results identical either way;
+// serial keeps the differential oracle path reachable from the CLI).
+bool ParseAbsorb(const Args& args, bool* parallel_absorb) {
+  const std::string raw = args.Get("absorb", "parallel");
+  if (raw == "parallel") {
+    *parallel_absorb = true;
+  } else if (raw == "serial") {
+    *parallel_absorb = false;
+  } else {
+    std::cerr << "unknown --absorb=" << raw << " (want parallel or serial)\n";
+    return false;
+  }
+  return true;
 }
 
 // --mode=scan|exists|index -> the FindShapes query plan.
@@ -339,7 +364,10 @@ int CmdChase(const Args& args) {
     std::cerr << "unknown --variant=" << variant << " (want so, ob, re)\n";
     return 2;
   }
-  options.max_atoms = args.GetInt("max-atoms", 1'000'000);
+  if (!ParseU64Flag(args, "max-atoms", 1'000'000, 1, UINT64_MAX,
+                    &options.max_atoms)) {
+    return 2;
+  }
 
   Timer timer;
   auto result = RunChase(*program->database, program->tgds, options);
@@ -349,6 +377,10 @@ int CmdChase(const Args& args) {
             << result->rounds << " rounds, " << result->triggers_fired
             << " triggers, " << result->instance.NumAtoms() << " atoms, "
             << timer.ElapsedMillis() << " ms\n";
+  if (result->triggers_prefiltered > 0) {
+    std::cout << "  prefiltered: " << result->triggers_prefiltered
+              << " satisfied trigger(s) skipped on the worker pool\n";
+  }
   if (args.Has("print")) {
     result->instance.ForEachAtom([&](const GroundAtom& atom) {
       std::cout << ToString(*program->schema, *program->database, atom)
@@ -487,8 +519,8 @@ int CmdFindShapes(const Args& args) {
     std::cerr << "usage: chasectl findshapes <file> "
                  "[--backend=memory|disk|index] [--mode=scan|exists|index] "
                  "[--threads=N] [--shards=N] [--pool-shards=N] "
-                 "[--prefetch=K] [--snapshot=path.chidx] "
-                 "[--store=path.db] [--print]\n";
+                 "[--prefetch=K] [--absorb=parallel|serial] "
+                 "[--snapshot=path.chidx] [--store=path.db] [--print]\n";
     return 2;
   }
 
@@ -524,6 +556,7 @@ int CmdFindShapes(const Args& args) {
   if (!ParsePoolShards(args, &pool_shards)) return 2;
   if (!ParseFinderMode(args, &options.mode)) return 2;
   if (!ParseThreads(args, &options.threads)) return 2;
+  if (!ParseAbsorb(args, &options.parallel_absorb)) return 2;
 
   std::string backend = args.Get("backend", "memory");
   if (backend == "index") {
@@ -742,13 +775,25 @@ int CmdGenerate(const Args& args) {
                  "[--tuples=N] [--arity=N] [--class=sl|l] [--seed=N]\n";
     return 2;
   }
+  // Schema::kMaxArity bounds arity; the other caps only keep pathological
+  // flag values from looking like hangs.
+  unsigned preds = 0, arity = 0;
+  uint64_t domain = 0, tuples = 0, seed = 0, num_tgds = 0;
+  if (!ParseBoundedFlag(args, "preds", 20, 1, 1u << 20, &preds) ||
+      !ParseBoundedFlag(args, "arity", 5, 1, Schema::kMaxArity, &arity) ||
+      !ParseU64Flag(args, "domain", 10'000, 1, UINT64_MAX, &domain) ||
+      !ParseU64Flag(args, "tuples", 1'000, 0, UINT64_MAX, &tuples) ||
+      !ParseU64Flag(args, "seed", 20230322, 0, UINT64_MAX, &seed) ||
+      !ParseU64Flag(args, "tgds", 100, 0, UINT64_MAX, &num_tgds)) {
+    return 2;
+  }
   DataGenParams data_params;
-  data_params.preds = static_cast<uint32_t>(args.GetInt("preds", 20));
+  data_params.preds = preds;
   data_params.min_arity = 1;
-  data_params.max_arity = static_cast<uint32_t>(args.GetInt("arity", 5));
-  data_params.dsize = args.GetInt("domain", 10'000);
-  data_params.rsize = args.GetInt("tuples", 1'000);
-  data_params.seed = args.GetInt("seed", 20230322);
+  data_params.max_arity = arity;
+  data_params.dsize = domain;
+  data_params.rsize = tuples;
+  data_params.seed = seed;
   auto data = GenerateData(data_params);
   if (!data.ok()) return Fail(data.status());
 
@@ -756,7 +801,7 @@ int CmdGenerate(const Args& args) {
   tgd_params.ssize = data_params.preds;
   tgd_params.min_arity = 1;
   tgd_params.max_arity = data_params.max_arity;
-  tgd_params.tsize = args.GetInt("tgds", 100);
+  tgd_params.tsize = num_tgds;
   tgd_params.tclass = args.Get("class", "l") == "sl"
                           ? TgdClass::kSimpleLinear
                           : TgdClass::kLinear;
@@ -872,7 +917,7 @@ int Usage() {
       "  chasectl query <file> \"q(X) :- r(X, Y).\"\n"
       "  chasectl findshapes <file> [--backend=memory|disk|index] "
       "[--mode=scan|exists|index] [--threads=N] [--shards=N] "
-      "[--pool-shards=N] [--prefetch=K] "
+      "[--pool-shards=N] [--prefetch=K] [--absorb=parallel|serial] "
       "[--snapshot=path.chidx] [--store=path.db] [--print]\n"
       "  chasectl index build <file> <out.chidx> [--backend=memory|disk] "
       "[--threads=N] [--shards=N]\n"
@@ -893,7 +938,7 @@ int Usage() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   const Args args = Args::Parse(argc, argv, 2);
@@ -910,5 +955,11 @@ int main(int argc, char** argv) {
   if (command == "graph") return CmdGraph(args);
   if (command == "normalize") return CmdNormalize(args);
   if (command == "convert") return CmdConvert(args);
+  return Usage();
+} catch (const std::exception& e) {
+  // Backstop: a CLI must never die by uncaught exception (flag validation
+  // above diagnoses the expected cases; anything that slips through still
+  // exits 2 with the usage text instead of std::terminate).
+  std::cerr << "error: " << e.what() << "\n";
   return Usage();
 }
