@@ -284,5 +284,6 @@ int main(int argc, char** argv) {
        "predicate; dynamic-simplification worklist; shallow-depth barrier "
        "overhead)",
        table);
+  if (!WriteBenchJson(flags, "frontier_parallel", table)) return 1;
   return 0;
 }

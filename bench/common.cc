@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "logic/printer.h"
@@ -34,10 +35,12 @@ BenchFlags BenchFlags::Parse(int argc, char** argv) {
       flags.reps = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (const char* v = value_of("--query-overhead-us=")) {
       flags.query_overhead_us = std::atof(v);
+    } else if (const char* v = value_of("--json-out=")) {
+      flags.json_out = v;
     } else {
       std::cerr << "unknown flag: " << arg << "\n"
                 << "flags: --scale=F --full --seed=N --csv --reps=N "
-                   "--query-overhead-us=F\n";
+                   "--query-overhead-us=F --json-out=PATH\n";
       std::exit(2);
     }
   }
@@ -179,6 +182,25 @@ std::vector<std::string> AccessColumnValues(const storage::AccessStats& access,
                         static_cast<double>(pool_accesses),
                     1) + "%",
           avg(io.pool_prefetches)};
+}
+
+bool WriteBenchJson(const BenchFlags& flags, const std::string& name,
+                    const TablePrinter& table) {
+  const std::string path =
+      flags.json_out.empty() ? "BENCH_" + name + ".json" : flags.json_out;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  table.PrintJson(out);
+  out.flush();
+  if (!out) {
+    std::cerr << "write to " << path << " failed\n";
+    return false;
+  }
+  std::cout << "wrote " << path << "\n";
+  return true;
 }
 
 void Emit(const BenchFlags& flags, const std::string& title,

@@ -12,6 +12,9 @@
 //   --query-overhead-us=<n>  simulated DBMS per-query dispatch cost added to
 //                   in-database FindShapes timings (PostgreSQL parse/plan/
 //                   execute overhead; see EXPERIMENTS.md). Default 25.
+//   --json-out=<path>  where WriteBenchJson-emitting benches write their
+//                   machine-readable BENCH_<name>.json artifact (default:
+//                   BENCH_<name>.json in the working directory)
 
 #ifndef CHASE_BENCH_COMMON_H_
 #define CHASE_BENCH_COMMON_H_
@@ -40,6 +43,7 @@ struct BenchFlags {
   bool csv = false;
   uint32_t reps = 0;  // 0 = per-bench default
   double query_overhead_us = 25.0;
+  std::string json_out;  // empty = BENCH_<name>.json in the working dir
 
   static BenchFlags Parse(int argc, char** argv);
 };
@@ -126,6 +130,13 @@ std::vector<std::string> AccessColumnValues(const storage::AccessStats& access,
 // Prints `table` per flags (table or CSV) with a heading.
 void Emit(const BenchFlags& flags, const std::string& title,
           const TablePrinter& table);
+
+// Writes `table` as a JSON array of row objects to --json-out, or to
+// BENCH_<name>.json in the working directory when the flag is unset — the
+// machine-readable artifact CI archives next to the printed table. Returns
+// false (after logging to stderr) if the file cannot be written.
+bool WriteBenchJson(const BenchFlags& flags, const std::string& name,
+                    const TablePrinter& table);
 
 }  // namespace bench
 }  // namespace chase

@@ -104,9 +104,48 @@ class WorkerPool {
   // If `abort` is non-null, no further chunk is claimed once it reads
   // true; indices of already-claimed chunks still run, so `work` must
   // check the flag itself where per-index stop matters.
+  //
+  // Chunks are claimed in ascending index order (a single fetch_add
+  // counter), so the index space drains front-to-back — a guarantee the
+  // budgeted driver below and the chase's sliding window both lean on.
   void ParallelFor(size_t n,
                    const std::function<void(unsigned worker, size_t index)>& work,
                    const std::atomic<bool>* abort = nullptr);
+
+  // The budgeted enumerate→pause→apply→resume driver: runs `num_tasks`
+  // producer tasks whose outputs must be consumed serially in task order,
+  // but whose production may be paused (bounded buffers) and resumed
+  // (persistent cursors). Repeats epochs until every task is drained:
+  //
+  //  * parallel epoch: `resume(worker, task)` runs on the pool for the
+  //    window of the first min(threads(), remaining) undrained tasks. A
+  //    task fills its bounded buffer and pauses — resume returns false —
+  //    or exhausts its work and returns true. A task whose buffer is
+  //    already full must return false without producing (that keeps every
+  //    per-task buffer bounded by one budget even though windows overlap
+  //    across epochs).
+  //  * `epoch_end(first, count)`, if provided, runs serially right after
+  //    the epoch's barrier with the window bounds — the deterministic
+  //    point to measure buffered totals (at most `threads()` tasks ever
+  //    hold a non-empty buffer, all inside the window).
+  //  * serial drain: `drain(task)` consumes task buffers in ascending
+  //    task order, stopping after the first task that has not exhausted
+  //    (its buffered prefix is still consumed — outputs stay in task
+  //    order). Returning false stops the whole run (early cut, e.g. a
+  //    result-size limit): no further resume or drain call is made.
+  //
+  // Progress: the window's first task always enters an epoch with a
+  // freshly drained buffer, so every epoch either finishes it or consumes
+  // a full budget of its output. Deterministic for deterministic
+  // callbacks: which tasks resume, how far each fills, and the drain
+  // sequence depend only on num_tasks, threads(), and the callbacks —
+  // never on scheduling.
+  void RunBudgetedTasks(
+      size_t num_tasks,
+      const std::function<bool(unsigned worker, size_t task)>& resume,
+      const std::function<bool(size_t task)>& drain,
+      const std::function<void(size_t first, size_t count)>& epoch_end =
+          nullptr);
 
  private:
   void Loop(unsigned worker);

@@ -54,4 +54,38 @@ void TablePrinter::PrintCsv(std::ostream& os) const {
   for (const auto& row : rows_) emit(row);
 }
 
+void TablePrinter::PrintJson(std::ostream& os) const {
+  auto escaped = [](const std::string& value) {
+    std::string out;
+    out.reserve(value.size() + 2);
+    for (char c : value) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        default:
+          out += c;
+      }
+    }
+    return out;
+  };
+  os << "[\n";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    os << "  {";
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << '"' << escaped(columns_[i]) << "\": \"" << escaped(rows_[r][i])
+         << '"';
+    }
+    os << (r + 1 < rows_.size() ? "},\n" : "}\n");
+  }
+  os << "]\n";
+}
+
 }  // namespace chase

@@ -23,6 +23,12 @@ class TablePrinter {
   // Renders the same content as CSV (header + rows).
   void PrintCsv(std::ostream& os) const;
 
+  // Renders the same content as a JSON array of row objects keyed by the
+  // column names (all values emitted as strings, exactly as printed). The
+  // machine-readable BENCH_<name>.json artifacts the ablations publish go
+  // through this.
+  void PrintJson(std::ostream& os) const;
+
   size_t num_rows() const { return rows_.size(); }
 
  private:

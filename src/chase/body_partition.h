@@ -1,0 +1,180 @@
+// Partitioning the body-homomorphism space of multi-atom TGDs for parallel
+// trigger enumeration (the K-Join recipe adapted to the chase's semi-naive
+// rounds).
+//
+// The serial engine enumerates the triggers of a round by streaming, for
+// each rule and each delta position d, a nested-loop join over the body
+// atoms: position 0 is the outermost loop, each position's candidate rows
+// are a contiguous range fixed by the round window (delta rows at d, the
+// previous-rounds prefix before d, the full round-start prefix after d).
+// Parallelizing that stream without giving up the bit-identical-result
+// contract hinges on one property: the serial order is the lexicographic
+// order of (rule, delta position, row at position 0, row at position 1, …).
+// So instead of hash-partitioning a join variable — which deals rows of one
+// loop level round-robin across partitions and interleaves their outputs in
+// the streaming order — the planner splits candidate *ranges*:
+//
+//  * every (rule, delta position) task splits on its outermost loop, the
+//    position-0 candidate range (for d == 0 that is the delta range the
+//    linear path already split; for d > 0 it is the previous-rounds
+//    prefix);
+//  * when one position-0 row is still heavier than the grain (a hot row
+//    whose inner join cross-products against whole relations — the
+//    non-linear analogue of the high-arity predicate PR 4 unpinned), the
+//    row is pinned and the position-1 candidate range is split under it.
+//
+// Concatenating the fragments in (rule, delta_pos, begin0, begin1) order —
+// the order PlanBodyPartitions emits them — replays the serial stream
+// exactly, so the apply loop needs no merge and no order keys. Fragment
+// sizing uses estimated enumeration cost (the product of candidate-range
+// sizes, saturating), with the usual grain of a few fragments per worker;
+// the per-row split is self-limiting: a row only splits when its inner cost
+// exceeds the grain, and at most ~4·threads such rows fit in the round's
+// total cost, so fragment counts stay O(tasks + threads²).
+//
+// HomEnumerator is the resumable cursor over one fragment: a paused
+// iterative backtracking search (per-position row cursors + binding trail)
+// that Next() advances one homomorphism at a time. The chase's budgeted
+// enumerate→pause→apply→resume protocol (WorkerPool::RunBudgetedTasks)
+// leans on Next() being stoppable anywhere: a worker fills a bounded
+// buffer, parks, and later resumes from the exact backtracking state.
+
+#ifndef CHASE_CHASE_BODY_PARTITION_H_
+#define CHASE_CHASE_BODY_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "chase/instance.h"
+#include "logic/atom.h"
+#include "logic/term.h"
+#include "logic/tgd.h"
+
+namespace chase {
+
+inline constexpr Term kUnboundTerm = ~uint64_t{0};
+
+// Attempts to extend `h` so that `pattern` maps onto `atom`; records newly
+// bound variables in `trail` so the caller can undo. Shared by the serial
+// streaming enumeration, HeadSatisfied, and HomEnumerator — one binding
+// discipline, so the paths cannot diverge.
+inline bool TryBindAtom(const RuleAtom& pattern, const GroundAtom& atom,
+                        std::vector<Term>& h, std::vector<VarId>& trail) {
+  const size_t undo_mark = trail.size();
+  for (size_t i = 0; i < pattern.args.size(); ++i) {
+    const VarId var = pattern.args[i];
+    if (h[var] == kUnboundTerm) {
+      h[var] = atom.args[i];
+      trail.push_back(var);
+    } else if (h[var] != atom.args[i]) {
+      while (trail.size() > undo_mark) {
+        h[trail.back()] = kUnboundTerm;
+        trail.pop_back();
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+inline void UndoBindings(std::vector<Term>& h, std::vector<VarId>& trail,
+                         size_t mark) {
+  while (trail.size() > mark) {
+    h[trail.back()] = kUnboundTerm;
+    trail.pop_back();
+  }
+}
+
+// Per-round visibility window: body atoms are matched against the instance
+// as of the start of the round ("cur"), with semi-naive deltas given by
+// "prev" (atoms created in the previous round have index in [prev, cur)).
+struct RoundView {
+  std::vector<size_t> prev;
+  std::vector<size_t> cur;
+
+  size_t PrevOf(PredId pred) const {
+    return pred < prev.size() ? prev[pred] : 0;
+  }
+  size_t CurOf(PredId pred) const { return pred < cur.size() ? cur[pred] : 0; }
+};
+
+// One fragment of a (rule, delta position) task's homomorphism space: a
+// contiguous sub-range of the position-0 candidate rows, and — for a
+// join-split fragment pinning a single hot position-0 row — a contiguous
+// sub-range of the position-1 candidate rows. Positions >= 2 (and position
+// 1 of non-join-split fragments, where [begin1, end1) just restates the
+// full range) always cover their full round-window range.
+struct BodyPartition {
+  uint32_t rule = 0;
+  uint32_t delta_pos = 0;
+  size_t begin0 = 0;
+  size_t end0 = 0;
+  size_t begin1 = 0;  // meaningful only when the body has >= 2 atoms
+  size_t end1 = 0;
+};
+
+// Plans the round's fragments in canonical (rule, delta_pos, begin0,
+// begin1) order — exactly the serial streaming order of their outputs.
+// Tasks with an empty delta produce no fragment. Depends only on `tgds`,
+// the round window, and `threads` (never on instance contents or
+// scheduling), so the plan itself is deterministic.
+std::vector<BodyPartition> PlanBodyPartitions(const std::vector<Tgd>& tgds,
+                                              const RoundView& view,
+                                              unsigned threads);
+
+// The resumable enumeration cursor over one fragment. Usage:
+//
+//   HomEnumerator e;
+//   e.Reset(&tgd, &instance, &view, part);
+//   while (e.Next()) consume(e.hom());   // pausable between any two calls
+//
+// Next() returns true with hom() bound on all universal variables (the
+// fragment's next homomorphism in streaming order), false when the fragment
+// is exhausted. The full backtracking state — partial assignment, binding
+// trail, per-position row cursors — lives in the enumerator, so a paused
+// fragment resumes with zero re-enumeration.
+//
+// Concurrency: Next() only reads instance rows below the fragment's fixed
+// round-window bounds, and re-fetches the per-predicate atom vector on
+// every access, so serial appends *between* resume epochs (which may
+// reallocate those vectors) are safe as long as the caller orders them
+// before the next resume — which the worker pool's barrier does.
+//
+// hom() is mutable on purpose: the restricted variant's pre-filter
+// transiently binds existential variables during its satisfaction probe and
+// restores them through its own trail before returning.
+class HomEnumerator {
+ public:
+  void Reset(const Tgd* tgd, const Instance* instance, const RoundView* view,
+             const BodyPartition& part);
+
+  // Advances to the fragment's next homomorphism. False once exhausted
+  // (then stays false).
+  bool Next();
+
+  std::vector<Term>& hom() { return h_; }
+
+ private:
+  struct Range {
+    size_t begin;
+    size_t end;
+  };
+  Range RangeOf(size_t pos) const;
+
+  const Tgd* tgd_ = nullptr;
+  const Instance* instance_ = nullptr;
+  const RoundView* view_ = nullptr;
+  BodyPartition part_;
+
+  std::vector<Term> h_;        // partial assignment, kUnboundTerm = free
+  std::vector<VarId> trail_;   // bound-variable undo log
+  std::vector<size_t> row_;    // per-position candidate-row cursor
+  std::vector<size_t> mark_;   // per-position trail watermark
+  size_t depth_ = 0;           // position currently being advanced
+  bool at_hom_ = false;        // paused on an emitted homomorphism
+  bool done_ = true;
+};
+
+}  // namespace chase
+
+#endif  // CHASE_CHASE_BODY_PARTITION_H_

@@ -5,13 +5,18 @@
 #include <unordered_set>
 
 #include "base/frontier_pool.h"
+#include "chase/body_partition.h"
 #include "index/sharded_shape_index.h"
 #include "logic/shape.h"
 
 namespace chase {
 namespace {
 
-constexpr Term kUnbound = ~uint64_t{0};
+// The binding discipline (TryBindAtom/UndoBindings/kUnboundTerm) and the
+// round window (RoundView) live in chase/body_partition.h, shared with the
+// parallel fragment enumerator so the serial and parallel paths cannot
+// drift apart.
+constexpr Term kUnbound = kUnboundTerm;
 
 // Trigger keys: [rule_index, bound values...]. For the oblivious chase the
 // values are the full body assignment; for the semi-oblivious chase only the
@@ -28,45 +33,6 @@ struct KeyHash {
   }
 };
 using KeySet = std::unordered_set<std::vector<uint64_t>, KeyHash>;
-
-// Attempts to extend `h` so that `pattern` maps onto `atom`; records newly
-// bound variables in `trail` so the caller can undo.
-bool TryBind(const RuleAtom& pattern, const GroundAtom& atom,
-             std::vector<Term>& h, std::vector<VarId>& trail) {
-  const size_t undo_mark = trail.size();
-  for (size_t i = 0; i < pattern.args.size(); ++i) {
-    const VarId var = pattern.args[i];
-    if (h[var] == kUnbound) {
-      h[var] = atom.args[i];
-      trail.push_back(var);
-    } else if (h[var] != atom.args[i]) {
-      while (trail.size() > undo_mark) {
-        h[trail.back()] = kUnbound;
-        trail.pop_back();
-      }
-      return false;
-    }
-  }
-  return true;
-}
-
-void Undo(std::vector<Term>& h, std::vector<VarId>& trail, size_t mark) {
-  while (trail.size() > mark) {
-    h[trail.back()] = kUnbound;
-    trail.pop_back();
-  }
-}
-
-// Per-round visibility window: body atoms are matched against the instance
-// as of the start of the round ("cur"), with semi-naive deltas given by
-// "prev" (atoms created in the previous round have index in [prev, cur)).
-struct RoundView {
-  std::vector<size_t> prev;
-  std::vector<size_t> cur;
-
-  size_t PrevOf(PredId pred) const { return pred < prev.size() ? prev[pred] : 0; }
-  size_t CurOf(PredId pred) const { return pred < cur.size() ? cur[pred] : 0; }
-};
 
 // Enumerates the body homomorphisms of `tgd` whose atom at `delta_pos` is
 // drawn from delta rows [delta_begin, delta_end); calls `fn(h)` with h
@@ -101,9 +67,9 @@ void ForEachDeltaHom(const Tgd& tgd, const Instance& instance,
       const size_t mark = trail.size();
       // Re-fetch per iteration: `fn` may grow the instance, reallocating
       // the per-predicate atom vector.
-      if (TryBind(body[index], instance.AtomsOf(pred)[row], h, trail)) {
+      if (TryBindAtom(body[index], instance.AtomsOf(pred)[row], h, trail)) {
         self(self, index + 1);
-        Undo(h, trail, mark);
+        UndoBindings(h, trail, mark);
       }
     }
   };
@@ -124,21 +90,6 @@ void ForEachNewBodyHom(const Tgd& tgd, const Instance& instance,
                     view.CurOf(pred), h, trail, fn);
   }
 }
-
-// One unit of parallel trigger enumeration: a delta-row range of one
-// (rule, delta position). Tasks are built — and their homomorphisms later
-// applied — in (rule, delta_pos, first delta row) order, which is exactly
-// the serial enumeration order; only delta_pos == 0 ranges are split,
-// because there the delta rows drive the outermost backtracking loop and
-// chunk concatenation preserves the homomorphism order. (Linear TGDs, the
-// paper's case, have single-atom bodies, so their whole delta always
-// splits.)
-struct EnumTask {
-  size_t rule;
-  size_t delta_pos;
-  size_t delta_begin;
-  size_t delta_end;
-};
 
 // True iff some extension of the frontier assignment `h` maps every head
 // atom into `instance` (the restricted chase's satisfaction test). `h` must
@@ -163,17 +114,55 @@ bool HeadSatisfied(const Tgd& tgd, const Instance& instance,
                                      view->CurOf(head[index].pred))));
     for (const GroundAtom& atom : atoms) {
       const size_t mark = trail.size();
-      if (TryBind(head[index], atom, h, trail)) {
+      if (TryBindAtom(head[index], atom, h, trail)) {
         if (self(self, index + 1)) {
-          Undo(h, trail, mark);
+          UndoBindings(h, trail, mark);
           return true;
         }
-        Undo(h, trail, mark);
+        UndoBindings(h, trail, mark);
       }
     }
     return false;
   };
   return recurse(recurse, 0);
+}
+
+// The suffix re-check for pre-filter survivors: the workers already proved
+// no witness lives entirely in the round-start prefix (rows below
+// view.cur), and atoms are never removed, so the head is satisfied by the
+// full instance iff some witness uses at least one same-round atom — i.e.
+// iff for some head position d there is a match with position d restricted
+// to the suffix [view.cur, size) and every other position unrestricted.
+// Positions whose predicate has not grown this round are skipped outright;
+// if nothing relevant grew, the head is unsatisfied without touching a
+// single atom. Equivalent to HeadSatisfied(full instance) for survivors,
+// but scans only witnesses the workers could not have seen.
+bool HeadSatisfiedSuffix(const Tgd& tgd, const Instance& instance,
+                         const RoundView& view, std::vector<Term>& h,
+                         std::vector<VarId>& trail) {
+  const auto& head = tgd.head();
+  for (size_t d = 0; d < head.size(); ++d) {
+    const size_t suffix_begin = view.CurOf(head[d].pred);
+    if (instance.AtomsOf(head[d].pred).size() <= suffix_begin) continue;
+    auto recurse = [&](auto&& self, size_t index) -> bool {
+      if (index == head.size()) return true;
+      const auto& atoms = instance.AtomsOf(head[index].pred);
+      for (size_t row = index == d ? suffix_begin : 0; row < atoms.size();
+           ++row) {
+        const size_t mark = trail.size();
+        if (TryBindAtom(head[index], atoms[row], h, trail)) {
+          if (self(self, index + 1)) {
+            UndoBindings(h, trail, mark);
+            return true;
+          }
+          UndoBindings(h, trail, mark);
+        }
+      }
+      return false;
+    };
+    if (recurse(recurse, 0)) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -231,18 +220,20 @@ StatusOr<ChaseResult> RunChase(const Database& database,
   std::vector<VarId> trail;
   std::vector<GroundAtom> pending;  // atoms produced in the current round
 
-  // The parallel path is gated to linear rule sets (single-atom bodies):
-  // there one delta row yields at most one homomorphism, so a task's
-  // buffered homs are bounded by its chunk size — a multi-atom body could
-  // cross-product a chunk against whole relations and materialize
-  // unboundedly more than the streaming serial path ever holds. The
-  // restricted variant enumerates on the pool too: its satisfaction check
-  // must observe atoms applied earlier in the same round, so the workers
-  // only run a conservative pre-filter against the frozen round-start
-  // prefix (satisfied there => satisfied at apply time, skip for good) and
-  // the survivors re-check serially in exact firing order.
-  const unsigned enum_threads =
-      !AllLinear(tgds) ? 1 : std::max(1u, options.frontier_threads);
+  // Parallel rounds run on any rule set, linear or not: each round's
+  // homomorphism space is split into range fragments whose canonical
+  // concatenation replays the serial stream (chase/body_partition.h), and
+  // the old hazard — a multi-atom body cross-producting a fragment against
+  // whole relations and materializing unbounded buffers — is handled by
+  // the budgeted enumerate→pause→apply→resume protocol below, which caps
+  // buffered homomorphisms at threads × hom_budget. The restricted
+  // variant enumerates on the pool too: its satisfaction check must
+  // observe atoms applied earlier in the same round, so the workers only
+  // run a conservative pre-filter against the frozen round-start prefix
+  // (satisfied there => satisfied at apply time, skip for good) and the
+  // survivors re-check serially in exact firing order — against the
+  // same-round suffix only, the one part the workers could not see.
+  const unsigned enum_threads = std::max(1u, options.frontier_threads);
   const bool restricted = options.variant == ChaseVariant::kRestricted;
   // The pool is spawned once here and reused by every wave of every round
   // below through its generation barrier — per-round thread spawn cost was
@@ -263,8 +254,10 @@ StatusOr<ChaseResult> RunChase(const Database& database,
     // Applies one trigger: the firing decision, null allocation, and atom
     // insertion. Always runs on this thread, in serial enumeration order —
     // the parallel path below only moves the *enumeration* of `hom` off
-    // this thread.
-    auto fire = [&](size_t rule, std::vector<Term>& hom) {
+    // this thread. `prefix_unsat` marks a restricted trigger whose head
+    // the parallel pre-filter already proved unsatisfied by the
+    // round-start prefix, so only same-round witnesses remain to check.
+    auto fire = [&](size_t rule, std::vector<Term>& hom, bool prefix_unsat) {
       const Tgd& tgd = tgds[rule];
       if (hit_atom_limit) return;
       // Decide whether this trigger fires.
@@ -272,9 +265,12 @@ StatusOr<ChaseResult> RunChase(const Database& database,
         // Only the frontier restriction matters for satisfaction;
         // existentials are unbound here by construction.
         std::vector<VarId> head_trail;
-        if (HeadSatisfied(tgd, instance, /*view=*/nullptr, hom, head_trail)) {
-          return;
-        }
+        const bool satisfied =
+            prefix_unsat
+                ? HeadSatisfiedSuffix(tgd, instance, view, hom, head_trail)
+                : HeadSatisfied(tgd, instance, /*view=*/nullptr, hom,
+                                head_trail);
+        if (satisfied) return;
       } else {
         std::vector<uint64_t> key;
         if (options.variant == ChaseVariant::kSemiOblivious) {
@@ -341,82 +337,80 @@ StatusOr<ChaseResult> RunChase(const Database& database,
         h.assign(tgd.num_vars(), kUnbound);
         trail.clear();
         ForEachNewBodyHom(tgd, instance, view, h, trail,
-                          [&](std::vector<Term>& hom) { fire(rule, hom); });
+                          [&](std::vector<Term>& hom) {
+                            fire(rule, hom, /*prefix_unsat=*/false);
+                          });
       }
     } else {
       // Frontier-parallel round: enumerate every trigger of the round
-      // against the frozen round-start prefix on a worker pool, then apply
-      // them here in the exact serial order (tasks ascending, homs in
-      // enumeration order within a task), so `fired`, null ids, and the
-      // atom-limit cut land identically to a single-threaded run.
-      std::vector<EnumTask> tasks;
-      uint64_t total_delta = 0;
-      for (size_t rule = 0; rule < tgds.size(); ++rule) {
-        const PredId pred = tgds[rule].body()[0].pred;
-        total_delta += view.CurOf(pred) - view.PrevOf(pred);
-      }
-      const size_t chunk = FrontierChunkSize(total_delta, enum_threads);
-      for (size_t rule = 0; rule < tgds.size(); ++rule) {
-        const auto& body = tgds[rule].body();
-        for (size_t delta_pos = 0; delta_pos < body.size(); ++delta_pos) {
-          const PredId pred = body[delta_pos].pred;
-          const size_t begin = view.PrevOf(pred);
-          const size_t end = view.CurOf(pred);
-          if (begin >= end) continue;  // no delta atoms, no triggers here
-          if (delta_pos == 0) {
-            for (size_t first = begin; first < end; first += chunk) {
-              tasks.push_back(
-                  {rule, delta_pos, first, std::min(end, first + chunk)});
+      // against the frozen round-start prefix on the worker pool, apply
+      // them here in the exact serial order. The round's homomorphism
+      // space is planned as range fragments whose canonical order replays
+      // the serial stream, and the budgeted protocol slides a window of at
+      // most `enum_threads` in-flight fragments over them: a worker fills
+      // its fragment's bounded buffer and parks, the serial drain applies
+      // buffers in fragment order (the first unfinished fragment's prefix
+      // included), and paused fragments resume from their saved
+      // backtracking cursors. So `fired`, null ids, and the atom-limit cut
+      // land identically to a single-threaded run, while peak buffered
+      // homomorphisms stay at most enum_threads × hom_budget.
+      const std::vector<BodyPartition> parts =
+          PlanBodyPartitions(tgds, view, enum_threads);
+      const uint64_t budget = std::max<uint64_t>(1, options.hom_budget);
+      std::vector<HomEnumerator> enums(parts.size());
+      std::vector<char> started(parts.size(), 0);
+      std::vector<std::vector<std::vector<Term>>> homs(parts.size());
+      // Restricted only: presat[t][j] records that hom j of fragment t had
+      // its head satisfied by the round-start prefix already — decided on
+      // the workers, skipped for good on the serial drain below.
+      std::vector<std::vector<char>> presat(parts.size());
+      pool->RunBudgetedTasks(
+          parts.size(),
+          [&](unsigned /*worker*/, size_t t) -> bool {
+            const Tgd& tgd = tgds[parts[t].rule];
+            HomEnumerator& e = enums[t];
+            if (started[t] == 0) {
+              e.Reset(&tgd, &instance, &view, parts[t]);
+              started[t] = 1;
             }
-          } else {
-            tasks.push_back({rule, delta_pos, begin, end});
-          }
-        }
-      }
-      // Enumerate in bounded waves rather than the whole round at once:
-      // each wave's homomorphisms are materialized, applied in order, and
-      // freed before the next wave starts, so peak memory is one wave —
-      // not one round — and an atom-limit cut skips the remaining waves
-      // entirely (the serial path streams and stops at the same trigger).
-      const size_t wave = static_cast<size_t>(8) * enum_threads;
-      for (size_t first = 0; first < tasks.size() && !hit_atom_limit;
-           first += wave) {
-        const size_t count = std::min(wave, tasks.size() - first);
-        std::vector<std::vector<std::vector<Term>>> homs(count);
-        // Restricted only: presat[i][j] records that hom j of task i had
-        // its head satisfied by the round-start prefix already — decided on
-        // the workers, skipped for good on the serial apply path below.
-        std::vector<std::vector<char>> presat(count);
-        pool->ParallelFor(count, [&](unsigned /*worker*/, size_t i) {
-          const EnumTask& task = tasks[first + i];
-          const Tgd& tgd = tgds[task.rule];
-          std::vector<Term> task_h(tgd.num_vars(), kUnbound);
-          std::vector<VarId> task_trail;
-          ForEachDeltaHom(tgd, instance, view, task.delta_pos,
-                          task.delta_begin, task.delta_end, task_h,
-                          task_trail, [&](std::vector<Term>& hom) {
-                            if (restricted) {
-                              std::vector<VarId> head_trail;
-                              presat[i].push_back(HeadSatisfied(
-                                  tgd, instance, &view, hom, head_trail));
-                            }
-                            homs[i].push_back(hom);
-                          });
-        });
-        for (size_t i = 0; i < count && !hit_atom_limit; ++i) {
-          for (size_t j = 0; j < homs[i].size(); ++j) {
-            if (hit_atom_limit) break;
-            if (restricted && presat[i][j] != 0) {
-              // The serial path would have found the same witness (the
-              // prefix is a subset of the instance it checks) and skipped
-              // this trigger without firing; do the same, minus the check.
-              ++result.triggers_prefiltered;
-              continue;
+            while (homs[t].size() < budget) {
+              if (!e.Next()) return true;  // fragment exhausted
+              if (restricted) {
+                std::vector<VarId> head_trail;
+                presat[t].push_back(
+                    HeadSatisfied(tgd, instance, &view, e.hom(), head_trail));
+              }
+              homs[t].push_back(e.hom());
             }
-            fire(tasks[first + i].rule, homs[i][j]);
-          }
-        }
-      }
+            return false;  // buffer full: park, resume next epoch
+          },
+          [&](size_t t) -> bool {
+            for (size_t j = 0; j < homs[t].size(); ++j) {
+              if (hit_atom_limit) break;
+              if (restricted && presat[t][j] != 0) {
+                // The serial path would have found the same witness (the
+                // prefix is a subset of the instance it checks) and
+                // skipped this trigger without firing; do the same, minus
+                // the check.
+                ++result.triggers_prefiltered;
+                continue;
+              }
+              fire(parts[t].rule, homs[t][j], /*prefix_unsat=*/restricted);
+            }
+            homs[t].clear();
+            presat[t].clear();
+            return !hit_atom_limit;  // the same early cut as serial
+          },
+          [&](size_t first, size_t count) {
+            // Epoch barrier: the only fragments with buffered output are
+            // the window's — sum them for the deterministic peak.
+            uint64_t buffered = 0;
+            for (size_t i = 0; i < count; ++i) {
+              buffered += homs[first + i].size();
+            }
+            result.peak_buffered_homs =
+                std::max(result.peak_buffered_homs, buffered);
+          });
     }
 
     ++result.rounds;

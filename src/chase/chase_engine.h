@@ -59,21 +59,32 @@ struct ChaseOptions {
   index::ShardedShapeIndex* shape_index = nullptr;
   // Worker threads for per-round trigger enumeration (<= 1 enumerates
   // inline). A round is a frontier: bodies only match against atoms from
-  // earlier rounds, so over linear rule sets all three variants enumerate
-  // triggers on a persistent chase::WorkerPool (spawned once per RunChase,
-  // reused across rounds through its barrier; per-rule delta ranges in
-  // bounded waves) and then apply them serially in the exact serial order —
-  // the resulting instance, null numbering, rounds, and trigger count are
-  // bit-identical to a single-threaded run. For the restricted variant the
-  // workers additionally run a conservative satisfaction pre-filter
-  // against the frozen round-start prefix: a head satisfied there is
-  // satisfied at apply time too (atoms are never removed), so only the
-  // surviving triggers re-check serially against same-round atoms,
-  // shrinking the serial tail without changing any firing decision.
-  // Enumeration stays serial regardless of this knob for non-linear rule
-  // sets (a multi-atom body's buffered homomorphisms per task would not be
-  // bounded by the delta chunk size).
+  // earlier rounds, so all three variants — over any rule set, linear or
+  // not — enumerate triggers on a persistent chase::WorkerPool (spawned
+  // once per RunChase, reused across rounds through its barrier) and apply
+  // them serially in the exact serial order: the resulting instance, null
+  // numbering, rounds, and trigger count are bit-identical to a
+  // single-threaded run. Each round's homomorphism space is split into
+  // range fragments (chase/body_partition.h) whose canonical concatenation
+  // replays the serial stream; multi-atom bodies, whose fragments can
+  // produce unboundedly many homomorphisms, run under the budgeted
+  // enumerate→pause→apply→resume protocol (WorkerPool::RunBudgetedTasks)
+  // with at most `hom_budget` buffered homomorphisms per in-flight
+  // fragment. For the restricted variant the workers additionally run a
+  // conservative satisfaction pre-filter against the frozen round-start
+  // prefix: a head satisfied there is satisfied at apply time too (atoms
+  // are never removed), so only the surviving triggers re-check serially —
+  // and only against the same-round suffix, since the workers already
+  // proved the prefix unsatisfying — without changing any firing decision.
   unsigned frontier_threads = 1;
+  // Parallel enumeration only: the per-fragment homomorphism buffer bound.
+  // A worker that fills its fragment's buffer parks at the pool barrier
+  // and resumes from its saved backtracking cursor after the serial apply
+  // drains it, so peak buffered homomorphisms are bounded by
+  // frontier_threads × hom_budget whatever the rule set does (a cross-
+  // producting multi-atom body included). 0 behaves as 1. Never affects
+  // results — only peak memory and barrier cadence.
+  uint64_t hom_budget = 4096;
 };
 
 enum class ChaseOutcome {
@@ -96,6 +107,13 @@ struct ChaseResult {
   // on the serial path) — diagnostics only, never part of the
   // bit-identical-result contract.
   uint64_t triggers_prefiltered = 0;
+  // Parallel enumeration only: the largest number of homomorphisms ever
+  // buffered at once across the run, measured at each epoch barrier of the
+  // budgeted protocol. By construction at most frontier_threads ×
+  // hom_budget (tests/frontier_equivalence_test.cc asserts the bound).
+  // Deterministic for a given (input, threads, budget), but 0 for a serial
+  // run — diagnostics only, like triggers_prefiltered.
+  uint64_t peak_buffered_homs = 0;
 
   explicit ChaseResult(Instance i) : instance(std::move(i)) {}
 };

@@ -60,7 +60,8 @@ struct ShapeMatches {
 
 StatusOr<DynamicSimplificationResult> DynamicSimplificationFromShapes(
     const Schema& schema, const std::vector<Tgd>& tgds,
-    const std::vector<Shape>& database_shapes, unsigned threads) {
+    const std::vector<Shape>& database_shapes, unsigned threads,
+    WorkerPool* worker_pool) {
   if (!AllLinear(tgds)) {
     return InvalidArgumentError(
         "dynamic simplification requires linear TGDs");
@@ -90,7 +91,7 @@ StatusOr<DynamicSimplificationResult> DynamicSimplificationFromShapes(
   // order, so the emitted TGD list and the interning order are independent
   // of the thread count.
   using Pool = FrontierPool<Shape, ShapeMatches, ShapeHash>;
-  Pool pool({.threads = std::max(1u, threads)});
+  Pool pool({.threads = std::max(1u, threads), .pool = worker_pool});
   Status status = pool.Run(
       database_shapes,
       [&](unsigned /*worker*/, const Shape& shape, ShapeMatches* out,

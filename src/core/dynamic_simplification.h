@@ -51,10 +51,14 @@ struct DynamicSimplificationResult {
 // Algorithm 2 given the database shapes (the db-dependent FindShapes step is
 // separated out so callers can time it independently, as the paper does).
 // `threads` <= 1 expands the worklist inline on the calling thread; the
-// result is identical either way.
+// result is identical either way. A non-null `pool` runs the worklist on
+// that caller-owned persistent WorkerPool instead (its thread count wins
+// over `threads`) — how IsChaseFiniteL shares one pool between FindShapes
+// and this worklist. The canonical result is unchanged in every case.
 StatusOr<DynamicSimplificationResult> DynamicSimplificationFromShapes(
     const Schema& schema, const std::vector<Tgd>& tgds,
-    const std::vector<Shape>& database_shapes, unsigned threads = 1);
+    const std::vector<Shape>& database_shapes, unsigned threads = 1,
+    WorkerPool* pool = nullptr);
 
 // FindShapes(D) + Algorithm 2. `database.schema()` must contain every
 // predicate of `tgds`. `threads` drives both the shape finder and the

@@ -1,5 +1,7 @@
 #include "core/is_chase_finite.h"
 
+#include <optional>
+
 #include "base/timer.h"
 #include "core/dynamic_simplification.h"
 #include "core/simplification.h"
@@ -67,6 +69,20 @@ StatusOr<bool> IsChaseFiniteL(const Database& database,
   LCheckStats local;
   LCheckStats& out = stats != nullptr ? *stats : local;
 
+  // One worker pool for the whole check: FindShapes and the simplification
+  // worklist used to spawn one each even though both accept a shared pool.
+  // A caller-owned pool wins; otherwise spawn once here, sized to the
+  // larger of the two knobs (both phases are deterministic in their thread
+  // count, so the widened phase returns the same result either way).
+  WorkerPool* pool = options.pool;
+  std::optional<WorkerPool> owned_pool;
+  const unsigned max_threads =
+      std::max(options.shape_threads, options.simplify_threads);
+  if (pool == nullptr && max_threads > 1) {
+    owned_pool.emplace(max_threads);
+    pool = &*owned_pool;
+  }
+
   // The db-dependent component: FindShapes (Section 8's t-shapes), unless
   // the caller maintains the shapes incrementally (Section 10) — either as
   // a pre-extracted vector or as a live sharded index.
@@ -78,10 +94,15 @@ StatusOr<bool> IsChaseFiniteL(const Database& database,
       computed = options.shape_index->CurrentShapes();
     } else {
       storage::MemoryShapeSource source(&catalog);
-      CHASE_ASSIGN_OR_RETURN(
-          computed,
-          storage::FindShapes(
-              source, {options.shape_finder, options.shape_threads}));
+      storage::FindShapesOptions find_options;
+      find_options.mode = options.shape_finder;
+      find_options.threads = options.shape_threads;
+      // Share the pool only when this phase was asked to run parallel: a
+      // serial phase keeps its serial plan (and its serial-plan metering)
+      // even if the other phase forced a pool into existence.
+      find_options.pool = options.shape_threads > 1 ? pool : nullptr;
+      CHASE_ASSIGN_OR_RETURN(computed,
+                             storage::FindShapes(source, find_options));
     }
   }
   const std::vector<Shape>& shapes = options.precomputed_shapes != nullptr
@@ -95,8 +116,9 @@ StatusOr<bool> IsChaseFiniteL(const Database& database,
   timer.Restart();
   CHASE_ASSIGN_OR_RETURN(
       DynamicSimplificationResult simplified,
-      DynamicSimplificationFromShapes(database.schema(), tgds, shapes,
-                                      options.simplify_threads));
+      DynamicSimplificationFromShapes(
+          database.schema(), tgds, shapes, options.simplify_threads,
+          options.simplify_threads > 1 ? pool : nullptr));
   const DependencyGraph graph = BuildDependencyGraph(
       simplified.shape_schema->schema(), simplified.tgds);
   out.graph_ms = timer.ElapsedMillis();

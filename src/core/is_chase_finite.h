@@ -66,6 +66,15 @@ struct LCheckOptions {
   // and the db-dependent component is skipped entirely. Takes precedence
   // over shape_index. Must outlive the call.
   const std::vector<Shape>* precomputed_shapes = nullptr;
+  // When non-null, both parallel phases — FindShapes and the dynamic-
+  // simplification worklist — run on this caller-owned persistent
+  // WorkerPool; its thread count overrides shape_threads and
+  // simplify_threads. When null and either thread knob exceeds 1, the
+  // check spawns ONE pool sized to the larger knob and threads it through
+  // both phases itself, so a check pays one thread spawn, not one per
+  // phase. Verdict and stats are identical either way (both phases are
+  // deterministic in their thread count).
+  WorkerPool* pool = nullptr;
 };
 
 struct LCheckStats {

@@ -90,4 +90,128 @@ StatusOr<std::vector<Tgd>> GenerateTgds(const Schema& schema,
   return tgds;
 }
 
+const char* NonLinearFamilyName(NonLinearFamily family) {
+  switch (family) {
+    case NonLinearFamily::kTriangle:
+      return "triangle";
+    case NonLinearFamily::kStar:
+      return "star";
+    case NonLinearFamily::kChain:
+      return "chain";
+    case NonLinearFamily::kCross:
+      return "cross";
+  }
+  return "?";
+}
+
+StatusOr<std::vector<Tgd>> GenerateNonLinearTgds(
+    const Schema& schema, const NonLinearGenParams& params) {
+  if (params.body_atoms < 2) {
+    return InvalidArgumentError("non-linear bodies need at least 2 atoms");
+  }
+  const uint32_t min_arity = std::max(2u, params.min_arity);
+  if (min_arity > params.max_arity) {
+    return InvalidArgumentError("invalid arity range");
+  }
+  std::vector<PredId> candidates;
+  for (PredId pred = 0; pred < schema.NumPredicates(); ++pred) {
+    const uint32_t arity = schema.Arity(pred);
+    if (arity >= min_arity && arity <= params.max_arity) {
+      candidates.push_back(pred);
+    }
+  }
+  if (candidates.size() < params.ssize) {
+    return InvalidArgumentError(
+        "schema has only " + std::to_string(candidates.size()) +
+        " predicates of arity >= 2 in range, need " +
+        std::to_string(params.ssize));
+  }
+
+  Rng rng(params.seed);
+  for (uint32_t i = 0; i < params.ssize; ++i) {
+    const auto j = i + rng.Below(candidates.size() - i);
+    std::swap(candidates[i], candidates[j]);
+  }
+  candidates.resize(params.ssize);
+
+  std::vector<Tgd> tgds;
+  tgds.reserve(params.tsize);
+  const uint32_t k = params.body_atoms;
+  for (uint64_t t = 0; t < params.tsize; ++t) {
+    // Endpoint variables first: the family decides which endpoints are
+    // shared. Every other position gets a fresh universal afterwards, so
+    // variable ids stay deterministic given the seed.
+    uint32_t next_var = 0;
+    auto fresh = [&]() { return static_cast<VarId>(next_var++); };
+    std::vector<RuleAtom> body(k);
+    // endpoints[i] = {first-position var, last-position var} of atom i.
+    std::vector<std::pair<VarId, VarId>> endpoints(k);
+    switch (params.family) {
+      case NonLinearFamily::kTriangle: {
+        // Cycle variables V_0..V_{k-1}; atom i joins V_i to V_{i+1 mod k}.
+        std::vector<VarId> cycle(k);
+        for (uint32_t i = 0; i < k; ++i) cycle[i] = fresh();
+        for (uint32_t i = 0; i < k; ++i) {
+          endpoints[i] = {cycle[i], cycle[(i + 1) % k]};
+        }
+        break;
+      }
+      case NonLinearFamily::kStar: {
+        const VarId hub = fresh();
+        for (uint32_t i = 0; i < k; ++i) endpoints[i] = {hub, fresh()};
+        break;
+      }
+      case NonLinearFamily::kChain: {
+        // Path variables V_0..V_k; atom i joins V_i to V_{i+1}.
+        std::vector<VarId> path(k + 1);
+        for (uint32_t i = 0; i <= k; ++i) path[i] = fresh();
+        for (uint32_t i = 0; i < k; ++i) {
+          endpoints[i] = {path[i], path[i + 1]};
+        }
+        break;
+      }
+      case NonLinearFamily::kCross: {
+        for (uint32_t i = 0; i < k; ++i) endpoints[i] = {fresh(), fresh()};
+        break;
+      }
+    }
+    for (uint32_t i = 0; i < k; ++i) {
+      const PredId pred = candidates[rng.Below(candidates.size())];
+      const uint32_t arity = schema.Arity(pred);
+      body[i].pred = pred;
+      body[i].args.resize(arity);
+      body[i].args[0] = endpoints[i].first;
+      body[i].args[arity - 1] = endpoints[i].second;
+      for (uint32_t pos = 1; pos + 1 < arity; ++pos) {
+        body[i].args[pos] = fresh();
+      }
+    }
+    const uint32_t num_body_vars = next_var;
+
+    const PredId head_pred = candidates[rng.Below(candidates.size())];
+    const uint32_t head_arity = schema.Arity(head_pred);
+    RuleAtom head;
+    head.pred = head_pred;
+    head.args.resize(head_arity);
+    uint32_t next_existential = num_body_vars;
+    bool has_frontier = false;
+    for (uint32_t i = 0; i < head_arity; ++i) {
+      if (rng.Percent(params.existential_percent)) {
+        head.args[i] = next_existential++;
+      } else {
+        head.args[i] = static_cast<VarId>(rng.Below(num_body_vars));
+        has_frontier = true;
+      }
+    }
+    if (!has_frontier) {
+      head.args[0] = static_cast<VarId>(rng.Below(num_body_vars));
+    }
+
+    CHASE_ASSIGN_OR_RETURN(Tgd tgd,
+                           Tgd::Create(std::move(body), {std::move(head)}));
+    tgds.push_back(std::move(tgd));
+  }
+  return tgds;
+}
+
 }  // namespace chase

@@ -49,6 +49,51 @@ struct TgdGenParams {
 StatusOr<std::vector<Tgd>> GenerateTgds(const Schema& schema,
                                         const TgdGenParams& params);
 
+// -----------------------------------------------------------------------------
+// Non-linear (multi-atom body) rule families — the ontology/data-exchange
+// join shapes the parallel homomorphism search is exercised on. Every body
+// atom uses its predicate's first and last positions as join "endpoints"
+// (middle positions get fresh distinct universals), which lets one family
+// definition run over any arity >= 2:
+//
+//  * kTriangle: a cyclic join — atom i links endpoint variable i to
+//    variable (i+1) mod k, so every atom shares a variable with two
+//    others (k = body_atoms, the classic triangle at k = 3).
+//  * kStar: a hub join — every atom's first endpoint is the shared hub
+//    variable, second endpoints are private (one hot hub value fans out
+//    multiplicatively; the hot-row sub-partitioning case).
+//  * kChain: a DL-Lite-style role chain — atom i links variable i to
+//    variable i+1 (composition r1 ∘ r2 ∘ …).
+//  * kCross: a disconnected body — no variable shared between atoms at
+//    all, the pure cross-product that makes unbudgeted homomorphism
+//    buffering explode.
+enum class NonLinearFamily {
+  kTriangle,
+  kStar,
+  kChain,
+  kCross,
+};
+
+const char* NonLinearFamilyName(NonLinearFamily family);
+
+struct NonLinearGenParams {
+  uint32_t ssize = 10;     // predicate pool size (arity >= 2 only)
+  uint32_t min_arity = 2;  // inclusive; must be >= 2 (endpoint positions)
+  uint32_t max_arity = 5;  // inclusive
+  uint64_t tsize = 20;     // |Σ|
+  NonLinearFamily family = NonLinearFamily::kChain;
+  uint32_t body_atoms = 3;  // atoms per body, >= 2
+  uint32_t existential_percent = 10;
+  uint64_t seed = 1;
+};
+
+// Generates `params.tsize` TGDs of the requested family over `schema`.
+// Fails if fewer than `params.ssize` predicates have arity in
+// [max(2, min_arity), max_arity], or if body_atoms < 2. Every TGD has a
+// non-empty frontier, like GenerateTgds.
+StatusOr<std::vector<Tgd>> GenerateNonLinearTgds(
+    const Schema& schema, const NonLinearGenParams& params);
+
 }  // namespace chase
 
 #endif  // CHASE_GEN_TGD_GENERATOR_H_

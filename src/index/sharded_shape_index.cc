@@ -4,6 +4,7 @@
 #include <queue>
 #include <utility>
 
+#include "base/frontier_pool.h"
 #include "base/hash.h"
 #include "base/padded.h"
 #include "io/binary_io.h"
@@ -216,7 +217,9 @@ std::vector<Shape> ShardedShapeIndex::CurrentShapes() const {
 StatusOr<ShardedShapeIndex> ShardedShapeIndex::Build(
     const storage::ShapeSource& source, const IndexBuildOptions& options) {
   ShardedShapeIndex index(ClampShards(options.shards));
-  const unsigned threads = std::max(1u, options.threads);
+  const unsigned threads = options.pool != nullptr
+                               ? std::max(1u, options.pool->threads())
+                               : std::max(1u, options.threads);
 
   // The range-partitioned scan driver is shared with the scan-mode shape
   // finder; workers count into thread-local maps (and sum their tuples'
@@ -228,7 +231,8 @@ StatusOr<ShardedShapeIndex> ShardedShapeIndex::Build(
       [&](unsigned t, PredId pred, std::span<const uint32_t> tuple) {
         ++local[t][Shape(pred, IdOf(tuple))];
         local_fp[t].value += TupleFingerprint(pred, tuple);
-      }));
+      },
+      options.pool));
   for (unsigned t = 0; t < threads; ++t) index.MergeCounts(local[t]);
   uint64_t fingerprint = 0;
   for (unsigned t = 0; t < threads; ++t) fingerprint += local_fp[t].value;

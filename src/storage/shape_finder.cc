@@ -24,13 +24,14 @@ std::vector<Shape> Sorted(ShapeSet shapes) {
 
 Status ScanShapes(const ShapeSource& source,
                   const std::vector<PredId>& preds, unsigned threads,
-                  ShapeSet* shapes) {
+                  WorkerPool* pool, ShapeSet* shapes) {
   std::vector<ShapeSet> local(threads);
   CHASE_RETURN_IF_ERROR(ParallelTupleScan(
       source, preds, threads,
       [&](unsigned t, PredId pred, std::span<const uint32_t> tuple) {
         local[t].insert(ShapeOfTuple(pred, tuple));
-      }));
+      },
+      pool));
   for (unsigned t = 0; t < threads; ++t) shapes->merge(local[t]);
   return OkStatus();
 }
@@ -67,8 +68,8 @@ Status WalkShapesForPred(const ShapeSource& source, PredId pred,
 // children when its relaxed query succeeded, just like the serial walk.
 Status WalkShapesFrontier(const ShapeSource& source,
                           const std::vector<PredId>& preds, unsigned threads,
-                          bool parallel_absorb, ShapeSet* shapes,
-                          FrontierStats* frontier_stats) {
+                          bool parallel_absorb, WorkerPool* worker_pool,
+                          ShapeSet* shapes, FrontierStats* frontier_stats) {
   struct Probe {
     bool present = false;
   };
@@ -79,7 +80,8 @@ Status WalkShapesFrontier(const ShapeSource& source,
   }
 
   std::vector<AccessStats> local_stats(threads);
-  FrontierPool<Shape, Probe, ShapeHash> pool({.threads = threads});
+  FrontierPool<Shape, Probe, ShapeHash> pool(
+      {.threads = threads, .pool = worker_pool});
   const auto expand =
       [&](unsigned worker, const Shape& candidate, Probe* out,
           FrontierPool<Shape, Probe, ShapeHash>::Discoveries* discovered)
@@ -152,7 +154,12 @@ const char* ShapeFinderModeName(ShapeFinderMode mode) {
 
 StatusOr<std::vector<Shape>> FindShapes(const ShapeSource& source,
                                         const FindShapesOptions& options) {
-  const unsigned threads = std::max(1u, options.threads);
+  // A caller-owned pool overrides the thread count — the plans dispatch on
+  // the threads that will actually run, and every plan returns the same
+  // set at any thread count, so sharing a pool never changes results.
+  const unsigned threads = options.pool != nullptr
+                               ? std::max(1u, options.pool->threads())
+                               : std::max(1u, options.threads);
   // Read-ahead pays off only for plans that consume whole ranges (scan and
   // the index build). The exists plan's probes early-exit — usually within
   // the first page — so read-ahead there would trade the cheap chain-head
@@ -162,15 +169,15 @@ StatusOr<std::vector<Shape>> FindShapes(const ShapeSource& source,
   if (options.mode == ShapeFinderMode::kIndex) {
     CHASE_ASSIGN_OR_RETURN(
         index::ShardedShapeIndex idx,
-        index::ShardedShapeIndex::Build(source,
-                                        {options.index_shards, threads}));
+        index::ShardedShapeIndex::Build(
+            source, {options.index_shards, threads, options.pool}));
     return idx.CurrentShapes();
   }
   const std::vector<PredId> preds = source.NonEmptyRelations();
   ShapeSet shapes;
   Status status = OkStatus();
   if (options.mode == ShapeFinderMode::kScan) {
-    status = ScanShapes(source, preds, threads, &shapes);
+    status = ScanShapes(source, preds, threads, options.pool, &shapes);
   } else if (threads == 1) {
     // The serial reference walk — the oracle the frontier-parallel plan is
     // differentially tested against (tests/frontier_equivalence_test.cc).
@@ -180,8 +187,8 @@ StatusOr<std::vector<Shape>> FindShapes(const ShapeSource& source,
     }
   } else {
     status = WalkShapesFrontier(source, preds, threads,
-                                options.parallel_absorb, &shapes,
-                                options.frontier_stats);
+                                options.parallel_absorb, options.pool,
+                                &shapes, options.frontier_stats);
   }
   CHASE_RETURN_IF_ERROR(status);
   return Sorted(std::move(shapes));

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <thread>
 
+#include "base/frontier_pool.h"
 #include "base/padded.h"
 
 namespace chase {
@@ -59,8 +60,10 @@ struct Chunk {
 
 Status ParallelTupleScan(const ShapeSource& source,
                          const std::vector<PredId>& preds, unsigned threads,
-                         const ParallelTupleVisitor& visit) {
-  threads = std::max(1u, threads);
+                         const ParallelTupleVisitor& visit,
+                         WorkerPool* pool) {
+  threads = pool != nullptr ? std::max(1u, pool->threads())
+                            : std::max(1u, threads);
 
   // Chunks of roughly equal tuple counts, a few per thread.
   uint64_t total_rows = 0;
@@ -79,24 +82,34 @@ Status ParallelTupleScan(const ShapeSource& source,
   // Per-worker tuple counters at cache-line stride (see base/padded.h).
   std::vector<PaddedU64> scanned(threads);
   std::vector<Status> worker_status(threads);
-  std::atomic<size_t> next_chunk{0};
-  auto work = [&](unsigned t) {
-    while (worker_status[t].ok()) {
-      const size_t index = next_chunk.fetch_add(1);
-      if (index >= chunks.size()) break;
-      const Chunk& chunk = chunks[index];
-      worker_status[t] = source.ScanRange(
-          chunk.pred, chunk.first_row, chunk.num_rows,
-          [&](std::span<const uint32_t> tuple) {
-            ++scanned[t].value;
-            visit(t, chunk.pred, tuple);
-            return true;
-          });
-    }
+  auto scan_chunk = [&](unsigned t, size_t index) {
+    if (!worker_status[t].ok()) return;
+    const Chunk& chunk = chunks[index];
+    worker_status[t] = source.ScanRange(
+        chunk.pred, chunk.first_row, chunk.num_rows,
+        [&](std::span<const uint32_t> tuple) {
+          ++scanned[t].value;
+          visit(t, chunk.pred, tuple);
+          return true;
+        });
   };
-  if (threads == 1) {
-    work(0);
+  if (pool != nullptr) {
+    // A caller-owned persistent pool: chunks dealt through its barrier, no
+    // thread spawn on this call at all.
+    pool->ParallelFor(chunks.size(), scan_chunk);
+  } else if (threads == 1) {
+    for (size_t index = 0; index < chunks.size(); ++index) {
+      scan_chunk(0, index);
+    }
   } else {
+    std::atomic<size_t> next_chunk{0};
+    auto work = [&](unsigned t) {
+      while (worker_status[t].ok()) {
+        const size_t index = next_chunk.fetch_add(1);
+        if (index >= chunks.size()) break;
+        scan_chunk(t, index);
+      }
+    };
     std::vector<std::thread> workers;
     workers.reserve(threads);
     for (unsigned t = 0; t < threads; ++t) workers.emplace_back(work, t);

@@ -30,6 +30,9 @@
 #include "storage/catalog.h"
 
 namespace chase {
+
+class WorkerPool;
+
 namespace storage {
 
 // Physical I/O performed by a backend. The in-memory row store does no I/O
@@ -116,12 +119,19 @@ class ShapeSource {
 // source.stats() — the scan-plan FindShapes convention. This is the one
 // scan driver behind both the scan-mode shape finder and the sharded-index
 // build.
+//
+// When `pool` is non-null the chunks run on that caller-owned persistent
+// WorkerPool instead of per-call std::threads (its thread count wins over
+// `threads`), so a caller running several parallel phases — FindShapes
+// plus a simplification worklist, say — pays one thread spawn for all of
+// them. The visit contract is unchanged: thread ids stay in [0, threads).
 using ParallelTupleVisitor =
     std::function<void(unsigned thread, PredId pred,
                        std::span<const uint32_t> tuple)>;
 Status ParallelTupleScan(const ShapeSource& source,
                          const std::vector<PredId>& preds, unsigned threads,
-                         const ParallelTupleVisitor& visit);
+                         const ParallelTupleVisitor& visit,
+                         WorkerPool* pool = nullptr);
 
 // The early-exit shape-existence probe both query plans of Section 5.4
 // compile to. With `exact` set it answers the full EXISTS query (equalities

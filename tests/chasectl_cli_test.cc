@@ -56,6 +56,7 @@ TEST_F(ChasectlCliTest, MalformedNumericFlagsExitTwo) {
       "check " + file + " --mode=l --threads=%s",
       "chase " + file + " --threads=%s",
       "chase " + file + " --max-atoms=%s",
+      "chase " + file + " --hom-budget=%s",
       "simplify " + file + " --threads=%s",
       "findshapes " + file + " --threads=%s",
       "findshapes " + file + " --shards=%s",
@@ -83,10 +84,12 @@ TEST_F(ChasectlCliTest, MalformedNumericFlagsExitTwo) {
 }
 
 TEST_F(ChasectlCliTest, OutOfRangeNumericFlagsExitTwo) {
-  // In-format but out-of-bounds values: threads has a [1, 1024] window and
-  // generate's arity is capped at Schema::kMaxArity.
+  // In-format but out-of-bounds values: threads has a [1, 1024] window,
+  // hom-budget needs at least 1, and generate's arity is capped at
+  // Schema::kMaxArity.
   EXPECT_EQ(RunChasectl("chase " + program_path_ + " --threads=0"), 2);
   EXPECT_EQ(RunChasectl("chase " + program_path_ + " --threads=4096"), 2);
+  EXPECT_EQ(RunChasectl("chase " + program_path_ + " --hom-budget=0"), 2);
   EXPECT_EQ(RunChasectl("generate " + TempDir() +
                         "/chasectl_cli_test_bad.dlgp --arity=300"),
             2);
@@ -95,6 +98,10 @@ TEST_F(ChasectlCliTest, OutOfRangeNumericFlagsExitTwo) {
 TEST_F(ChasectlCliTest, WellFormedFlagsStillRun) {
   EXPECT_EQ(RunChasectl("chase " + program_path_ +
                         " --variant=re --threads=2 --max-atoms=1000"),
+            0);
+  // hom-budget=1 drives the budgeted protocol at its tightest setting.
+  EXPECT_EQ(RunChasectl("chase " + program_path_ +
+                        " --variant=so --threads=2 --hom-budget=1"),
             0);
   EXPECT_EQ(RunChasectl("findshapes " + program_path_ +
                         " --mode=exists --threads=2 --absorb=parallel"),

@@ -10,7 +10,11 @@
 //    canonical simplified-TGD list (same TGDs, same order, same interned
 //    shape-schema predicates) and the same initial/derived shape counts;
 //  * the chase engine's frontier-parallel trigger enumeration: instance,
-//    null numbering, rounds, and trigger counts must match the serial run.
+//    null numbering, rounds, and trigger counts must match the serial run —
+//    for linear rules and for every non-linear join family (triangle, star,
+//    chain, cross-product), across the thread sweep and homomorphism
+//    budgets down to 1, with the budgeted protocol's peak-buffer bound
+//    (threads × hom_budget) asserted on every run.
 //
 // Plus the EXISTS-probe edge cases the frontier split exposes: empty
 // relations, arity-1 predicates (trivial lattices), duplicate database
@@ -240,6 +244,94 @@ TEST(FrontierEquivalenceTest, ParallelChaseEnumerationMatchesSerial) {
         parallel->instance.ForEachAtom(
             [&](const GroundAtom& atom) { parallel_atoms.push_back(atom); });
         EXPECT_EQ(parallel_atoms, serial_atoms) << label;
+      }
+    }
+  }
+}
+
+TEST(FrontierEquivalenceTest, ParallelNonLinearChaseMatchesSerial) {
+  // The non-linear sweep: every join family the body partitioner has to
+  // split differently — triangle (cyclic join), star (one hot hub row
+  // fanning out, the join-split case), chain (role composition), cross
+  // (disconnected body, the pure cross-product that makes unbudgeted
+  // buffering explode) — under all three variants, the full thread sweep,
+  // and budgets down to 1 (every epoch moves each fragment by one
+  // homomorphism, the maximal pause/resume stress). The contract is the
+  // serial one bit-for-bit: outcome, rounds, trigger counts, null ids, and
+  // the instance's insertion order. existential_percent > 0 puts
+  // existential variables in multi-atom heads, so the restricted variant's
+  // suffix re-check runs against real joins.
+  Rng rng(20260808);
+  const NonLinearFamily kFamilies[] = {
+      NonLinearFamily::kTriangle, NonLinearFamily::kStar,
+      NonLinearFamily::kChain, NonLinearFamily::kCross};
+  for (NonLinearFamily family : kFamilies) {
+    DataGenParams data_params;
+    data_params.preds = 4;
+    data_params.min_arity = 2;
+    data_params.max_arity = 3;
+    data_params.dsize = 64;
+    data_params.rsize = 12;
+    data_params.seed = rng.Next();
+    auto data = GenerateData(data_params);
+    ASSERT_TRUE(data.ok()) << data.status();
+
+    NonLinearGenParams tgd_params;
+    tgd_params.ssize = data->schema->NumPredicates();
+    tgd_params.min_arity = 2;
+    tgd_params.max_arity = 3;
+    tgd_params.tsize = 5;
+    tgd_params.family = family;
+    tgd_params.body_atoms = family == NonLinearFamily::kTriangle ? 3 : 2;
+    tgd_params.existential_percent = 25;
+    tgd_params.seed = rng.Next();
+    auto tgds = GenerateNonLinearTgds(*data->schema, tgd_params);
+    ASSERT_TRUE(tgds.ok()) << tgds.status();
+
+    for (ChaseVariant variant :
+         {ChaseVariant::kSemiOblivious, ChaseVariant::kOblivious,
+          ChaseVariant::kRestricted}) {
+      ChaseOptions serial_options;
+      serial_options.variant = variant;
+      // Low enough that the oblivious variants hit the atom limit on the
+      // fan-out families: the limit cut itself must land identically.
+      serial_options.max_atoms = 1'500;
+      auto serial = RunChase(*data->database, *tgds, serial_options);
+      ASSERT_TRUE(serial.ok()) << serial.status();
+      EXPECT_EQ(serial->peak_buffered_homs, 0u);  // serial never buffers
+
+      std::vector<GroundAtom> serial_atoms;
+      serial->instance.ForEachAtom(
+          [&](const GroundAtom& atom) { serial_atoms.push_back(atom); });
+
+      for (unsigned threads : kThreadSweep) {
+        for (uint64_t budget : {uint64_t{1}, uint64_t{7}, uint64_t{4096}}) {
+          ChaseOptions parallel_options = serial_options;
+          parallel_options.frontier_threads = threads;
+          parallel_options.hom_budget = budget;
+          auto parallel = RunChase(*data->database, *tgds, parallel_options);
+          ASSERT_TRUE(parallel.ok()) << parallel.status();
+          const std::string label =
+              std::string("family ") + NonLinearFamilyName(family) +
+              ", variant " + ChaseVariantName(variant) + ", threads " +
+              std::to_string(threads) + ", budget " + std::to_string(budget);
+          EXPECT_EQ(parallel->outcome, serial->outcome) << label;
+          EXPECT_EQ(parallel->rounds, serial->rounds) << label;
+          EXPECT_EQ(parallel->triggers_fired, serial->triggers_fired)
+              << label;
+          // The protocol's memory bound, measured at the epoch barriers.
+          EXPECT_LE(parallel->peak_buffered_homs,
+                    uint64_t{threads} * budget)
+              << label;
+          if (threads > 1 && serial->triggers_fired > 0) {
+            EXPECT_GT(parallel->peak_buffered_homs, 0u) << label;
+          }
+          std::vector<GroundAtom> parallel_atoms;
+          parallel->instance.ForEachAtom([&](const GroundAtom& atom) {
+            parallel_atoms.push_back(atom);
+          });
+          EXPECT_EQ(parallel_atoms, serial_atoms) << label;
+        }
       }
     }
   }

@@ -4,6 +4,7 @@
 //   check <file> [--mode=sl|l] [--shapes=mem|db|index] [--threads=N]
 //                                                  termination check
 //   chase <file> [--variant=so|ob|re] [--max-atoms=N] [--threads=N]
+//               [--hom-budget=N]
 //                [--print]
 //   simplify <file> [--mode=scan|exists|index] [--threads=N] [--print]
 //                                                  simple_D(Σ) via the
@@ -345,7 +346,8 @@ int CmdCheck(const Args& args) {
 int CmdChase(const Args& args) {
   if (args.positional.empty()) {
     std::cerr << "usage: chasectl chase <file> [--variant=so|ob|re] "
-                 "[--max-atoms=N] [--threads=N] [--print]\n";
+                 "[--max-atoms=N] [--threads=N] [--hom-budget=N] "
+                 "[--print]\n";
     return 2;
   }
   auto program = LoadAnyProgram(args.positional[0]);
@@ -366,6 +368,12 @@ int CmdChase(const Args& args) {
   }
   if (!ParseU64Flag(args, "max-atoms", 1'000'000, 1, UINT64_MAX,
                     &options.max_atoms)) {
+    return 2;
+  }
+  // Per-fragment homomorphism buffer of the parallel non-linear engine
+  // (peak buffered homs <= threads x budget); ignored when --threads=1.
+  if (!ParseU64Flag(args, "hom-budget", options.hom_budget, 1, UINT64_MAX,
+                    &options.hom_budget)) {
     return 2;
   }
 
