@@ -118,5 +118,6 @@ int main(int argc, char** argv) {
        "Ablation (Section 1.2): restricted vs semi-oblivious vs oblivious "
        "chase",
        table);
+  if (!WriteBenchJson(flags, "chase_variants", table)) return 1;
   return 0;
 }

@@ -138,5 +138,6 @@ int main(int argc, char** argv) {
        "Ablation: FindShapes on the disk substrate (scan, parallel scan, "
        "exists plans) vs in-memory",
        table);
+  if (!WriteBenchJson(flags, "disk_findshapes", table)) return 1;
   return 0;
 }

@@ -74,5 +74,6 @@ int main(int argc, char** argv) {
   }
   Emit(flags, "Ablation: parallel in-memory FindShapes (thread sweep)",
        table);
+  if (!WriteBenchJson(flags, "parallel_shapes", table)) return 1;
   return 0;
 }

@@ -155,5 +155,6 @@ int main(int argc, char** argv) {
        "Ablation: buffer-pool sharding x scan read-ahead (parallel disk "
        "FindShapes, cold vs warm pool)",
        table);
+  if (!WriteBenchJson(flags, "pool_sharding", table)) return 1;
   return 0;
 }

@@ -189,5 +189,12 @@ int main(int argc, char** argv) {
   Emit(flags,
        "Ablation: write-through maintenance vs parallel index rebuild",
        maint_table);
+  // Two tables, one artifact: {"build": [...], "maintain": [...]} — two
+  // plain WriteBenchJson calls would fight over a single --json-out path.
+  if (!WriteBenchJsonSections(flags, "sharded_index",
+                              {{"build", &build_table},
+                               {"maintain", &maint_table}})) {
+    return 1;
+  }
   return 0;
 }

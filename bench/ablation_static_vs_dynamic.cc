@@ -87,5 +87,6 @@ int main(int argc, char** argv) {
   Emit(flags,
        "Ablation: static vs dynamic simplification (|simple| vs |simple_D|)",
        table);
+  if (!WriteBenchJson(flags, "static_vs_dynamic", table)) return 1;
   return 0;
 }

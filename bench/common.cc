@@ -101,7 +101,7 @@ StatusOr<SlRun> RunSlExperiment(const Schema& base_schema,
   const std::string text = TgdsToString(base_schema, tgds);
   Timer timer;
   CHASE_ASSIGN_OR_RETURN(Program program, ParseProgram(text));
-  run.parse_ms = timer.ElapsedMillis();
+  run.times.parse_ms = timer.ElapsedMillis();
   run.n_preds = program.schema->NumPredicates();
 
   PopulateInducedDatabase(*program.schema, program.database.get());
@@ -109,8 +109,8 @@ StatusOr<SlRun> RunSlExperiment(const Schema& base_schema,
   CHASE_ASSIGN_OR_RETURN(
       bool finite, IsChaseFiniteSL(*program.database, program.tgds, &stats));
   run.finite = finite;
-  run.graph_ms = stats.graph_ms;
-  run.comp_ms = stats.comp_ms + stats.support_ms;
+  run.times.graph_ms = stats.graph_ms;
+  run.times.comp_ms = stats.comp_ms + stats.support_ms;
   run.graph_edges = stats.graph_edges;
   return run;
 }
@@ -129,7 +129,7 @@ StatusOr<LRun> RunLExperiment(const Schema& base_schema,
   Timer timer;
   CHASE_ASSIGN_OR_RETURN(std::vector<Tgd> parsed,
                          ParseTgds(text, &parse_schema));
-  run.parse_ms = timer.ElapsedMillis();
+  run.times.parse_ms = timer.ElapsedMillis();
   (void)parsed;
 
   // The checker proper runs over the original schema (shared with the
@@ -146,9 +146,9 @@ StatusOr<LRun> RunLExperiment(const Schema& base_schema,
       query_overhead_us * 1e-3 *
       static_cast<double>(stats.access.exists_queries +
                           stats.access.relations_loaded);
-  run.shapes_ms = stats.shapes_ms + overhead_ms;
-  run.graph_ms = stats.graph_ms;
-  run.comp_ms = stats.comp_ms;
+  run.times.shapes_ms = stats.shapes_ms + overhead_ms;
+  run.times.graph_ms = stats.graph_ms;
+  run.times.comp_ms = stats.comp_ms;
   run.n_shapes = stats.num_initial_shapes;
   run.n_simplified = stats.num_simplified_tgds;
   run.graph_edges = stats.graph_edges;
@@ -194,6 +194,33 @@ bool WriteBenchJson(const BenchFlags& flags, const std::string& name,
     return false;
   }
   table.PrintJson(out);
+  out.flush();
+  if (!out) {
+    std::cerr << "write to " << path << " failed\n";
+    return false;
+  }
+  std::cout << "wrote " << path << "\n";
+  return true;
+}
+
+bool WriteBenchJsonSections(
+    const BenchFlags& flags, const std::string& name,
+    const std::vector<std::pair<std::string, const TablePrinter*>>&
+        sections) {
+  const std::string path =
+      flags.json_out.empty() ? "BENCH_" + name + ".json" : flags.json_out;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return false;
+  }
+  out << "{\n";
+  for (size_t i = 0; i < sections.size(); ++i) {
+    if (i > 0) out << ",\n";
+    out << "\"" << sections[i].first << "\": ";
+    sections[i].second->PrintJson(out);
+  }
+  out << "}\n";
   out.flush();
   if (!out) {
     std::cerr << "write to " << path << " failed\n";

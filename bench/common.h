@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/rng.h"
@@ -31,6 +32,7 @@
 #include "gen/data_generator.h"
 #include "gen/tgd_generator.h"
 #include "logic/parser.h"
+#include "obs/metrics.h"
 #include "storage/shape_source.h"
 
 namespace chase {
@@ -78,13 +80,14 @@ void PopulateInducedDatabase(const Schema& schema, Database* db);
 struct SlRun {
   size_t n_rules = 0;
   size_t n_preds = 0;
-  double parse_ms = 0;
-  double graph_ms = 0;
-  double comp_ms = 0;
+  // The paper's time parameters (shapes_ms stays 0: Algorithm 1 has no
+  // db-dependent shape phase), accounted in the one shared struct
+  // (obs::TimeParams) instead of bench-local fields.
+  obs::TimeParams times;
   size_t graph_edges = 0;
   bool finite = false;
 
-  double TotalMs() const { return parse_ms + graph_ms + comp_ms; }
+  double TotalMs() const { return times.DbIndependentMs(); }
 };
 StatusOr<SlRun> RunSlExperiment(const Schema& base_schema,
                                 const std::vector<Tgd>& tgds);
@@ -96,17 +99,15 @@ StatusOr<SlRun> RunSlExperiment(const Schema& base_schema,
 struct LRun {
   size_t n_rules = 0;
   size_t n_tuples = 0;
-  double parse_ms = 0;
-  double shapes_ms = 0;
-  double graph_ms = 0;
-  double comp_ms = 0;
+  // t-parse / t-shapes / t-graph / t-comp via the shared obs::TimeParams.
+  obs::TimeParams times;
   size_t n_shapes = 0;
   size_t n_simplified = 0;
   size_t graph_edges = 0;
   bool finite = false;
 
   // t-total of the db-independent component (Section 8).
-  double DbIndependentMs() const { return parse_ms + graph_ms + comp_ms; }
+  double DbIndependentMs() const { return times.DbIndependentMs(); }
 };
 StatusOr<LRun> RunLExperiment(const Schema& base_schema,
                               const Database& database,
@@ -137,6 +138,15 @@ void Emit(const BenchFlags& flags, const std::string& title,
 // false (after logging to stderr) if the file cannot be written.
 bool WriteBenchJson(const BenchFlags& flags, const std::string& name,
                     const TablePrinter& table);
+
+// As WriteBenchJson for benches that report several tables (e.g. a build
+// phase and a maintenance phase): emits one object whose keys are the
+// section names, each holding that table's row array —
+// {"build": [...], "maintain": [...]} — so a multi-table ablation still
+// produces a single BENCH_<name>.json artifact under --json-out.
+bool WriteBenchJsonSections(
+    const BenchFlags& flags, const std::string& name,
+    const std::vector<std::pair<std::string, const TablePrinter*>>& sections);
 
 }  // namespace bench
 }  // namespace chase

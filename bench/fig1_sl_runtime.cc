@@ -46,8 +46,8 @@ int main(int argc, char** argv) {
           return 1;
         }
         table.AddRow({preds.Label(), rules.Label(),
-                      std::to_string(run->n_rules), FmtMs(run->parse_ms),
-                      FmtMs(run->graph_ms), FmtMs(run->comp_ms),
+                      std::to_string(run->n_rules), FmtMs(run->times.parse_ms),
+                      FmtMs(run->times.graph_ms), FmtMs(run->times.comp_ms),
                       FmtMs(run->TotalMs()), run->finite ? "yes" : "no"});
       }
     }

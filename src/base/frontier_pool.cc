@@ -1,6 +1,52 @@
 #include "base/frontier_pool.h"
 
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace chase {
+namespace {
+
+// True once per phase measurement: both sinks off means no clock read at
+// all on the barrier/chunk paths.
+bool PoolObserved() {
+  return obs::MetricsRegistry::enabled() || obs::TraceRecorder::enabled();
+}
+
+// Records one finished pool phase ("barrier_wait" or "chunks") of
+// `duration` for `worker`: an aggregate counter (<counter_name> in
+// microseconds) plus a per-worker trace span, each behind its own gate.
+// The trace timestamp is back-dated from now by the duration so the span
+// lands where the phase ran.
+void RecordPoolPhase(const char* name, const char* counter_name,
+                     unsigned worker,
+                     std::chrono::steady_clock::time_point begin) {
+  const auto now = std::chrono::steady_clock::now();
+  if (obs::MetricsRegistry::enabled()) {
+    const int64_t us =
+        std::chrono::duration_cast<std::chrono::microseconds>(now - begin)
+            .count();
+    obs::MetricsRegistry::Get().GetCounter(counter_name)->Add(
+        static_cast<uint64_t>(us));
+  }
+  if (obs::TraceRecorder::enabled()) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Get();
+    obs::TraceEvent event;
+    event.name = name;
+    event.cat = "pool";
+    // Both endpoints through the session clock (see ToUs): a re-read
+    // "now minus duration" back-dating drifts a few microseconds and
+    // partially overlaps the neighboring phase's span.
+    event.ts_us = recorder.ToUs(begin);
+    event.dur_us = recorder.ToUs(now) - event.ts_us;
+    event.arg0_name = "worker";
+    event.arg0 = worker;
+    recorder.Emit(event);
+  }
+}
+
+}  // namespace
 
 WorkerPool::WorkerPool(unsigned threads) : threads_(std::max(1u, threads)) {
   workers_.reserve(threads_ - 1);
@@ -55,11 +101,30 @@ void WorkerPool::ParallelFor(
     ++epoch_;  // the reusable barrier: workers wake on the advance
   }
   start_cv_.notify_all();
+  const bool observed = PoolObserved();
+  const auto busy_begin = observed ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point{};
   RunChunks(0);  // the calling thread is worker 0
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return running_ == 0; });
-  work_ = nullptr;
-  abort_ = nullptr;
+  if (observed) {
+    RecordPoolPhase("chunks", "pool.busy_us", 0, busy_begin);
+    if (obs::MetricsRegistry::enabled()) {
+      obs::MetricsRegistry::Get().GetCounter("pool.epochs")->Add(1);
+    }
+  }
+  const auto wait_begin = observed ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point{};
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return running_ == 0; });
+    work_ = nullptr;
+    abort_ = nullptr;
+  }
+  // Worker 0's time blocked on the stragglers is barrier wait like any
+  // other worker's. Recorded outside mu_ so the obs latches never nest
+  // inside the pool's.
+  if (observed) {
+    RecordPoolPhase("barrier_wait", "pool.barrier_wait_us", 0, wait_begin);
+  }
 }
 
 void WorkerPool::RunBudgetedTasks(
@@ -69,9 +134,14 @@ void WorkerPool::RunBudgetedTasks(
     const std::function<void(size_t first, size_t count)>& epoch_end) {
   std::vector<char> exhausted(num_tasks, 0);
   size_t drained = 0;  // tasks fully consumed and exhausted
+  uint64_t wave = 0;   // epoch ordinal, for the trace only
   while (drained < num_tasks) {
     const size_t count =
         std::min<size_t>(threads_, num_tasks - drained);
+    // One wave = one enumerate→pause→apply epoch of the budgeted protocol.
+    obs::TraceSpan wave_span("pool", "wave", "wave",
+                             static_cast<int64_t>(wave++), "window",
+                             static_cast<int64_t>(count));
     // Parallel epoch over the window of the first `count` undrained
     // tasks. Already-exhausted tasks (kept in the window because an
     // earlier task still has work) are skipped; their buffers wait.
@@ -97,11 +167,27 @@ void WorkerPool::Loop(unsigned worker) {
   uint64_t seen_epoch = 0;
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
+    // Idle time between epochs: measured only when some sink is on, and
+    // recorded after the latch drops so obs latches never nest inside mu_.
+    const bool observed = PoolObserved();
+    const auto wait_begin = observed
+                                ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point{};
     start_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
     if (stop_) return;
     seen_epoch = epoch_;
     lock.unlock();
+    if (observed) {
+      RecordPoolPhase("barrier_wait", "pool.barrier_wait_us", worker,
+                      wait_begin);
+    }
+    const auto busy_begin = observed
+                                ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point{};
     RunChunks(worker);
+    if (observed) {
+      RecordPoolPhase("chunks", "pool.busy_us", worker, busy_begin);
+    }
     lock.lock();
     // Only the ParallelFor caller waits on done_cv_, so one wakeup is
     // enough — and only the last worker to finish issues it.

@@ -60,6 +60,8 @@
 #include "base/hash.h"
 #include "base/padded.h"
 #include "base/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace chase {
 
@@ -322,6 +324,10 @@ class FrontierPool {
     auto run_depths = [&]() -> Status {
       while (!frontier.empty()) {
         ++out_stats.depths;
+        obs::TraceSpan depth_span(
+            "frontier", "depth", "depth",
+            static_cast<int64_t>(out_stats.depths - 1), "width",
+            static_cast<int64_t>(frontier.size()));
         out_stats.max_frontier =
             std::max<uint64_t>(out_stats.max_frontier, frontier.size());
         std::vector<Out> outs(frontier.size());
@@ -374,6 +380,23 @@ class FrontierPool {
     for (unsigned t = 0; t < threads; ++t) {
       out_stats.worker_expanded[t] = expanded[t].value;
       out_stats.items_expanded += expanded[t].value;
+    }
+    // Mirror into the metrics registry: counters accumulate across every
+    // frontier run of the session (EXISTS walks, dynamic simplification,
+    // chase trigger enumeration all fold in); the gauge keeps the widest
+    // frontier any run reached.
+    if (obs::MetricsRegistry::enabled()) {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+      registry.GetCounter("frontier.runs")->Add(1);
+      registry.GetCounter("frontier.depths")->Add(out_stats.depths);
+      registry.GetCounter("frontier.seeds_admitted")
+          ->Add(out_stats.seeds_admitted);
+      registry.GetCounter("frontier.items_expanded")
+          ->Add(out_stats.items_expanded);
+      registry.GetCounter("frontier.items_discovered")
+          ->Add(out_stats.items_discovered);
+      registry.MaxGauge("frontier.max_frontier",
+                        static_cast<double>(out_stats.max_frontier));
     }
     return status;
   }

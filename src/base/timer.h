@@ -1,5 +1,6 @@
-// Wall-clock timing utilities used by the benchmark harness to report the
-// paper's time parameters (t-parse, t-graph, t-comp, t-shapes).
+// Wall-clock timing utilities. The paper's time-parameter breakdown
+// (t-parse, t-graph, t-comp, t-shapes) lives in obs/metrics.h as
+// obs::TimeParams, shared by the library, the CLI, and the benches.
 
 #ifndef CHASE_BASE_TIMER_H_
 #define CHASE_BASE_TIMER_H_
@@ -29,19 +30,6 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
-};
-
-// Accumulates the time breakdown of one termination-check run, mirroring the
-// paper's reporting (Sections 7 and 8). All values in milliseconds.
-struct TimeBreakdown {
-  double parse_ms = 0;   // t-parse
-  double graph_ms = 0;   // t-graph (includes simplification for linear TGDs)
-  double comp_ms = 0;    // t-comp
-  double shapes_ms = 0;  // t-shapes (db-dependent component; linear TGDs only)
-
-  double TotalMs() const { return parse_ms + graph_ms + comp_ms + shapes_ms; }
-  // The paper's t-total for the db-independent component (Section 8).
-  double DbIndependentMs() const { return parse_ms + graph_ms + comp_ms; }
 };
 
 }  // namespace chase

@@ -1,5 +1,6 @@
 #include "chase/chase_engine.h"
 
+#include <chrono>
 #include <optional>
 #include <span>
 #include <unordered_set>
@@ -8,6 +9,8 @@
 #include "chase/body_partition.h"
 #include "index/sharded_shape_index.h"
 #include "logic/shape.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace chase {
 namespace {
@@ -241,11 +244,28 @@ StatusOr<ChaseResult> RunChase(const Database& database,
   std::optional<WorkerPool> pool;
   if (enum_threads > 1) pool.emplace(enum_threads);
 
+  // Observability (all off by default, every site behind one relaxed
+  // load): a whole-run span, a span and log2 duration histogram per round,
+  // and — when the caller hands in a sink — live progress published at
+  // round boundaries plus every few thousand firings inside a round.
+  obs::TraceSpan run_span("chase", "run", "threads", enum_threads, "rules",
+                          static_cast<int64_t>(tgds.size()));
+  obs::Histogram* round_hist =
+      obs::MetricsRegistry::enabled()
+          ? obs::MetricsRegistry::Get().GetHistogram("chase.round_us")
+          : nullptr;
+  constexpr uint64_t kProgressStride = 4096;  // firings between updates
+
   while (true) {
     if (result.rounds >= options.max_rounds) {
       result.outcome = ChaseOutcome::kRoundLimit;
       break;
     }
+    obs::TraceSpan round_span("chase", "round", "round",
+                              static_cast<int64_t>(result.rounds));
+    const auto round_begin = round_hist != nullptr
+                                 ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
     pending.clear();
     bool grew = false;
     bool hit_atom_limit = false;
@@ -329,11 +349,18 @@ StatusOr<ChaseResult> RunChase(const Database& database,
       }
       pending.clear();
       if (atoms_now > options.max_atoms) hit_atom_limit = true;
+      if (options.progress != nullptr &&
+          result.triggers_fired % kProgressStride == 0) {
+        options.progress->Update(result.rounds + 1, atoms_now,
+                                 instance.NumNulls(), result.triggers_fired);
+      }
     };
 
     if (enum_threads <= 1) {
       for (size_t rule = 0; rule < tgds.size() && !hit_atom_limit; ++rule) {
         const Tgd& tgd = tgds[rule];
+        obs::TraceSpan rule_span("chase", "rule", "rule",
+                                 static_cast<int64_t>(rule));
         h.assign(tgd.num_vars(), kUnbound);
         trail.clear();
         ForEachNewBodyHom(tgd, instance, view, h, trail,
@@ -367,6 +394,11 @@ StatusOr<ChaseResult> RunChase(const Database& database,
       pool->RunBudgetedTasks(
           parts.size(),
           [&](unsigned /*worker*/, size_t t) -> bool {
+            // One span per resume slice of a (rule, delta)-fragment's
+            // homomorphism enumeration — the per-task view of a wave.
+            obs::TraceSpan task_span("chase", "hom_task", "rule",
+                                     static_cast<int64_t>(parts[t].rule),
+                                     "task", static_cast<int64_t>(t));
             const Tgd& tgd = tgds[parts[t].rule];
             HomEnumerator& e = enums[t];
             if (started[t] == 0) {
@@ -414,6 +446,16 @@ StatusOr<ChaseResult> RunChase(const Database& database,
     }
 
     ++result.rounds;
+    if (round_hist != nullptr && obs::MetricsRegistry::enabled()) {
+      round_hist->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - round_begin)
+              .count()));
+    }
+    if (options.progress != nullptr) {
+      options.progress->Update(result.rounds, instance.NumAtoms(),
+                               instance.NumNulls(), result.triggers_fired);
+    }
     if (hit_atom_limit) {
       result.outcome = ChaseOutcome::kAtomLimit;
       break;
@@ -428,6 +470,17 @@ StatusOr<ChaseResult> RunChase(const Database& database,
       view.cur[pred] = instance.AtomsOf(pred).size();
     }
   }
+  // Mirror the run's result counters into the registry so `--metrics`
+  // surfaces them without the caller plumbing ChaseResult around.
+  obs::SetGauge("chase.rounds", static_cast<double>(result.rounds));
+  obs::SetGauge("chase.triggers_fired",
+                static_cast<double>(result.triggers_fired));
+  obs::SetGauge("chase.triggers_prefiltered",
+                static_cast<double>(result.triggers_prefiltered));
+  obs::SetGauge("chase.peak_buffered_homs",
+                static_cast<double>(result.peak_buffered_homs));
+  obs::SetGauge("chase.atoms", static_cast<double>(instance.NumAtoms()));
+  obs::SetGauge("chase.nulls", static_cast<double>(instance.NumNulls()));
   return result;
 }
 

@@ -29,6 +29,7 @@
 #include "chase/instance.h"
 #include "logic/database.h"
 #include "logic/tgd.h"
+#include "obs/progress.h"
 
 namespace chase {
 
@@ -85,6 +86,12 @@ struct ChaseOptions {
   // producting multi-atom body included). 0 behaves as 1. Never affects
   // results — only peak memory and barrier cadence.
   uint64_t hom_budget = 4096;
+  // Optional live-progress sink (obs/progress.h): when set, the engine
+  // publishes rounds / atom count / null count / triggers fired into it at
+  // every round boundary and every few thousand trigger firings within a
+  // round, so a reporter thread can print status for chases that run long
+  // or never terminate. Pure observer — never affects results.
+  obs::ChaseProgressSink* progress = nullptr;
 };
 
 enum class ChaseOutcome {

@@ -41,6 +41,9 @@ class Instance {
   // Allocates a fresh null id (never reused).
   uint64_t NewNullId() { return next_null_++; }
 
+  // Number of null ids allocated so far (= the next id to be handed out).
+  uint64_t NumNulls() const { return next_null_; }
+
   // Iterates all atoms (by predicate, insertion order within predicate).
   template <typename Fn>
   void ForEachAtom(Fn&& fn) const {

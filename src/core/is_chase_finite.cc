@@ -9,6 +9,8 @@
 #include "graph/dependency_graph.h"
 #include "graph/tarjan.h"
 #include "index/sharded_shape_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/shape_source.h"
 
 namespace chase {
@@ -38,22 +40,33 @@ StatusOr<bool> IsChaseFiniteSL(const Database& database,
   SlCheckStats& out = stats != nullptr ? *stats : local;
 
   Timer timer;
-  const DependencyGraph graph =
-      BuildDependencyGraph(database.schema(), tgds);
+  const DependencyGraph graph = [&] {
+    obs::TraceSpan span("check", "t_graph");
+    return BuildDependencyGraph(database.schema(), tgds);
+  }();
   out.graph_ms = timer.ElapsedMillis();
   out.graph_nodes = graph.num_nodes();
   out.graph_edges = graph.num_edges();
+  obs::SetGauge("check.t_graph_ms", out.graph_ms);
 
   timer.Restart();
-  const SpecialSccs special = FindSpecialSccs(graph.graph());
+  const SpecialSccs special = [&] {
+    obs::TraceSpan span("check", "t_comp");
+    return FindSpecialSccs(graph.graph());
+  }();
   out.comp_ms = timer.ElapsedMillis();
   out.special_sccs = special.components.size();
+  obs::SetGauge("check.t_comp_ms", out.comp_ms);
   if (special.empty()) return true;
 
   timer.Restart();
   storage::Catalog catalog(&database);
-  const bool supported = Supports(catalog, graph, special.representatives);
+  const bool supported = [&] {
+    obs::TraceSpan span("check", "t_support");
+    return Supports(catalog, graph, special.representatives);
+  }();
   out.support_ms = timer.ElapsedMillis();
+  obs::SetGauge("check.t_support_ms", out.support_ms);
   return !supported;
 }
 
@@ -89,20 +102,23 @@ StatusOr<bool> IsChaseFiniteL(const Database& database,
   Timer timer;
   storage::Catalog catalog(&database);
   std::vector<Shape> computed;
-  if (options.precomputed_shapes == nullptr) {
-    if (options.shape_index != nullptr) {
-      computed = options.shape_index->CurrentShapes();
-    } else {
-      storage::MemoryShapeSource source(&catalog);
-      storage::FindShapesOptions find_options;
-      find_options.mode = options.shape_finder;
-      find_options.threads = options.shape_threads;
-      // Share the pool only when this phase was asked to run parallel: a
-      // serial phase keeps its serial plan (and its serial-plan metering)
-      // even if the other phase forced a pool into existence.
-      find_options.pool = options.shape_threads > 1 ? pool : nullptr;
-      CHASE_ASSIGN_OR_RETURN(computed,
-                             storage::FindShapes(source, find_options));
+  {
+    obs::TraceSpan shapes_span("check", "t_shapes");
+    if (options.precomputed_shapes == nullptr) {
+      if (options.shape_index != nullptr) {
+        computed = options.shape_index->CurrentShapes();
+      } else {
+        storage::MemoryShapeSource source(&catalog);
+        storage::FindShapesOptions find_options;
+        find_options.mode = options.shape_finder;
+        find_options.threads = options.shape_threads;
+        // Share the pool only when this phase was asked to run parallel: a
+        // serial phase keeps its serial plan (and its serial-plan metering)
+        // even if the other phase forced a pool into existence.
+        find_options.pool = options.shape_threads > 1 ? pool : nullptr;
+        CHASE_ASSIGN_OR_RETURN(computed,
+                               storage::FindShapes(source, find_options));
+      }
     }
   }
   const std::vector<Shape>& shapes = options.precomputed_shapes != nullptr
@@ -110,27 +126,41 @@ StatusOr<bool> IsChaseFiniteL(const Database& database,
                                          : computed;
   out.shapes_ms = timer.ElapsedMillis();
   out.access = catalog.stats();
+  obs::SetGauge("check.t_shapes_ms", out.shapes_ms);
 
   // The db-independent component: dynamic simplification + dependency graph
   // (t-graph), then special-SCC search (t-comp).
   timer.Restart();
-  CHASE_ASSIGN_OR_RETURN(
-      DynamicSimplificationResult simplified,
-      DynamicSimplificationFromShapes(
-          database.schema(), tgds, shapes, options.simplify_threads,
-          options.simplify_threads > 1 ? pool : nullptr));
-  const DependencyGraph graph = BuildDependencyGraph(
-      simplified.shape_schema->schema(), simplified.tgds);
+  std::optional<DynamicSimplificationResult> simplified_opt;
+  std::optional<DependencyGraph> graph_opt;
+  {
+    obs::TraceSpan graph_span("check", "t_graph");
+    CHASE_ASSIGN_OR_RETURN(
+        DynamicSimplificationResult result,
+        DynamicSimplificationFromShapes(
+            database.schema(), tgds, shapes, options.simplify_threads,
+            options.simplify_threads > 1 ? pool : nullptr));
+    simplified_opt.emplace(std::move(result));
+    graph_opt.emplace(BuildDependencyGraph(
+        simplified_opt->shape_schema->schema(), simplified_opt->tgds));
+  }
+  const DynamicSimplificationResult& simplified = *simplified_opt;
+  const DependencyGraph& graph = *graph_opt;
   out.graph_ms = timer.ElapsedMillis();
   out.num_initial_shapes = simplified.num_initial_shapes;
   out.num_derived_shapes = simplified.num_derived_shapes;
   out.num_simplified_tgds = simplified.tgds.size();
   out.graph_nodes = graph.num_nodes();
   out.graph_edges = graph.num_edges();
+  obs::SetGauge("check.t_graph_ms", out.graph_ms);
 
   timer.Restart();
-  const bool acyclic = FindSpecialSccs(graph.graph()).empty();
+  const bool acyclic = [&] {
+    obs::TraceSpan comp_span("check", "t_comp");
+    return FindSpecialSccs(graph.graph()).empty();
+  }();
   out.comp_ms = timer.ElapsedMillis();
+  obs::SetGauge("check.t_comp_ms", out.comp_ms);
   return acyclic;
 }
 

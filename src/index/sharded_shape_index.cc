@@ -8,6 +8,8 @@
 #include "base/hash.h"
 #include "base/padded.h"
 #include "io/binary_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace chase {
 namespace index {
@@ -220,6 +222,9 @@ StatusOr<ShardedShapeIndex> ShardedShapeIndex::Build(
   const unsigned threads = options.pool != nullptr
                                ? std::max(1u, options.pool->threads())
                                : std::max(1u, options.threads);
+  obs::TraceSpan build_span("index", "build", "shards",
+                            static_cast<int64_t>(index.num_shards()),
+                            "threads", static_cast<int64_t>(threads));
 
   // The range-partitioned scan driver is shared with the scan-mode shape
   // finder; workers count into thread-local maps (and sum their tuples'
@@ -237,6 +242,17 @@ StatusOr<ShardedShapeIndex> ShardedShapeIndex::Build(
   uint64_t fingerprint = 0;
   for (unsigned t = 0; t < threads; ++t) fingerprint += local_fp[t].value;
   index.fingerprint_.store(fingerprint, std::memory_order_relaxed);
+  if (obs::MetricsRegistry::enabled()) {
+    uint64_t tuples = 0;
+    for (const CountMap& counts : local) {
+      for (const auto& [shape, count] : counts) tuples += count;
+    }
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+    registry.GetCounter("index.builds")->Add(1);
+    registry.GetCounter("index.tuples_indexed")->Add(tuples);
+    registry.SetGauge("index.shards",
+                      static_cast<double>(index.num_shards()));
+  }
   return index;
 }
 

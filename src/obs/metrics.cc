@@ -1,0 +1,242 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+
+namespace chase {
+namespace obs {
+namespace {
+
+// One stripe per thread, picked once per thread: the same worker always
+// lands on the same padded atomic, so Add is a relaxed RMW on a line no
+// other core touches (modulo hash collisions across threads).
+unsigned ThreadShard() {
+  static thread_local const unsigned shard = [] {
+    static std::atomic<unsigned> next{0};
+    return next.fetch_add(1, std::memory_order_relaxed);
+  }() % Counter::kShards;
+  return shard;
+}
+
+// JSON string escaping for metric names (conservative: names are plain
+// dotted identifiers by convention, but a malformed name must not produce
+// malformed JSON).
+void WriteJsonString(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          os << buffer;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+// Doubles must stay valid JSON: non-finite values (which JSON cannot
+// represent) degrade to 0.
+void WriteJsonDouble(std::ostream& os, double value) {
+  if (!std::isfinite(value)) value = 0;
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  os << buffer;
+}
+
+}  // namespace
+
+void Counter::Add(uint64_t delta) {
+  shards_[ThreadShard()].value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Record(uint64_t value) {
+  Shard& shard = shards_[ThreadShard()];
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  shard.buckets[std::bit_width(value)].fetch_add(1,
+                                                 std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::Sum() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::array<uint64_t, Histogram::kBuckets> Histogram::Buckets() const {
+  std::array<uint64_t, kBuckets> folded{};
+  for (const Shard& shard : shards_) {
+    for (unsigned b = 0; b < kBuckets; ++b) {
+      folded[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return folded;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0, std::memory_order_relaxed);
+    for (auto& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::atomic<bool> MetricsRegistry::enabled_{false};
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::MaxGauge(std::string_view name, double value) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else if (value > it->second) {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::DumpJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    WriteJsonString(os, name);
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%" PRIu64, counter->Value());
+    os << ": " << buffer;
+  }
+  os << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    WriteJsonString(os, name);
+    os << ": ";
+    WriteJsonDouble(os, value);
+  }
+  os << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    os << (first ? "\n    " : ",\n    ");
+    first = false;
+    WriteJsonString(os, name);
+    os << ": {\"count\": " << histogram->Count()
+       << ", \"sum\": " << histogram->Sum() << ", \"buckets\": [";
+    const auto buckets = histogram->Buckets();
+    bool first_bucket = true;
+    for (unsigned b = 0; b < Histogram::kBuckets; ++b) {
+      if (buckets[b] == 0) continue;
+      if (!first_bucket) os << ", ";
+      first_bucket = false;
+      // Inclusive upper bound of bucket b (values of bit width b).
+      const uint64_t le = b == 0 ? 0
+                          : b >= 64 ? UINT64_MAX
+                                    : (uint64_t{1} << b) - 1;
+      os << "{\"le\": " << le << ", \"count\": " << buckets[b] << "}";
+    }
+    os << "]}";
+  }
+  os << (first ? "}" : "\n  }") << "\n}\n";
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+  gauges_.clear();
+}
+
+void SetGauge(std::string_view name, double value) {
+  if (!MetricsRegistry::enabled()) return;
+  MetricsRegistry::Get().SetGauge(name, value);
+}
+
+void RecordTimeParams(std::string_view prefix, const TimeParams& times) {
+  if (!MetricsRegistry::enabled()) return;
+  const std::string p(prefix);
+  MetricsRegistry& registry = MetricsRegistry::Get();
+  registry.SetGauge(p + ".t_parse_ms", times.parse_ms);
+  registry.SetGauge(p + ".t_shapes_ms", times.shapes_ms);
+  registry.SetGauge(p + ".t_graph_ms", times.graph_ms);
+  registry.SetGauge(p + ".t_comp_ms", times.comp_ms);
+  registry.SetGauge(p + ".t_total_ms", times.TotalMs());
+}
+
+}  // namespace obs
+}  // namespace chase

@@ -1,0 +1,61 @@
+#include "obs/progress.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace chase {
+namespace obs {
+
+ProgressReporter::ProgressReporter(std::ostream* os,
+                                   const ChaseProgressSink* sink,
+                                   std::chrono::seconds interval)
+    : os_(os),
+      sink_(sink),
+      interval_(interval),
+      last_tick_(std::chrono::steady_clock::now()),
+      thread_([this] { Loop(); }) {}
+
+ProgressReporter::~ProgressReporter() { Stop(); }
+
+void ProgressReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final line so a chase shorter than one interval still reports.
+  PrintLine();
+}
+
+void ProgressReporter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, interval_, [this] { return stop_; })) break;
+    PrintLine();
+  }
+}
+
+void ProgressReporter::PrintLine() {
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed_s =
+      std::chrono::duration<double>(now - last_tick_).count();
+  const uint64_t triggers = sink_->triggers.load(std::memory_order_relaxed);
+  const uint64_t delta = triggers - last_triggers_;
+  const double rate = elapsed_s > 0 ? static_cast<double>(delta) / elapsed_s
+                                    : 0;
+  last_tick_ = now;
+  last_triggers_ = triggers;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "[chase] round %" PRIu64 "  atoms %" PRIu64 "  nulls %" PRIu64
+                "  triggers %" PRIu64 " (%.0f/s)\n",
+                sink_->rounds.load(std::memory_order_relaxed),
+                sink_->atoms.load(std::memory_order_relaxed),
+                sink_->nulls.load(std::memory_order_relaxed), triggers, rate);
+  (*os_) << line << std::flush;
+}
+
+}  // namespace obs
+}  // namespace chase

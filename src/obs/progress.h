@@ -1,0 +1,80 @@
+// Live progress for long (or non-terminating — the paper's whole subject)
+// chases: the engine publishes cheap relaxed counters into a
+// ChaseProgressSink; a ProgressReporter thread samples them on an interval
+// and prints one status line per tick to a stream (stderr in chasectl).
+//
+// The publishing side is deliberately dumber than the trace recorder:
+// four relaxed atomic stores, no clock, no buffer — the engine updates
+// once per round plus every few thousand trigger firings, so even that is
+// far off the hot path.
+
+#ifndef CHASE_OBS_PROGRESS_H_
+#define CHASE_OBS_PROGRESS_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <thread>
+
+namespace chase {
+namespace obs {
+
+// Shared between the chase engine (writer) and a ProgressReporter
+// (reader). All relaxed: a tick may see a slightly torn snapshot across
+// fields (round from this wave, triggers from the last), which is fine for
+// a human status line.
+struct ChaseProgressSink {
+  std::atomic<uint64_t> rounds{0};
+  std::atomic<uint64_t> atoms{0};
+  std::atomic<uint64_t> nulls{0};
+  std::atomic<uint64_t> triggers{0};
+
+  void Update(uint64_t round, uint64_t atom_count, uint64_t null_count,
+              uint64_t trigger_count) {
+    rounds.store(round, std::memory_order_relaxed);
+    atoms.store(atom_count, std::memory_order_relaxed);
+    nulls.store(null_count, std::memory_order_relaxed);
+    triggers.store(trigger_count, std::memory_order_relaxed);
+  }
+};
+
+// Prints "[chase] round R  atoms A  nulls N  triggers T (X/s)" to `os`
+// every `interval` until stopped. Stop() (also run by the destructor)
+// wakes the thread promptly via a condition variable — no up-to-a-tick
+// shutdown stall — and prints one final line so short runs still report.
+class ProgressReporter {
+ public:
+  ProgressReporter(std::ostream* os, const ChaseProgressSink* sink,
+                   std::chrono::seconds interval);
+  ~ProgressReporter();
+
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  void Stop();
+
+ private:
+  void Loop();
+  void PrintLine();
+
+  std::ostream* const os_;
+  const ChaseProgressSink* const sink_;
+  const std::chrono::seconds interval_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+
+  std::chrono::steady_clock::time_point last_tick_;
+  uint64_t last_triggers_ = 0;
+
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace chase
+
+#endif  // CHASE_OBS_PROGRESS_H_

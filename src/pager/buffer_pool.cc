@@ -6,9 +6,32 @@
 #include <utility>
 
 #include "base/hash.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace chase {
 namespace pager {
+namespace {
+
+// Mirrors of the per-shard hit/miss stats in the metrics registry, so a
+// `--metrics` dump sees pool traffic without polling stats(). Gated and
+// cached: disabled runs pay one relaxed load, enabled runs one sharded
+// relaxed fetch_add on a pointer resolved once per process.
+void CountPoolHit() {
+  if (!obs::MetricsRegistry::enabled()) return;
+  static obs::Counter* const hits =
+      obs::MetricsRegistry::Get().GetCounter("pager.pool_hits");
+  hits->Add(1);
+}
+
+void CountPoolMiss() {
+  if (!obs::MetricsRegistry::enabled()) return;
+  static obs::Counter* const misses =
+      obs::MetricsRegistry::Get().GetCounter("pager.pool_misses");
+  misses->Add(1);
+}
+
+}  // namespace
 
 PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
   if (this != &other) {
@@ -110,6 +133,7 @@ StatusOr<PageGuard> BufferPool::Fetch(PageId page_id) {
       ++frame.pin_count;
       frame.referenced = true;
       ++shard.stats.hits;
+      CountPoolHit();
       return PageGuard(this, page_id, it->second);
     }
     // Counted here, exactly once per logical fetch — if a peer installs
@@ -117,9 +141,12 @@ StatusOr<PageGuard> BufferPool::Fetch(PageId page_id) {
     // miss, not an extra hit.
     ++shard.stats.misses;
   }
+  CountPoolMiss();
   // Miss: read outside the latch (like Prefetch), so concurrent faults on
   // different pages of one shard overlap their I/O instead of serializing
   // behind the latch.
+  obs::TraceSpan fault_span("pager", "fault", "page",
+                            static_cast<int64_t>(page_id));
   Page staged;
   CHASE_RETURN_IF_ERROR(disk_->ReadPage(page_id, &staged));
   return AcquireAndInstall(
@@ -186,6 +213,8 @@ Status BufferPool::Prefetch(PageId page_id) {
   }
   // Read outside the latch so foreground Fetches on this shard are not
   // blocked behind our I/O.
+  obs::TraceSpan prefetch_span("pager", "prefetch", "page",
+                               static_cast<int64_t>(page_id));
   Page staged;
   CHASE_RETURN_IF_ERROR(disk_->ReadPage(page_id, &staged));
   std::lock_guard<std::mutex> lock(shard.mu);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace chase {
 namespace pager {
 
@@ -35,6 +37,14 @@ void Prefetcher::Enqueue(std::span<const PageId> pages) {
       queue_.push_back(pages[i]);
       ++admitted;
     }
+  }
+  if (obs::MetricsRegistry::enabled()) {
+    static obs::Counter* const admitted_counter =
+        obs::MetricsRegistry::Get().GetCounter("pager.prefetch_admitted");
+    static obs::Counter* const dropped_counter =
+        obs::MetricsRegistry::Get().GetCounter("pager.prefetch_dropped");
+    admitted_counter->Add(admitted);
+    dropped_counter->Add(pages.size() - admitted);
   }
   // Each admitted page is handled by exactly one worker, so wake exactly
   // one worker per page (capped at the pool size) — notify_all here made

@@ -4,6 +4,8 @@
 
 #include "base/frontier_pool.h"
 #include "index/sharded_shape_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/shape_lattice.h"
 
 namespace chase {
@@ -160,6 +162,29 @@ StatusOr<std::vector<Shape>> FindShapes(const ShapeSource& source,
   const unsigned threads = options.pool != nullptr
                                ? std::max(1u, options.pool->threads())
                                : std::max(1u, options.threads);
+  obs::TraceSpan find_span("storage", "find_shapes", "mode",
+                           static_cast<int64_t>(options.mode), "threads",
+                           static_cast<int64_t>(threads));
+  // Mirror this run's access-stats delta into the metrics registry on
+  // every exit path. The source's stats are cumulative for its lifetime,
+  // so the guard snapshots them here and publishes the difference.
+  struct StatsMirror {
+    const ShapeSource& source;
+    AccessStats before;
+    ~StatsMirror() {
+      if (!obs::MetricsRegistry::enabled()) return;
+      const AccessStats& now = source.stats();
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+      registry.GetCounter("storage.catalog_queries")
+          ->Add(now.catalog_queries - before.catalog_queries);
+      registry.GetCounter("storage.exists_queries")
+          ->Add(now.exists_queries - before.exists_queries);
+      registry.GetCounter("storage.tuples_scanned")
+          ->Add(now.tuples_scanned - before.tuples_scanned);
+      registry.GetCounter("storage.relations_loaded")
+          ->Add(now.relations_loaded - before.relations_loaded);
+    }
+  } stats_mirror{source, source.stats()};
   // Read-ahead pays off only for plans that consume whole ranges (scan and
   // the index build). The exists plan's probes early-exit — usually within
   // the first page — so read-ahead there would trade the cheap chain-head

@@ -7,6 +7,7 @@
 #include "base/strings.h"
 #include "base/table_printer.h"
 #include "base/timer.h"
+#include "obs/metrics.h"
 
 namespace chase {
 namespace {
@@ -202,14 +203,14 @@ TEST(TimerTest, MeasuresElapsedTime) {
   EXPECT_GE(timer.ElapsedMicros(), 0);
 }
 
-TEST(TimeBreakdownTest, Totals) {
-  TimeBreakdown breakdown;
-  breakdown.parse_ms = 1;
-  breakdown.graph_ms = 2;
-  breakdown.comp_ms = 3;
-  breakdown.shapes_ms = 4;
-  EXPECT_DOUBLE_EQ(breakdown.TotalMs(), 10);
-  EXPECT_DOUBLE_EQ(breakdown.DbIndependentMs(), 6);
+TEST(TimeParamsTest, Totals) {
+  obs::TimeParams times;
+  times.parse_ms = 1;
+  times.graph_ms = 2;
+  times.comp_ms = 3;
+  times.shapes_ms = 4;
+  EXPECT_DOUBLE_EQ(times.TotalMs(), 10);
+  EXPECT_DOUBLE_EQ(times.DbIndependentMs(), 6);
 }
 
 TEST(TablePrinterTest, AlignsColumns) {

@@ -4,7 +4,7 @@
 //   check <file> [--mode=sl|l] [--shapes=mem|db|index] [--threads=N]
 //                                                  termination check
 //   chase <file> [--variant=so|ob|re] [--max-atoms=N] [--threads=N]
-//               [--hom-budget=N]
+//               [--hom-budget=N] [--progress[=SECS]]
 //                [--print]
 //   simplify <file> [--mode=scan|exists|index] [--threads=N] [--print]
 //                                                  simple_D(Σ) via the
@@ -29,11 +29,17 @@
 // Files ending in .chbin are read/written with the binary format
 // (io/binary_io.h); .chidx files are sharded-shape-index snapshots;
 // anything else uses the Datalog± text syntax.
+//
+// check, chase, simplify, and findshapes additionally take
+// --trace=FILE (Chrome trace-event JSON for Perfetto/chrome://tracing)
+// and --metrics=FILE (metrics-registry JSON dump) — see README
+// "Observability".
 
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -65,6 +71,9 @@
 #include "io/binary_io.h"
 #include "logic/parser.h"
 #include "logic/printer.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "pager/disk_database.h"
 #include "pager/disk_shape_source.h"
 #include "query/conjunctive_query.h"
@@ -239,17 +248,106 @@ int Fail(const Status& status) {
 }
 
 // ---------------------------------------------------------------------------
+// Observability wiring shared by the long-running subcommands:
+// --trace=FILE records the run as Chrome trace-event JSON (Perfetto /
+// chrome://tracing), --metrics=FILE dumps the metrics registry as JSON.
+// Both paths are probed (opened) BEFORE the run, so a typo'd directory is
+// a clean up-front failure — not an hour-long chase whose artifact then
+// fails to write.
+
+struct ObsSession {
+  std::string trace_path;
+  std::string metrics_path;
+
+  // Returns 0 when the run may proceed, else the exit code: 2 for a
+  // flag-syntax error, 1 for an unwritable path.
+  int Begin(const Args& args) {
+    if (args.Has("trace") && args.Get("trace", "") == "true") {
+      std::cerr << "bad --trace (want --trace=FILE)\n";
+      return 2;
+    }
+    if (args.Has("metrics") && args.Get("metrics", "") == "true") {
+      std::cerr << "bad --metrics (want --metrics=FILE)\n";
+      return 2;
+    }
+    trace_path = args.Get("trace", "");
+    metrics_path = args.Get("metrics", "");
+    for (const std::string& path : {trace_path, metrics_path}) {
+      if (path.empty()) continue;
+      std::ofstream probe(path, std::ios::trunc);
+      if (!probe) {
+        return Fail(InternalError("cannot write file: " + path));
+      }
+    }
+    if (!metrics_path.empty()) {
+      obs::MetricsRegistry::Get().Reset();
+      obs::MetricsRegistry::SetEnabled(true);
+    }
+    if (!trace_path.empty()) obs::TraceRecorder::Get().Start();
+    return 0;
+  }
+
+  // Writes the artifacts (stopping the recorders). Returns the exit code.
+  int End() {
+    if (!trace_path.empty()) {
+      obs::TraceRecorder& recorder = obs::TraceRecorder::Get();
+      if (Status status = recorder.WriteJsonFile(trace_path); !status.ok()) {
+        return Fail(status);
+      }
+      std::cerr << "wrote trace: " << trace_path << " ("
+                << recorder.recorded() << " events, " << recorder.dropped()
+                << " dropped)\n";
+    }
+    if (!metrics_path.empty()) {
+      obs::MetricsRegistry::SetEnabled(false);
+      std::ofstream out(metrics_path);
+      obs::MetricsRegistry::Get().DumpJson(out);
+      if (!out.good()) {
+        return Fail(InternalError("short write: " + metrics_path));
+      }
+      std::cerr << "wrote metrics: " << metrics_path << "\n";
+    }
+    return 0;
+  }
+};
+
+// --progress[=SECS]: live chase status lines on stderr. Bare --progress
+// means a 2-second tick; an explicit value must be a whole number of
+// seconds in [1, 86400].
+bool ParseProgress(const Args& args,
+                   std::optional<std::chrono::seconds>* interval) {
+  if (!args.Has("progress")) return true;
+  if (args.Get("progress", "") == "true") {  // bare --progress
+    *interval = std::chrono::seconds(2);
+    return true;
+  }
+  uint64_t secs = 0;
+  if (!ParseU64Flag(args, "progress", 2, 1, 86'400, &secs)) return false;
+  *interval = std::chrono::seconds(secs);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
 // check
 
 int CmdCheck(const Args& args) {
   if (args.positional.empty()) {
     std::cerr << "usage: chasectl check <file> [--mode=sl|l] "
                  "[--shapes=mem|db|index] [--threads=N] "
-                 "[--snapshot=path.chidx]\n";
+                 "[--snapshot=path.chidx] [--trace=FILE] [--metrics=FILE]\n";
     return 2;
   }
-  auto program = LoadAnyProgram(args.positional[0]);
+  ObsSession obs_session;
+  if (int rc = obs_session.Begin(args); rc != 0) return rc;
+
+  Timer parse_timer;
+  auto program = [&] {
+    obs::TraceSpan parse_span("check", "t_parse");
+    return LoadAnyProgram(args.positional[0]);
+  }();
   if (!program.ok()) return Fail(program.status());
+  obs::TimeParams times;
+  times.parse_ms = parse_timer.ElapsedMillis();
 
   const std::string mode =
       args.Get("mode", AllSimpleLinear(program->tgds) ? "sl" : "l");
@@ -258,8 +356,12 @@ int CmdCheck(const Args& args) {
     SlCheckStats stats;
     auto finite = IsChaseFiniteSL(*program->database, program->tgds, &stats);
     if (!finite.ok()) return Fail(finite.status());
+    times.graph_ms = stats.graph_ms;
+    times.comp_ms = stats.comp_ms + stats.support_ms;
+    obs::RecordTimeParams("check", times);
     std::cout << (finite.value() ? "FINITE" : "INFINITE") << "\n"
               << "  algorithm: IsChaseFinite[SL] (Algorithm 1)\n"
+              << "  t-parse: " << times.parse_ms << " ms\n"
               << "  t-graph: " << stats.graph_ms << " ms ("
               << stats.graph_nodes << " nodes, " << stats.graph_edges
               << " edges)\n"
@@ -323,8 +425,13 @@ int CmdCheck(const Args& args) {
     auto finite =
         IsChaseFiniteL(*program->database, program->tgds, options, &stats);
     if (!finite.ok()) return Fail(finite.status());
+    times.shapes_ms = stats.shapes_ms;
+    times.graph_ms = stats.graph_ms;
+    times.comp_ms = stats.comp_ms;
+    obs::RecordTimeParams("check", times);
     std::cout << (finite.value() ? "FINITE" : "INFINITE") << "\n"
               << "  algorithm: IsChaseFinite[L] (Algorithm 3)\n"
+              << "  t-parse:  " << times.parse_ms << " ms\n"
               << "  t-shapes: " << stats.shapes_ms << " ms ("
               << stats.num_initial_shapes << " db shapes, "
               << stats.num_derived_shapes << " derived)\n"
@@ -337,7 +444,7 @@ int CmdCheck(const Args& args) {
     std::cerr << "unknown --mode=" << mode << " (want sl or l)\n";
     return 2;
   }
-  return 0;
+  return obs_session.End();
 }
 
 // ---------------------------------------------------------------------------
@@ -347,9 +454,15 @@ int CmdChase(const Args& args) {
   if (args.positional.empty()) {
     std::cerr << "usage: chasectl chase <file> [--variant=so|ob|re] "
                  "[--max-atoms=N] [--threads=N] [--hom-budget=N] "
+                 "[--progress[=SECS]] [--trace=FILE] [--metrics=FILE] "
                  "[--print]\n";
     return 2;
   }
+  ObsSession obs_session;
+  if (int rc = obs_session.Begin(args); rc != 0) return rc;
+  std::optional<std::chrono::seconds> progress_interval;
+  if (!ParseProgress(args, &progress_interval)) return 2;
+
   auto program = LoadAnyProgram(args.positional[0]);
   if (!program.ok()) return Fail(program.status());
 
@@ -377,25 +490,35 @@ int CmdChase(const Args& args) {
     return 2;
   }
 
+  // The reporter samples the sink from its own thread; Stop() before
+  // reading the result so the final line lands ahead of the summary.
+  obs::ChaseProgressSink progress_sink;
+  std::optional<obs::ProgressReporter> reporter;
+  if (progress_interval.has_value()) {
+    options.progress = &progress_sink;
+    reporter.emplace(&std::cerr, &progress_sink, *progress_interval);
+  }
   Timer timer;
   auto result = RunChase(*program->database, program->tgds, options);
+  const double chase_ms = timer.ElapsedMillis();
+  if (reporter.has_value()) reporter->Stop();
   if (!result.ok()) return Fail(result.status());
   std::cout << ChaseVariantName(options.variant) << " chase: "
             << ChaseOutcomeName(result->outcome) << " after "
             << result->rounds << " rounds, " << result->triggers_fired
             << " triggers, " << result->instance.NumAtoms() << " atoms, "
-            << timer.ElapsedMillis() << " ms\n";
-  if (result->triggers_prefiltered > 0) {
-    std::cout << "  prefiltered: " << result->triggers_prefiltered
-              << " satisfied trigger(s) skipped on the worker pool\n";
-  }
+            << chase_ms << " ms\n"
+            << "  prefiltered: " << result->triggers_prefiltered
+            << " satisfied trigger(s) skipped on the worker pool\n"
+            << "  peak buffered homs: " << result->peak_buffered_homs
+            << " (parallel non-linear engine; 0 = serial path)\n";
   if (args.Has("print")) {
     result->instance.ForEachAtom([&](const GroundAtom& atom) {
       std::cout << ToString(*program->schema, *program->database, atom)
                 << ".\n";
     });
   }
-  return 0;
+  return obs_session.End();
 }
 
 // ---------------------------------------------------------------------------
@@ -404,9 +527,12 @@ int CmdChase(const Args& args) {
 int CmdSimplify(const Args& args) {
   if (args.positional.empty()) {
     std::cerr << "usage: chasectl simplify <file> "
-                 "[--mode=scan|exists|index] [--threads=N] [--print]\n";
+                 "[--mode=scan|exists|index] [--threads=N] [--trace=FILE] "
+                 "[--metrics=FILE] [--print]\n";
     return 2;
   }
+  ObsSession obs_session;
+  if (int rc = obs_session.Begin(args); rc != 0) return rc;
   auto program = LoadAnyProgram(args.positional[0]);
   if (!program.ok()) return Fail(program.status());
   if (!AllLinear(program->tgds)) {
@@ -451,7 +577,7 @@ int CmdSimplify(const Args& args) {
       std::cout << ToString(simplified->shape_schema->schema(), tgd) << "\n";
     }
   }
-  return 0;
+  return obs_session.End();
 }
 
 // ---------------------------------------------------------------------------
@@ -528,9 +654,12 @@ int CmdFindShapes(const Args& args) {
                  "[--backend=memory|disk|index] [--mode=scan|exists|index] "
                  "[--threads=N] [--shards=N] [--pool-shards=N] "
                  "[--prefetch=K] [--absorb=parallel|serial] "
-                 "[--snapshot=path.chidx] [--store=path.db] [--print]\n";
+                 "[--snapshot=path.chidx] [--store=path.db] [--trace=FILE] "
+                 "[--metrics=FILE] [--print]\n";
     return 2;
   }
+  ObsSession obs_session;
+  if (int rc = obs_session.Begin(args); rc != 0) return rc;
 
   // Snapshot fast path: shape(D) straight out of a persisted index, no
   // database access at all.
@@ -551,7 +680,7 @@ int CmdFindShapes(const Args& args) {
         std::cout << ShapeName(*program->schema, shape) << "\n";
       }
     }
-    return 0;
+    return obs_session.End();
   }
 
   auto program = LoadAnyProgram(args.positional[0]);
@@ -611,6 +740,22 @@ int CmdFindShapes(const Args& args) {
 
   const storage::AccessStats& access = source->stats();
   const storage::IoCounters io = source->Io().Since(io_before);
+  // Mirror the per-run access/I-O report into the metrics artifact so a
+  // --metrics run is machine-readable without scraping stdout.
+  obs::SetGauge("findshapes.t_shapes_ms", elapsed_ms);
+  obs::SetGauge("findshapes.exists_queries",
+                static_cast<double>(access.exists_queries));
+  obs::SetGauge("findshapes.relations_loaded",
+                static_cast<double>(access.relations_loaded));
+  obs::SetGauge("findshapes.tuples_scanned",
+                static_cast<double>(access.tuples_scanned));
+  obs::SetGauge("findshapes.pages_read",
+                static_cast<double>(io.pages_read));
+  obs::SetGauge("findshapes.pool_hits", static_cast<double>(io.pool_hits));
+  obs::SetGauge("findshapes.pool_misses",
+                static_cast<double>(io.pool_misses));
+  obs::SetGauge("findshapes.pool_prefetches",
+                static_cast<double>(io.pool_prefetches));
   std::cout << shapes->size() << " shape(s) over "
             << program->database->TotalFacts() << " tuples\n"
             << "  backend: " << source->Name() << ", plan: "
@@ -628,8 +773,13 @@ int CmdFindShapes(const Args& args) {
       std::cout << ShapeName(*program->schema, shape) << "\n";
     }
   }
-  if (disk_db != nullptr && !keep_store) std::remove(store_path.c_str());
-  return 0;
+  // Close the pager (flush + stats quiesce) before the trace is written so
+  // fault/prefetch spans from pool teardown are in the artifact.
+  const bool had_disk = disk_db != nullptr;
+  disk_source.reset();
+  disk_db.reset();
+  if (had_disk && !keep_store) std::remove(store_path.c_str());
+  return obs_session.End();
 }
 
 // ---------------------------------------------------------------------------
@@ -919,7 +1069,7 @@ int Usage() {
       "[--threads=N]\n"
       "  chasectl explain <file>               (non-termination witness)\n"
       "  chasectl chase <file> [--variant=so|ob|re] [--max-atoms=N] "
-      "[--threads=N] [--print]\n"
+      "[--threads=N] [--progress[=SECS]] [--print]\n"
       "  chasectl simplify <file> [--mode=scan|exists|index] [--threads=N] "
       "[--print]\n"
       "  chasectl query <file> \"q(X) :- r(X, Y).\"\n"
@@ -940,7 +1090,11 @@ int Usage() {
       "\n"
       "Files ending in .chbin use the binary snapshot format, .chidx files\n"
       "are sharded-shape-index snapshots; everything else is Datalog± text\n"
-      "(see README).\n";
+      "(see README).\n"
+      "\n"
+      "check, chase, simplify, and findshapes also take --trace=FILE\n"
+      "(Chrome trace-event JSON) and --metrics=FILE (metrics JSON); see\n"
+      "README \"Observability\".\n";
   return 2;
 }
 
