@@ -1,0 +1,52 @@
+# Negative-compilation harness for the base/sync.h thread-safety
+# annotations, run as a ctest via `cmake -P` (clang-only; the annotations
+# are no-ops under GCC, so CMakeLists gates the test registration).
+#
+# Inputs (all -D, absolute paths):
+#   TS_COMPILER     clang++ to drive
+#   TS_SOURCE       tests/lint/thread_safety_negative.cc
+#   TS_INCLUDE_DIR  the repo's src/ directory
+#   TS_WORK_DIR     scratch directory for objects
+#
+# Two compiles of the same file:
+#   1. control: no defines           -> must SUCCEED (harness sanity)
+#   2. probe: -DCHASE_NEGATIVE_UNGUARDED -> must FAIL with a
+#      -Wthread-safety diagnostic (the unguarded read is rejected)
+
+foreach(var TS_COMPILER TS_SOURCE TS_INCLUDE_DIR TS_WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}")
+  endif()
+endforeach()
+
+set(flags -std=c++20 -Wthread-safety -Werror=thread-safety
+    -I${TS_INCLUDE_DIR} -c ${TS_SOURCE})
+
+execute_process(
+  COMMAND ${TS_COMPILER} ${flags} -o ${TS_WORK_DIR}/ts_control.o
+  RESULT_VARIABLE control_result
+  ERROR_VARIABLE control_stderr)
+if(NOT control_result EQUAL 0)
+  message(FATAL_ERROR
+          "control compile failed — the harness itself is broken, not the "
+          "annotations:\n${control_stderr}")
+endif()
+
+execute_process(
+  COMMAND ${TS_COMPILER} -DCHASE_NEGATIVE_UNGUARDED ${flags}
+          -o ${TS_WORK_DIR}/ts_probe.o
+  RESULT_VARIABLE probe_result
+  ERROR_VARIABLE probe_stderr)
+if(probe_result EQUAL 0)
+  message(FATAL_ERROR
+          "unguarded GUARDED_BY read compiled clean — -Wthread-safety is "
+          "not enforcing the base/sync.h annotations")
+endif()
+if(NOT probe_stderr MATCHES "thread-safety")
+  message(FATAL_ERROR
+          "probe failed for a reason other than -Wthread-safety:\n"
+          "${probe_stderr}")
+endif()
+
+message(STATUS "thread-safety negative compile: control built, probe "
+               "rejected with a thread-safety diagnostic")

@@ -38,6 +38,7 @@ class ByteWriter {
 
  private:
   void PutRaw(const void* data, size_t size) {
+    if (size == 0) return;  // empty spans/strings may carry data() == null
     const uint8_t* p = static_cast<const uint8_t*>(data);
     bytes_.insert(bytes_.end(), p, p + size);
   }
@@ -84,8 +85,12 @@ class ByteReader {
       return OutOfRangeError("byte stream truncated");
     }
     std::vector<uint32_t> values(count);
-    std::memcpy(values.data(), bytes_.data() + pos_,
-                count * sizeof(uint32_t));
+    if (count != 0) {
+      // The guard matters under UBSan: an empty vector's data() is null,
+      // and memcpy's pointer arguments are declared nonnull even at n=0.
+      std::memcpy(values.data(), bytes_.data() + pos_,
+                  count * sizeof(uint32_t));
+    }
     pos_ += count * sizeof(uint32_t);
     return values;
   }

@@ -57,10 +57,10 @@ WorkerPool::WorkerPool(unsigned threads) : threads_(std::max(1u, threads)) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  start_cv_.notify_all();
+  start_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -91,7 +91,7 @@ void WorkerPool::ParallelFor(
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     n_ = n;
     chunk_ = FrontierChunkSize(n, threads_);
     work_ = &work;
@@ -100,7 +100,7 @@ void WorkerPool::ParallelFor(
     running_ = threads_ - 1;
     ++epoch_;  // the reusable barrier: workers wake on the advance
   }
-  start_cv_.notify_all();
+  start_cv_.NotifyAll();
   const bool observed = PoolObserved();
   const auto busy_begin = observed ? std::chrono::steady_clock::now()
                                    : std::chrono::steady_clock::time_point{};
@@ -114,8 +114,8 @@ void WorkerPool::ParallelFor(
   const auto wait_begin = observed ? std::chrono::steady_clock::now()
                                    : std::chrono::steady_clock::time_point{};
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return running_ == 0; });
+    MutexLock lock(mu_);
+    while (running_ != 0) done_cv_.Wait(mu_);
     work_ = nullptr;
     abort_ = nullptr;
   }
@@ -165,7 +165,7 @@ void WorkerPool::RunBudgetedTasks(
 
 void WorkerPool::Loop(unsigned worker) {
   uint64_t seen_epoch = 0;
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (true) {
     // Idle time between epochs: measured only when some sink is on, and
     // recorded after the latch drops so obs latches never nest inside mu_.
@@ -173,10 +173,13 @@ void WorkerPool::Loop(unsigned worker) {
     const auto wait_begin = observed
                                 ? std::chrono::steady_clock::now()
                                 : std::chrono::steady_clock::time_point{};
-    start_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
-    if (stop_) return;
+    while (!stop_ && epoch_ == seen_epoch) start_cv_.Wait(mu_);
+    if (stop_) {
+      mu_.Unlock();
+      return;
+    }
     seen_epoch = epoch_;
-    lock.unlock();
+    mu_.Unlock();
     if (observed) {
       RecordPoolPhase("barrier_wait", "pool.barrier_wait_us", worker,
                       wait_begin);
@@ -188,10 +191,10 @@ void WorkerPool::Loop(unsigned worker) {
     if (observed) {
       RecordPoolPhase("chunks", "pool.busy_us", worker, busy_begin);
     }
-    lock.lock();
+    mu_.Lock();
     // Only the ParallelFor caller waits on done_cv_, so one wakeup is
     // enough — and only the last worker to finish issues it.
-    if (--running_ == 0) done_cv_.notify_one();
+    if (--running_ == 0) done_cv_.NotifyOne();
   }
 }
 

@@ -23,6 +23,7 @@ struct Range {
   size_t end;
 
   size_t size() const { return end - begin; }
+  bool empty() const { return end == begin; }
 };
 
 // The candidate-row range of body position `pos` for the (rule, delta_pos)
@@ -76,7 +77,7 @@ std::vector<BodyPartition> PlanBodyPartitions(const std::vector<Tgd>& tgds,
     for (size_t delta_pos = 0; delta_pos < body_size; ++delta_pos) {
       bool empty = false;
       for (size_t pos = 0; pos < body_size; ++pos) {
-        if (CandidateRange(tgd, view, delta_pos, pos).size() == 0) {
+        if (CandidateRange(tgd, view, delta_pos, pos).empty()) {
           empty = true;
           break;
         }

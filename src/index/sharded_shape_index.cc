@@ -96,7 +96,7 @@ void ShardedShapeIndex::AddShape(const Shape& shape, uint64_t count,
   if (count == 0) return;
   Shard& shard = *shards_[ShardOf(shape)];
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.counts[shape] += count;
     shard.tuples += count;
   }
@@ -109,7 +109,7 @@ Status ShardedShapeIndex::RemoveShape(const Shape& shape,
                                       uint64_t fingerprint) {
   Shard& shard = *shards_[ShardOf(shape)];
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.counts.find(shape);
     if (it == shard.counts.end()) {
       return FailedPreconditionError(
@@ -126,13 +126,13 @@ Status ShardedShapeIndex::RemoveShape(const Shape& shape,
 
 bool ShardedShapeIndex::Contains(const Shape& shape) const {
   const Shard& shard = *shards_[ShardOf(shape)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   return shard.counts.find(shape) != shard.counts.end();
 }
 
 uint64_t ShardedShapeIndex::Count(const Shape& shape) const {
   const Shard& shard = *shards_[ShardOf(shape)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.counts.find(shape);
   return it == shard.counts.end() ? 0 : it->second;
 }
@@ -140,7 +140,7 @@ uint64_t ShardedShapeIndex::Count(const Shape& shape) const {
 size_t ShardedShapeIndex::NumShapes() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->counts.size();
   }
   return total;
@@ -149,14 +149,14 @@ size_t ShardedShapeIndex::NumShapes() const {
 uint64_t ShardedShapeIndex::NumIndexedTuples() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->tuples;
   }
   return total;
 }
 
 size_t ShardedShapeIndex::ShardNumShapes(unsigned shard) const {
-  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  MutexLock lock(shards_[shard]->mu);
   return shards_[shard]->counts.size();
 }
 
@@ -165,13 +165,15 @@ void ShardedShapeIndex::MergeCounts(const CountMap& counts) {
   // fold, not once per shape.
   std::vector<std::vector<const CountMap::value_type*>> by_shard(
       shards_.size());
+  // chase-lint: allow(unordered-iter) commutative fold: += into per-shard
+  // counters, so visit order cannot change any final count
   for (const auto& entry : counts) {
     by_shard[ShardOf(entry.first)].push_back(&entry);
   }
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (by_shard[s].empty()) continue;
     Shard& shard = *shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (const auto* entry : by_shard[s]) {
       shard.counts[entry->first] += entry->second;
       shard.tuples += entry->second;
@@ -187,8 +189,10 @@ std::vector<Shape> ShardedShapeIndex::CurrentShapes() const {
   for (const auto& shard : shards_) {
     std::vector<Shape> run;
     {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(shard->mu);
       run.reserve(shard->counts.size());
+      // chase-lint: allow(unordered-iter) sorted before emit: std::sort on
+      // the run directly below, then the k-way merge
       for (const auto& [shape, count] : shard->counts) run.push_back(shape);
     }
     std::sort(run.begin(), run.end());
@@ -245,6 +249,7 @@ StatusOr<ShardedShapeIndex> ShardedShapeIndex::Build(
   if (obs::MetricsRegistry::enabled()) {
     uint64_t tuples = 0;
     for (const CountMap& counts : local) {
+      // chase-lint: allow(unordered-iter) commutative fold: a sum
       for (const auto& [shape, count] : counts) tuples += count;
     }
     obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
@@ -275,7 +280,9 @@ Status ShardedShapeIndex::Save(const std::string& path) const {
   snapshot.num_shards = num_shards();
   snapshot.fingerprint = ContentFingerprint();
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
+    // chase-lint: allow(unordered-iter) sorted before emit: entries sorted
+    // by shape below, before SaveShapeSnapshot writes a byte
     for (const auto& [shape, count] : shard->counts) {
       snapshot.counts.push_back({shape, count});
     }
@@ -292,6 +299,8 @@ StatusOr<ShardedShapeIndex> ShardedShapeIndex::Load(const std::string& path) {
   CHASE_ASSIGN_OR_RETURN(io::ShapeSnapshot snapshot,
                          io::LoadShapeSnapshot(path));
   ShardedShapeIndex index(snapshot.num_shards);
+  // chase-lint: allow(unordered-iter) not a hash map: io::ShapeSnapshot
+  // ::counts is a vector, already shape-sorted by Save
   for (const io::ShapeCount& entry : snapshot.counts) {
     index.AddShape(entry.shape, entry.count);
   }

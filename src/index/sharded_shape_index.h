@@ -35,13 +35,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "base/status.h"
+#include "base/sync.h"
 #include "logic/database.h"
 #include "logic/shape.h"
 #include "logic/term.h"
@@ -165,9 +165,9 @@ class ShardedShapeIndex {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<Shape, uint64_t, ShapeHash> counts;
-    uint64_t tuples = 0;  // sum of counts
+    mutable Mutex mu;
+    std::unordered_map<Shape, uint64_t, ShapeHash> counts GUARDED_BY(mu);
+    uint64_t tuples GUARDED_BY(mu) = 0;  // sum of counts
   };
 
   using CountMap = std::unordered_map<Shape, uint64_t, ShapeHash>;

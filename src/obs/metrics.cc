@@ -128,7 +128,7 @@ MetricsRegistry& MetricsRegistry::Get() {
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -138,7 +138,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -149,7 +149,7 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
 
 void MetricsRegistry::SetGauge(std::string_view name, double value) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     gauges_.emplace(std::string(name), value);
@@ -160,7 +160,7 @@ void MetricsRegistry::SetGauge(std::string_view name, double value) {
 
 void MetricsRegistry::MaxGauge(std::string_view name, double value) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     gauges_.emplace(std::string(name), value);
@@ -170,7 +170,7 @@ void MetricsRegistry::MaxGauge(std::string_view name, double value) {
 }
 
 void MetricsRegistry::DumpJson(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   os << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
@@ -216,7 +216,7 @@ void MetricsRegistry::DumpJson(std::ostream& os) const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
   gauges_.clear();

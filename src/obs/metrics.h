@@ -32,10 +32,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
+
+#include "base/sync.h"
 
 namespace chase {
 namespace obs {
@@ -149,11 +150,13 @@ class MetricsRegistry {
 
   static std::atomic<bool> enabled_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // std::map: stable pointers (node-based) and sorted dump order.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
-  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      GUARDED_BY(mu_);
+  std::map<std::string, double, std::less<>> gauges_ GUARDED_BY(mu_);
 };
 
 // Convenience wrappers, all no-ops when the registry is disabled.

@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/metrics.h"
+
 namespace chase {
 namespace obs {
 
@@ -19,20 +21,26 @@ ProgressReporter::~ProgressReporter() { Stop(); }
 
 void ProgressReporter::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stop_) return;
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
   // Final line so a chase shorter than one interval still reports.
   PrintLine();
 }
 
 void ProgressReporter::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (!stop_) {
-    if (cv_.wait_for(lock, interval_, [this] { return stop_; })) break;
+    // Sleep out one interval, re-waiting on spurious wakeups; a Stop
+    // notification breaks out before the deadline.
+    const auto deadline = std::chrono::steady_clock::now() + interval_;
+    while (!stop_ &&
+           cv_.WaitUntil(mu_, deadline) != std::cv_status::timeout) {
+    }
+    if (stop_) break;
     PrintLine();
   }
 }
@@ -55,6 +63,49 @@ void ProgressReporter::PrintLine() {
                 sink_->atoms.load(std::memory_order_relaxed),
                 sink_->nulls.load(std::memory_order_relaxed), triggers, rate);
   (*os_) << line << std::flush;
+}
+
+MetricsDumper::MetricsDumper(std::ostream* os, std::chrono::seconds interval)
+    : os_(os),
+      interval_(interval),
+      start_(std::chrono::steady_clock::now()),
+      thread_([this] { Loop(); }) {}
+
+MetricsDumper::~MetricsDumper() { Stop(); }
+
+void MetricsDumper::Stop() {
+  {
+    MutexLock lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.NotifyAll();
+  if (thread_.joinable()) thread_.join();
+  // Final dump so a chase shorter than one interval still reports.
+  Dump();
+}
+
+void MetricsDumper::Loop() {
+  MutexLock lock(mu_);
+  while (!stop_) {
+    const auto deadline = std::chrono::steady_clock::now() + interval_;
+    while (!stop_ &&
+           cv_.WaitUntil(mu_, deadline) != std::cv_status::timeout) {
+    }
+    if (stop_) break;
+    Dump();
+  }
+}
+
+void MetricsDumper::Dump() {
+  const double t = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+  char marker[48];
+  std::snprintf(marker, sizeof(marker), "[metrics t=%.1fs]\n", t);
+  (*os_) << marker;
+  MetricsRegistry::Get().DumpJson(*os_);
+  (*os_) << std::flush;
 }
 
 }  // namespace obs

@@ -13,11 +13,11 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <thread>
+
+#include "base/sync.h"
 
 namespace chase {
 namespace obs {
@@ -64,12 +64,46 @@ class ProgressReporter {
   const ChaseProgressSink* const sink_;
   const std::chrono::seconds interval_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
 
+  // Touched only by the reporter thread, and by Stop after the join — a
+  // strict handoff, so no latch.
   std::chrono::steady_clock::time_point last_tick_;
   uint64_t last_triggers_ = 0;
+
+  std::thread thread_;
+};
+
+// Periodically dumps the whole metrics registry as JSON to `os` — the
+// engine behind `chasectl chase --metrics-interval=SECS`, for watching the
+// counters of a live chase evolve instead of only seeing the final
+// `--metrics` snapshot. Each tick emits one self-contained JSON object
+// (the DumpJson format) prefixed by a "[metrics t=<seconds>]" marker line
+// so interleaved progress output stays parseable. Stop() (also run by the
+// destructor) wakes the thread promptly and emits one final dump.
+class MetricsDumper {
+ public:
+  MetricsDumper(std::ostream* os, std::chrono::seconds interval);
+  ~MetricsDumper();
+
+  MetricsDumper(const MetricsDumper&) = delete;
+  MetricsDumper& operator=(const MetricsDumper&) = delete;
+
+  void Stop();
+
+ private:
+  void Loop();
+  void Dump();
+
+  std::ostream* const os_;
+  const std::chrono::seconds interval_;
+  const std::chrono::steady_clock::time_point start_;
+
+  Mutex mu_;
+  CondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
 
   std::thread thread_;
 };

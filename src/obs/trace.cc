@@ -27,7 +27,7 @@ TraceRecorder& TraceRecorder::Get() {
 }
 
 void TraceRecorder::Start(size_t events_per_thread) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Old-session buffers are intentionally leaked into buffers_ until
   // process exit: a thread that cached one must be able to dereference it
   // safely even if it emits exactly once more before noticing the session
@@ -57,7 +57,7 @@ TraceRecorder::Buffer* TraceRecorder::LocalBuffer() {
   if (tls_handle.buffer != nullptr && tls_handle.session == session) {
     return static_cast<Buffer*>(tls_handle.buffer);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   buffers_.push_back(std::make_unique<Buffer>(
       capacity_, next_tid_++, session_.load(std::memory_order_relaxed)));
   Buffer* buffer = buffers_.back().get();
@@ -78,7 +78,7 @@ void TraceRecorder::Emit(const TraceEvent& event) {
 }
 
 uint64_t TraceRecorder::recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t session = session_.load(std::memory_order_relaxed);
   uint64_t total = 0;
   for (const auto& buffer : buffers_) {
@@ -89,7 +89,7 @@ uint64_t TraceRecorder::recorded() const {
 }
 
 uint64_t TraceRecorder::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t session = session_.load(std::memory_order_relaxed);
   uint64_t total = 0;
   for (const auto& buffer : buffers_) {
@@ -125,7 +125,7 @@ void WriteEventJson(std::ostream& os, const TraceEvent& event, uint32_t tid) {
 
 void TraceRecorder::WriteJson(std::ostream& os) {
   Stop();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t session = session_.load(std::memory_order_relaxed);
   uint64_t total_dropped = 0;
   os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [";

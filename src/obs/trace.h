@@ -36,12 +36,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "base/status.h"
+#include "base/sync.h"
 
 namespace chase {
 namespace obs {
@@ -100,7 +100,12 @@ class TraceRecorder {
   // mixing a re-read NowUs() with a separately truncated duration shifts
   // the span by a few microseconds, enough to partially overlap a
   // neighboring span and break nesting in the viewer.
-  int64_t ToUs(std::chrono::steady_clock::time_point tp) const;
+  //
+  // Reads session_start_ without mu_: the session clock is written only by
+  // Start, which must not race with in-flight spans (the file comment's
+  // session contract) — that quiescence invariant replaces the latch.
+  int64_t ToUs(std::chrono::steady_clock::time_point tp) const
+      NO_THREAD_SAFETY_ANALYSIS;
 
   // Commits one completed span into the calling thread's buffer (wait-free
   // once the buffer exists; first emit per thread per session registers
@@ -125,12 +130,14 @@ class TraceRecorder {
 
   static std::atomic<bool> enabled_;
 
-  mutable std::mutex mu_;  // guards buffers_, session bookkeeping
-  std::vector<std::unique_ptr<Buffer>> buffers_;
+  mutable Mutex mu_;  // guards buffers_, session bookkeeping
+  std::vector<std::unique_ptr<Buffer>> buffers_ GUARDED_BY(mu_);
   std::atomic<uint64_t> session_{0};
-  size_t capacity_ = kDefaultCapacity;
-  uint32_t next_tid_ = 1;
-  std::chrono::steady_clock::time_point session_start_{};
+  size_t capacity_ GUARDED_BY(mu_) = kDefaultCapacity;
+  uint32_t next_tid_ GUARDED_BY(mu_) = 1;
+  // Written under mu_ (Start); read unlatched by ToUs under the session
+  // quiescence contract.
+  std::chrono::steady_clock::time_point session_start_ GUARDED_BY(mu_){};
 };
 
 // RAII span: records [construction, destruction) as one complete event on

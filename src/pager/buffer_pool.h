@@ -29,12 +29,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "base/status.h"
+#include "base/sync.h"
 #include "pager/disk_manager.h"
 #include "pager/page.h"
 
@@ -78,8 +78,11 @@ class PageGuard {
   bool valid() const { return pool_ != nullptr; }
   PageId page_id() const { return page_id_; }
 
-  const Page& page() const;
-  Page& MutablePage();  // marks the frame dirty
+  // Payload reads go through the frame vector without the shard latch: the
+  // guard's pin is the invariant that replaces it (a pinned frame is never
+  // evicted or re-pointed), which the analysis cannot express.
+  const Page& page() const NO_THREAD_SAFETY_ANALYSIS;
+  Page& MutablePage() NO_THREAD_SAFETY_ANALYSIS;  // marks the frame dirty
 
   void Release();
 
@@ -161,12 +164,13 @@ class BufferPool {
 
   struct Shard {
     // Guards the shard's page table, frame bookkeeping, and counters.
-    // Pinned frames' page payloads are read outside the latch.
-    mutable std::mutex mu;
-    std::vector<Frame> frames;
-    std::unordered_map<PageId, uint32_t> page_table;
-    uint32_t clock_hand = 0;
-    BufferPoolStats stats;
+    // Pinned frames' page payloads are read outside the latch (see
+    // PageGuard::page).
+    mutable Mutex mu;
+    std::vector<Frame> frames GUARDED_BY(mu);
+    std::unordered_map<PageId, uint32_t> page_table GUARDED_BY(mu);
+    uint32_t clock_hand GUARDED_BY(mu) = 0;
+    BufferPoolStats stats GUARDED_BY(mu);
   };
 
   size_t ShardOf(PageId page_id) const;
@@ -180,8 +184,8 @@ class BufferPool {
                                         Install&& install);
 
   // Finds a free or evictable frame in `shard`, writing back a dirty
-  // victim. Requires shard.mu held.
-  StatusOr<uint32_t> AcquireFrame(Shard* shard);
+  // victim.
+  StatusOr<uint32_t> AcquireFrame(Shard* shard) REQUIRES(shard->mu);
 
   void Unpin(PageId page_id, uint32_t frame);
   void MarkDirty(PageId page_id, uint32_t frame);

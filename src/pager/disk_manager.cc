@@ -113,7 +113,7 @@ DiskManager::~DiskManager() {
 }
 
 StatusOr<PageId> DiskManager::AllocatePage() {
-  std::lock_guard<std::mutex> lock(*alloc_mu_);
+  MutexLock lock(*alloc_mu_);
   const PageId id = num_pages_.load(std::memory_order_relaxed);
   if (id == kInvalidPageId) {
     return ResourceExhaustedError("page id space exhausted");

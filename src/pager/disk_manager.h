@@ -22,10 +22,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "base/status.h"
+#include "base/sync.h"
 #include "pager/page.h"
 
 namespace chase {
@@ -110,7 +110,7 @@ class DiskManager {
       : fd_(fd),
         path_(std::move(path)),
         num_pages_(num_pages),
-        alloc_mu_(std::make_unique<std::mutex>()) {}
+        alloc_mu_(std::make_unique<Mutex>()) {}
 
   int fd_ = -1;
   std::string path_;
@@ -119,7 +119,10 @@ class DiskManager {
   FaultHook read_fault_;
   FaultHook write_fault_;
   // Serializes file extension; the read/write data path is lock-free.
-  std::unique_ptr<std::mutex> alloc_mu_;
+  // Behind a unique_ptr so the manager stays movable (num_pages_ is the
+  // only state it guards, and that is an atomic annotated by convention,
+  // not GUARDED_BY — readers snapshot it lock-free).
+  std::unique_ptr<Mutex> alloc_mu_;
 };
 
 }  // namespace pager

@@ -14,14 +14,14 @@ std::vector<PredId> DiskShapeSource::NonEmptyRelations() const {
 
 const std::vector<PageId>* DiskShapeSource::CachedPageDirectory(
     PredId pred) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = directories_.find(pred);
   return it == directories_.end() ? nullptr : &it->second;
 }
 
 StatusOr<const std::vector<PageId>*> DiskShapeSource::PageDirectory(
     PredId pred) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = directories_.find(pred);
   if (it != directories_.end()) return &it->second;
   std::vector<PageId> pages;
@@ -30,7 +30,7 @@ StatusOr<const std::vector<PageId>*> DiskShapeSource::PageDirectory(
 }
 
 Prefetcher* DiskShapeSource::EnsurePrefetcher() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (prefetcher_ == nullptr) {
     prefetcher_ = std::make_unique<Prefetcher>(&db_->buffer_pool());
   }
@@ -134,7 +134,7 @@ storage::IoCounters DiskShapeSource::Io() const {
   // next run's delta).
   Prefetcher* prefetcher = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     prefetcher = prefetcher_.get();
   }
   if (prefetcher != nullptr) prefetcher->Drain();

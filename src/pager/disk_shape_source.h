@@ -22,10 +22,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "base/sync.h"
 #include "pager/disk_database.h"
 #include "pager/prefetcher.h"
 #include "storage/shape_source.h"
@@ -76,9 +76,10 @@ class DiskShapeSource final : public storage::ShapeSource {
   // Ranged scans currently inside the read-ahead path; divides the
   // look-ahead budget so concurrent workers don't overrun the pool.
   mutable std::atomic<unsigned> active_scans_{0};
-  mutable std::mutex mu_;  // guards directories_ and prefetcher_ creation
-  mutable std::unordered_map<PredId, std::vector<PageId>> directories_;
-  mutable std::unique_ptr<Prefetcher> prefetcher_;
+  mutable Mutex mu_;  // guards directories_ and prefetcher_ creation
+  mutable std::unordered_map<PredId, std::vector<PageId>> directories_
+      GUARDED_BY(mu_);
+  mutable std::unique_ptr<Prefetcher> prefetcher_ GUARDED_BY(mu_);
 };
 
 }  // namespace pager

@@ -17,10 +17,10 @@ Prefetcher::Prefetcher(BufferPool* pool, unsigned threads) : pool_(pool) {
 
 Prefetcher::~Prefetcher() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -28,7 +28,7 @@ void Prefetcher::Enqueue(std::span<const PageId> pages) {
   if (pages.empty()) return;
   size_t admitted = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (size_t i = 0; i < pages.size(); ++i) {
       if (queue_.size() >= kMaxQueue) {
         dropped_ += pages.size() - i;
@@ -52,34 +52,37 @@ void Prefetcher::Enqueue(std::span<const PageId> pages) {
   // fight over one queue entry, and woke workers even when a full queue
   // admitted nothing.
   for (size_t i = std::min(admitted, workers_.size()); i > 0; --i) {
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 }
 
 uint64_t Prefetcher::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
 void Prefetcher::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  drained_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || in_flight_ != 0) drained_.Wait(mu_);
 }
 
 void Prefetcher::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (true) {
-    cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-    if (stop_) return;
+    while (!stop_ && queue_.empty()) cv_.Wait(mu_);
+    if (stop_) {
+      mu_.Unlock();
+      return;
+    }
     const PageId page = queue_.front();
     queue_.pop_front();
     ++in_flight_;
-    lock.unlock();
+    mu_.Unlock();
     // Best-effort: errors resurface on the foreground Fetch.
     (void)pool_->Prefetch(page);
-    lock.lock();
+    mu_.Lock();
     --in_flight_;
-    if (queue_.empty() && in_flight_ == 0) drained_.notify_all();
+    if (queue_.empty() && in_flight_ == 0) drained_.NotifyAll();
   }
 }
 

@@ -15,14 +15,13 @@
 #ifndef CHASE_PAGER_PREFETCHER_H_
 #define CHASE_PAGER_PREFETCHER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "base/sync.h"
 #include "pager/buffer_pool.h"
 
 namespace chase {
@@ -58,13 +57,13 @@ class Prefetcher {
   void Loop();
 
   BufferPool* pool_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;        // wakes workers
-  std::condition_variable drained_;   // wakes Drain waiters
-  std::deque<PageId> queue_;
-  unsigned in_flight_ = 0;
-  uint64_t dropped_ = 0;
-  bool stop_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;        // wakes workers
+  CondVar drained_;   // wakes Drain waiters
+  std::deque<PageId> queue_ GUARDED_BY(mu_);
+  unsigned in_flight_ GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

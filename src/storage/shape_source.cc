@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <thread>
 
 #include "base/frontier_pool.h"
 #include "base/padded.h"
@@ -102,18 +101,12 @@ Status ParallelTupleScan(const ShapeSource& source,
       scan_chunk(0, index);
     }
   } else {
-    std::atomic<size_t> next_chunk{0};
-    auto work = [&](unsigned t) {
-      while (worker_status[t].ok()) {
-        const size_t index = next_chunk.fetch_add(1);
-        if (index >= chunks.size()) break;
-        scan_chunk(t, index);
-      }
-    };
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) workers.emplace_back(work, t);
-    for (std::thread& worker : workers) worker.join();
+    // Transient pool for this scan: same dynamic chunk dealing as the
+    // caller-owned path (scan_chunk skips work once its worker's status is
+    // bad, matching the old hand-rolled spawn's early exit), and thread
+    // creation stays inside the one sanctioned spawner.
+    WorkerPool scan_pool(threads);
+    scan_pool.ParallelFor(chunks.size(), scan_chunk);
   }
 
   for (unsigned t = 0; t < threads; ++t) {

@@ -121,8 +121,8 @@ class ShapeSource {
 // build.
 //
 // When `pool` is non-null the chunks run on that caller-owned persistent
-// WorkerPool instead of per-call std::threads (its thread count wins over
-// `threads`), so a caller running several parallel phases — FindShapes
+// WorkerPool instead of a per-call transient one (its thread count wins
+// over `threads`), so a caller running several parallel phases — FindShapes
 // plus a simplification worklist, say — pays one thread spawn for all of
 // them. The visit contract is unchanged: thread ids stay in [0, threads).
 using ParallelTupleVisitor =

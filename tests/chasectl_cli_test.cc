@@ -59,6 +59,7 @@ TEST_F(ChasectlCliTest, MalformedNumericFlagsExitTwo) {
       "chase " + file + " --threads=%s",
       "chase " + file + " --max-atoms=%s",
       "chase " + file + " --hom-budget=%s",
+      "chase " + file + " --metrics-interval=%s",
       "simplify " + file + " --threads=%s",
       "findshapes " + file + " --threads=%s",
       "findshapes " + file + " --shards=%s",
@@ -129,6 +130,15 @@ TEST_F(ChasectlCliTest, MalformedObservabilityFlagsExitTwo) {
               2)
         << value;
   }
+  // --metrics-interval has no bare form (a cadence needs a value) and the
+  // same [1, 86400] whole-seconds window as --progress.
+  EXPECT_EQ(RunChasectl("chase " + program_path_ + " --metrics-interval"), 2);
+  for (const std::string value : {"abc", "1.5", "-3", "0", "86401"}) {
+    EXPECT_EQ(RunChasectl("chase " + program_path_ +
+                          " --metrics-interval=" + value),
+              2)
+        << value;
+  }
   // --trace / --metrics require a path: the bare-flag form is a syntax
   // error, not a run that silently drops the artifact.
   EXPECT_EQ(RunChasectl("chase " + program_path_ + " --trace"), 2);
@@ -173,6 +183,14 @@ TEST_F(ChasectlCliTest, ObservabilityRunsProduceArtifacts) {
 
   // --progress with an explicit interval still runs.
   EXPECT_EQ(RunChasectl("chase " + program_path_ + " --progress=1"), 0);
+  // --metrics-interval runs standalone (registry enabled just for the
+  // periodic stderr dumps) and alongside a --metrics artifact.
+  EXPECT_EQ(RunChasectl("chase " + program_path_ + " --metrics-interval=1"),
+            0);
+  EXPECT_EQ(RunChasectl("chase " + program_path_ +
+                        " --metrics-interval=1 --metrics=" + metrics_path),
+            0);
+  std::remove(metrics_path.c_str());
   // check --metrics exercises the RecordTimeParams path.
   EXPECT_EQ(RunChasectl("check " + program_path_ +
                         " --mode=l --metrics=" + metrics_path),

@@ -1,0 +1,19 @@
+// Fixture: the sanctioned nondeterminism home — the same patterns that are
+// findings elsewhere are allowed here. Expect: clean.
+#ifndef FIXTURE_RNG_H_
+#define FIXTURE_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace fixture {
+
+inline uint64_t SeedFromEntropy() {
+  std::random_device entropy;  // fine: this IS src/base/rng.h
+  std::mt19937_64 gen(entropy());
+  return gen();
+}
+
+}  // namespace fixture
+
+#endif  // FIXTURE_RNG_H_

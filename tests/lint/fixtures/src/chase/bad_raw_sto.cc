@@ -1,0 +1,16 @@
+// Fixture: raw string-to-number conversions. Expect: raw-sto on each
+// marked line (the rule applies in every directory).
+#include <cstdlib>
+#include <string>
+
+namespace fixture {
+
+int ParseThreads(const std::string& value) {
+  return std::stoi(value);  // BAD: throws on garbage
+}
+
+long ParseBudget(const char* value) {
+  return atol(value);  // BAD: silently returns 0 on garbage
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: binary envelope magic written outside io/binary_io. Expect:
+// envelope-io on the marked line (the magic lives in a string literal, so
+// literal contents must stay visible to this rule).
+#include <fstream>
+
+namespace fixture {
+
+void WriteRogueSnapshot(std::ofstream& out) {
+  out << "CHSI";  // BAD: envelope bytes bypassing io/binary_io
+}
+
+}  // namespace fixture

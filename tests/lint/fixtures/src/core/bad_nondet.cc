@@ -1,0 +1,22 @@
+// Fixture: nondeterminism sources outside src/base/{rng,hash}.h. Expect:
+// banned-nondet on each marked line.
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <random>
+
+namespace fixture {
+
+uint64_t Roll() {
+  std::random_device seed;             // BAD: std::random_device
+  std::mt19937_64 gen(seed());         // BAD: std::mt19937
+  return gen() + std::rand();          // BAD: rand()
+}
+
+size_t PointerKey(const int* p) {
+  std::hash<const int*> hasher;        // BAD: std::hash of a pointer
+  return hasher(p) ^
+         reinterpret_cast<uintptr_t>(p);  // BAD: ASLR-dependent value
+}
+
+}  // namespace fixture

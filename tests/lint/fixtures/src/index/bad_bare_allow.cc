@@ -1,0 +1,15 @@
+// Fixture: a suppression without a reason is itself a finding — the
+// comment must state the invariant that replaces the rule. Expect:
+// bare-allow (and the unordered-iter itself stays suppressed).
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+uint64_t Total(const std::unordered_map<uint64_t, uint64_t>& counts) {
+  uint64_t total = 0;
+  for (const auto& [k, v] : counts) total += v;  // chase-lint: allow(unordered-iter)
+  return total;
+}
+
+}  // namespace fixture

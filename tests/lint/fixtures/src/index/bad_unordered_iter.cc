@@ -1,0 +1,24 @@
+// Fixture: range-for over an unordered member in a canonical-output path
+// with no suppression. Expect: unordered-iter at both loops.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+using ShapeSet = std::unordered_set<uint64_t>;
+
+struct Index {
+  std::unordered_map<std::string, uint64_t> counts;
+  ShapeSet shapes;
+};
+
+uint64_t Emit(const Index& index) {
+  uint64_t total = 0;
+  for (const auto& [shape, count] : index.counts) total += count;  // BAD
+  for (uint64_t shape : index.shapes) total ^= shape;              // BAD
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,30 @@
+// Fixture: unordered iteration done right — suppressed with a documented
+// invariant, or not iterated at all. Expect: clean.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Index {
+  std::unordered_map<uint64_t, uint64_t> counts;
+};
+
+std::vector<uint64_t> SortedShapes(const Index& index) {
+  std::vector<uint64_t> shapes;
+  shapes.reserve(index.counts.size());
+  // chase-lint: allow(unordered-iter) sorted before emit: std::sort below,
+  // and the reason may wrap onto a continuation comment line like this one
+  for (const auto& [shape, count] : index.counts) shapes.push_back(shape);
+  std::sort(shapes.begin(), shapes.end());
+  return shapes;
+}
+
+uint64_t Total(const Index& index) {
+  uint64_t total = 0;
+  for (const auto& [shape, count] : index.counts) total += count;  // chase-lint: allow(unordered-iter) commutative fold: a sum
+  return total;
+}
+
+}  // namespace fixture

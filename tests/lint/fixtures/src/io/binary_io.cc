@@ -1,0 +1,12 @@
+// Fixture: the envelope helpers' own home — magics are defined here.
+// Expect: clean.
+#include <fstream>
+
+namespace fixture {
+
+constexpr char kSnapshotMagic[] = "CHSI";  // fine: this IS io/binary_io
+constexpr char kCheckMagic[] = "CHCK";
+
+void WriteMagic(std::ofstream& out) { out << kSnapshotMagic; }
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: validated numeric parsing — strtoull with errno and end-pointer
+// checks, the ParseU64Flag idiom. Expect: clean.
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace fixture {
+
+std::optional<uint64_t> ParseU64(const std::string& value) {
+  if (value.empty() || value[0] == '-') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const uint64_t parsed = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end == value.c_str() || *end != '\0') {
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+}  // namespace fixture

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Golden-fixture test for tools/lint/chase_lint.py.
+
+Each fixture under tests/lint/fixtures mirrors the repo layout (the linter
+scopes rules by path relative to --root, so a fixture at src/index/foo.cc
+is linted as a canonical-output file). bad_* fixtures must produce exactly
+the expected rule ids; good_* fixtures and the sanctioned-home fixtures
+must come back clean. A final case checks that directory walks skip the
+fixture tree, so the repo-wide lint gate stays green despite the known-bad
+snippets parked here.
+
+Usage: lint_test.py  (paths are inferred from this file's location)
+"""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.abspath(os.path.join(HERE, "..", ".."))
+LINTER = os.path.join(REPO, "tools", "lint", "chase_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+# fixture path (relative to the fixture root) -> multiset of expected rule
+# ids, one entry per expected finding. Empty list = must be clean.
+CASES = {
+    os.path.join("src", "index", "bad_unordered_iter.cc"):
+        ["unordered-iter", "unordered-iter"],
+    os.path.join("src", "index", "good_unordered_iter.cc"): [],
+    os.path.join("src", "core", "bad_nondet.cc"):
+        ["banned-nondet"] * 5,
+    os.path.join("src", "base", "rng.h"): [],
+    os.path.join("src", "chase", "bad_raw_sto.cc"):
+        ["raw-sto", "raw-sto"],
+    os.path.join("tools", "good_raw_sto.cc"): [],
+    os.path.join("src", "core", "bad_naked_thread.cc"):
+        ["naked-thread", "naked-thread"],
+    os.path.join("src", "base", "frontier_pool.cc"): [],
+    os.path.join("src", "core", "bad_envelope.cc"): ["envelope-io"],
+    os.path.join("src", "io", "binary_io.cc"): [],
+    os.path.join("src", "index", "bad_bare_allow.cc"): ["bare-allow"],
+}
+
+
+def run_linter(args):
+    proc = subprocess.run(
+        [sys.executable, LINTER] + args,
+        capture_output=True, text=True, check=False)
+    rules = []
+    for line in proc.stdout.splitlines():
+        # "path:line: [rule] message"
+        if "] " in line and "[" in line:
+            rules.append(line.split("[", 1)[1].split("]", 1)[0])
+    return proc.returncode, sorted(rules), proc.stdout + proc.stderr
+
+
+def main():
+    failures = []
+    for relpath, expected in sorted(CASES.items()):
+        fixture = os.path.join(FIXTURES, relpath)
+        if not os.path.isfile(fixture):
+            failures.append(f"{relpath}: fixture file missing")
+            continue
+        code, rules, output = run_linter(
+            ["--root", FIXTURES, fixture])
+        want_code = 1 if expected else 0
+        if code != want_code:
+            failures.append(
+                f"{relpath}: exit {code}, want {want_code}\n{output}")
+        if rules != sorted(expected):
+            failures.append(
+                f"{relpath}: findings {rules}, want {sorted(expected)}\n"
+                f"{output}")
+
+    # Directory walks must skip the fixture tree: linting the enclosing
+    # tests/ directory of the real repo stays clean even though it contains
+    # every known-bad snippet above.
+    code, rules, output = run_linter(
+        ["--root", REPO, os.path.join(REPO, "tests")])
+    if code != 0 or rules:
+        failures.append(
+            f"tests/ walk should skip fixtures but found {rules} "
+            f"(exit {code})\n{output}")
+
+    # A usage error (nonexistent path) is exit 2, distinct from findings.
+    code, _, _ = run_linter([os.path.join(FIXTURES, "no_such_file.cc")])
+    if code != 2:
+        failures.append(f"nonexistent path: exit {code}, want 2")
+
+    if failures:
+        print("lint_test: FAILED")
+        for failure in failures:
+            print(" -", failure)
+        return 1
+    print(f"lint_test: OK ({len(CASES)} fixtures + walk/usage checks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

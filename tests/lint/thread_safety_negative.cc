@@ -1,0 +1,42 @@
+// Negative-compilation probe for the base/sync.h annotations: under clang
+// with -Werror=thread-safety this file must FAIL to compile when
+// CHASE_NEGATIVE_UNGUARDED is defined (an unguarded read of a GUARDED_BY
+// field) and must compile cleanly without it (the same read under a
+// MutexLock). The cmake/thread_safety_negative.cmake harness compiles it
+// both ways; the passing control proves a failure means "the analysis
+// caught the bug", not "the harness is broken".
+//
+// Built standalone by that harness, never part of the chase library.
+
+#include "base/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    chase::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int Read() const {
+#ifdef CHASE_NEGATIVE_UNGUARDED
+    return value_;  // unguarded: -Wthread-safety must reject this
+#else
+    chase::MutexLock lock(mu_);
+    return value_;
+#endif
+  }
+
+ private:
+  mutable chase::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.Read() == 1 ? 0 : 1;
+}

@@ -5,7 +5,7 @@
 //                                                  termination check
 //   chase <file> [--variant=so|ob|re] [--max-atoms=N] [--threads=N]
 //               [--hom-budget=N] [--progress[=SECS]]
-//                [--print]
+//               [--metrics-interval=SECS] [--print]
 //   simplify <file> [--mode=scan|exists|index] [--threads=N] [--print]
 //                                                  simple_D(Σ) via the
 //                                                  frontier-parallel
@@ -327,6 +327,24 @@ bool ParseProgress(const Args& args,
   return true;
 }
 
+// --metrics-interval=SECS: periodic metrics-registry JSON dumps on stderr
+// for watching a live chase. Whole seconds in [1, 86400]; no bare form —
+// the flag names a cadence, so a value is required.
+bool ParseMetricsInterval(const Args& args,
+                          std::optional<std::chrono::seconds>* interval) {
+  if (!args.Has("metrics-interval")) return true;
+  if (args.Get("metrics-interval", "") == "true") {
+    std::cerr << "bad --metrics-interval (want --metrics-interval=SECS)\n";
+    return false;
+  }
+  uint64_t secs = 0;
+  if (!ParseU64Flag(args, "metrics-interval", 2, 1, 86'400, &secs)) {
+    return false;
+  }
+  *interval = std::chrono::seconds(secs);
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // check
 
@@ -455,13 +473,21 @@ int CmdChase(const Args& args) {
     std::cerr << "usage: chasectl chase <file> [--variant=so|ob|re] "
                  "[--max-atoms=N] [--threads=N] [--hom-budget=N] "
                  "[--progress[=SECS]] [--trace=FILE] [--metrics=FILE] "
-                 "[--print]\n";
+                 "[--metrics-interval=SECS] [--print]\n";
     return 2;
   }
   ObsSession obs_session;
   if (int rc = obs_session.Begin(args); rc != 0) return rc;
   std::optional<std::chrono::seconds> progress_interval;
   if (!ParseProgress(args, &progress_interval)) return 2;
+  std::optional<std::chrono::seconds> metrics_interval;
+  if (!ParseMetricsInterval(args, &metrics_interval)) return 2;
+  if (metrics_interval.has_value() && !args.Has("metrics")) {
+    // Interval dumps without a --metrics artifact still need a live
+    // registry; start it from zero like ObsSession does.
+    obs::MetricsRegistry::Get().Reset();
+    obs::MetricsRegistry::SetEnabled(true);
+  }
 
   auto program = LoadAnyProgram(args.positional[0]);
   if (!program.ok()) return Fail(program.status());
@@ -498,9 +524,14 @@ int CmdChase(const Args& args) {
     options.progress = &progress_sink;
     reporter.emplace(&std::cerr, &progress_sink, *progress_interval);
   }
+  std::optional<obs::MetricsDumper> metrics_dumper;
+  if (metrics_interval.has_value()) {
+    metrics_dumper.emplace(&std::cerr, *metrics_interval);
+  }
   Timer timer;
   auto result = RunChase(*program->database, program->tgds, options);
   const double chase_ms = timer.ElapsedMillis();
+  if (metrics_dumper.has_value()) metrics_dumper->Stop();
   if (reporter.has_value()) reporter->Stop();
   if (!result.ok()) return Fail(result.status());
   std::cout << ChaseVariantName(options.variant) << " chase: "
@@ -1069,7 +1100,8 @@ int Usage() {
       "[--threads=N]\n"
       "  chasectl explain <file>               (non-termination witness)\n"
       "  chasectl chase <file> [--variant=so|ob|re] [--max-atoms=N] "
-      "[--threads=N] [--progress[=SECS]] [--print]\n"
+      "[--threads=N] [--progress[=SECS]] [--metrics-interval=SECS] "
+      "[--print]\n"
       "  chasectl simplify <file> [--mode=scan|exists|index] [--threads=N] "
       "[--print]\n"
       "  chasectl query <file> \"q(X) :- r(X, Y).\"\n"
