@@ -1,0 +1,73 @@
+#include "base/signal_flag.h"
+
+#include <csignal>
+
+#include <atomic>
+#include <cstdlib>
+
+namespace chase {
+namespace {
+
+// The handler is a single relaxed store, which is async-signal-safe only
+// because the atomics are lock-free; guarantee that at compile time.
+std::atomic<bool> g_checkpoint_requested{false};
+std::atomic<bool> g_stop_requested{false};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "signal flags must be lock-free to be async-signal-safe");
+
+std::atomic<bool> g_installed{false};
+
+// Saved dispositions, written only while no handler is installed (the
+// g_installed guard serializes install/restore).
+struct sigaction g_prev_usr1;
+struct sigaction g_prev_term;
+
+extern "C" void ChaseSignalFlagHandler(int signo) {
+  // Async-signal-safe by construction: one lock-free atomic store, no
+  // allocation, no locks, no stdio.
+  if (signo == SIGUSR1) {
+    g_checkpoint_requested.store(true, std::memory_order_relaxed);
+  } else {
+    g_stop_requested.store(true, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+ScopedSignalFlags::ScopedSignalFlags() {
+  if (g_installed.exchange(true, std::memory_order_acq_rel)) {
+    // Two live guards would make restore-order ambiguous; signals are
+    // process-global, so this is a caller bug, not a recoverable state.
+    std::abort();
+  }
+  struct sigaction action = {};
+  action.sa_handler = &ChaseSignalFlagHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;  // don't turn long writes into EINTR loops
+  sigaction(SIGUSR1, &action, &g_prev_usr1);
+  sigaction(SIGTERM, &action, &g_prev_term);
+}
+
+ScopedSignalFlags::~ScopedSignalFlags() {
+  sigaction(SIGUSR1, &g_prev_usr1, nullptr);
+  sigaction(SIGTERM, &g_prev_term, nullptr);
+  g_installed.store(false, std::memory_order_release);
+}
+
+bool ScopedSignalFlags::ConsumeCheckpointRequest() {
+  return g_checkpoint_requested.exchange(false, std::memory_order_relaxed);
+}
+
+bool ScopedSignalFlags::ConsumeStopRequest() {
+  return g_stop_requested.exchange(false, std::memory_order_relaxed);
+}
+
+void ScopedSignalFlags::PostCheckpointRequest() {
+  g_checkpoint_requested.store(true, std::memory_order_relaxed);
+}
+
+void ScopedSignalFlags::PostStopRequest() {
+  g_stop_requested.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace chase

@@ -1,0 +1,57 @@
+// The sanctioned signal shim: the only place in the repo that registers
+// signal handlers (enforced by the chase_lint `signal-handler` rule).
+//
+// Signal handlers may do almost nothing safely — no allocation, no locks,
+// no stdio, nothing that could re-enter a mutex the interrupted thread
+// holds. The entire handler here is a single store to a lock-free atomic
+// flag; everything else (checkpoint serialization, file writes, logging)
+// happens on the interrupted code path when it polls the flags at a safe
+// boundary. This is the classic self-pipe/atomic-flag discipline minus the
+// pipe: the chase engine polls at round boundaries, so no wakeup channel
+// is needed.
+//
+// Protocol (chase/chase_engine.cc is the consumer):
+//   SIGUSR1  "checkpoint now": write a checkpoint at the next round
+//            boundary and keep running.
+//   SIGTERM  "checkpoint and stop": write a checkpoint at the next round
+//            boundary and return with ChaseOutcome::kInterrupted.
+//
+// Flags are process-global (signals are process-global), so at most one
+// ScopedSignalFlags may be live at a time; a second construction while one
+// is live is a programming error and aborts. Pending flags are NOT cleared
+// on construction — a request posted just before the guard goes up is
+// honored at the first poll — and consuming reads clear them, so a served
+// request never leaks into a later run.
+
+#ifndef CHASE_BASE_SIGNAL_FLAG_H_
+#define CHASE_BASE_SIGNAL_FLAG_H_
+
+namespace chase {
+
+class ScopedSignalFlags {
+ public:
+  // Installs the flag-store handlers for SIGUSR1 and SIGTERM, saving the
+  // previous dispositions.
+  ScopedSignalFlags();
+  // Restores the previous dispositions. Pending (unconsumed) flags stay
+  // set.
+  ~ScopedSignalFlags();
+
+  ScopedSignalFlags(const ScopedSignalFlags&) = delete;
+  ScopedSignalFlags& operator=(const ScopedSignalFlags&) = delete;
+
+  // True once per posted request: reads and clears the flag.
+  static bool ConsumeCheckpointRequest();  // SIGUSR1
+  static bool ConsumeStopRequest();        // SIGTERM
+
+  // Posts a request exactly as the signal handler would (a relaxed atomic
+  // store) without delivering a signal. Lets tests and in-process callers
+  // (a future `chased` scheduler preempting a chase) drive the
+  // checkpoint/stop protocol deterministically.
+  static void PostCheckpointRequest();
+  static void PostStopRequest();
+};
+
+}  // namespace chase
+
+#endif  // CHASE_BASE_SIGNAL_FLAG_H_

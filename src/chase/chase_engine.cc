@@ -1,13 +1,16 @@
 #include "chase/chase_engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 #include <span>
 #include <unordered_set>
 
 #include "base/frontier_pool.h"
+#include "base/signal_flag.h"
 #include "chase/body_partition.h"
 #include "index/sharded_shape_index.h"
+#include "io/binary_io.h"
 #include "logic/shape.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -190,6 +193,8 @@ const char* ChaseOutcomeName(ChaseOutcome outcome) {
       return "atom-limit";
     case ChaseOutcome::kRoundLimit:
       return "round-limit";
+    case ChaseOutcome::kInterrupted:
+      return "interrupted";
   }
   return "?";
 }
@@ -206,6 +211,20 @@ StatusOr<ChaseResult> RunChase(const Database& database,
     }
   }
 
+  if (options.checkpoint_path.empty() &&
+      (options.checkpoint_every_rounds != 0 || options.checkpoint_on_signal)) {
+    return InvalidArgumentError(
+        "checkpoint_every_rounds/checkpoint_on_signal require a "
+        "checkpoint_path");
+  }
+  // The program identity stamped into checkpoints and validated on resume;
+  // only computed when either end of the protocol is in play (it
+  // serializes the whole input).
+  const uint64_t input_fingerprint =
+      (!options.checkpoint_path.empty() || options.resume != nullptr)
+          ? io::ProgramFingerprint(schema, database, tgds)
+          : 0;
+
   ChaseResult result(Instance::FromDatabase(database));
   Instance& instance = result.instance;
   result.outcome = ChaseOutcome::kFixpoint;
@@ -217,6 +236,65 @@ StatusOr<ChaseResult> RunChase(const Database& database,
   view.cur.assign(num_preds, 0);
   for (PredId pred = 0; pred < num_preds; ++pred) {
     view.cur[pred] = instance.AtomsOf(pred).size();
+  }
+
+  if (options.resume != nullptr) {
+    const io::ChaseCheckpoint& ckpt = *options.resume;
+    if (ckpt.input_fingerprint != input_fingerprint) {
+      return InvalidArgumentError(
+          "checkpoint was taken against a different program (input "
+          "fingerprint mismatch) — resuming would silently diverge");
+    }
+    if (ckpt.variant != static_cast<uint32_t>(options.variant)) {
+      return InvalidArgumentError(
+          std::string("checkpoint was taken by a ") +
+          ChaseVariantName(static_cast<ChaseVariant>(ckpt.variant)) +
+          " chase, not " + ChaseVariantName(options.variant));
+    }
+    if (ckpt.relations.size() != num_preds) {
+      return InvalidArgumentError(
+          "checkpoint relation count does not match the schema");
+    }
+    // Rebuild the instance from the checkpoint alone: the fingerprint pins
+    // the seed database (its facts are the prefix of the stored relations),
+    // and replaying the stored insertion order reproduces the by-predicate
+    // layout — and with it every downstream enumeration — bit-identically.
+    Instance restored(&schema);
+    for (PredId pred = 0; pred < num_preds; ++pred) {
+      const io::ChaseCheckpoint::Relation& relation = ckpt.relations[pred];
+      const uint32_t arity = schema.Arity(pred);
+      if (relation.arity != arity) {
+        return InvalidArgumentError(
+            "checkpoint relation arity does not match the schema");
+      }
+      // Checkpoints are written after the round-window advance, so `cur`
+      // always covers the whole relation.
+      if (relation.cur * arity != relation.atoms.size()) {
+        return InvalidArgumentError(
+            "checkpoint round window does not cover the instance");
+      }
+      for (size_t row = 0; row * arity < relation.atoms.size(); ++row) {
+        GroundAtom atom;
+        atom.pred = pred;
+        atom.args.assign(relation.atoms.begin() + row * arity,
+                         relation.atoms.begin() + (row + 1) * arity);
+        if (!restored.AddAtom(std::move(atom))) {
+          return InvalidArgumentError(
+              "checkpoint instance holds duplicate atoms");
+        }
+      }
+      view.prev[pred] = relation.prev;
+      view.cur[pred] = relation.cur;
+    }
+    restored.SetNextNull(ckpt.next_null);
+    instance = std::move(restored);
+    for (const std::vector<uint64_t>& key : ckpt.fired_keys) {
+      fired.insert(key);
+    }
+    result.rounds = ckpt.rounds;
+    result.triggers_fired = ckpt.triggers_fired;
+    result.triggers_prefiltered = ckpt.triggers_prefiltered;
+    result.peak_buffered_homs = ckpt.peak_buffered_homs;
   }
 
   std::vector<Term> h;
@@ -256,7 +334,62 @@ StatusOr<ChaseResult> RunChase(const Database& database,
           : nullptr;
   constexpr uint64_t kProgressStride = 4096;  // firings between updates
 
+  // Signal-triggered checkpoints: the handlers (base/signal_flag.h, the
+  // repo's one sanctioned signal shim) only set lock-free atomic flags;
+  // the loop polls them at round boundaries below and does the real work
+  // — serialization, file I/O, metrics — on this thread.
+  std::optional<ScopedSignalFlags> signal_flags;
+  if (options.checkpoint_on_signal) signal_flags.emplace();
+  obs::Counter* checkpoints_written =
+      !options.checkpoint_path.empty() && obs::MetricsRegistry::enabled()
+          ? obs::MetricsRegistry::Get().GetCounter(
+                "chase.checkpoints_written")
+          : nullptr;
+  auto write_checkpoint = [&]() -> Status {
+    obs::TraceSpan checkpoint_span("chase", "checkpoint", "round",
+                                   static_cast<int64_t>(result.rounds));
+    io::ChaseCheckpoint ckpt;
+    ckpt.variant = static_cast<uint32_t>(options.variant);
+    ckpt.input_fingerprint = input_fingerprint;
+    ckpt.rounds = result.rounds;
+    ckpt.triggers_fired = result.triggers_fired;
+    ckpt.triggers_prefiltered = result.triggers_prefiltered;
+    ckpt.peak_buffered_homs = result.peak_buffered_homs;
+    ckpt.next_null = instance.NumNulls();
+    ckpt.relations.resize(num_preds);
+    for (PredId pred = 0; pred < num_preds; ++pred) {
+      io::ChaseCheckpoint::Relation& relation = ckpt.relations[pred];
+      relation.arity = schema.Arity(pred);
+      relation.prev = view.prev[pred];
+      relation.cur = view.cur[pred];
+      const std::vector<GroundAtom>& atoms = instance.AtomsOf(pred);
+      relation.atoms.reserve(atoms.size() * relation.arity);
+      for (const GroundAtom& atom : atoms) {
+        relation.atoms.insert(relation.atoms.end(), atom.args.begin(),
+                              atom.args.end());
+      }
+    }
+    // `fired` is insert/contains-only, so its hash order never reaches
+    // chase results; sorting here makes checkpoint bytes canonical for a
+    // given state (and satisfies the loader's ordering check).
+    ckpt.fired_keys.assign(fired.begin(), fired.end());
+    std::sort(ckpt.fired_keys.begin(), ckpt.fired_keys.end());
+    CHASE_RETURN_IF_ERROR(
+        io::SaveChaseCheckpoint(ckpt, options.checkpoint_path));
+    if (checkpoints_written != nullptr) checkpoints_written->Add(1);
+    return OkStatus();
+  };
+
   while (true) {
+    // Limit precedence: the atom budget outranks the round budget (see
+    // chase_engine.h). Checking atoms first makes a seed database already
+    // past max_atoms report kAtomLimit even at max_rounds = 0; mid-run
+    // trips break at the bottom of their round, before the next top-of-
+    // loop round check, so both orderings agree there too.
+    if (instance.NumAtoms() > options.max_atoms) {
+      result.outcome = ChaseOutcome::kAtomLimit;
+      break;
+    }
     if (result.rounds >= options.max_rounds) {
       result.outcome = ChaseOutcome::kRoundLimit;
       break;
@@ -468,6 +601,25 @@ StatusOr<ChaseResult> RunChase(const Database& database,
     for (PredId pred = 0; pred < num_preds; ++pred) {
       view.prev[pred] = view.cur[pred];
       view.cur[pred] = instance.AtomsOf(pred).size();
+    }
+    // Round-boundary checkpoint protocol: a periodic tick, a SIGUSR1
+    // (write and continue), or a SIGTERM (write, then stop). Consuming the
+    // flags clears them, so one posted request is served exactly once.
+    if (!options.checkpoint_path.empty()) {
+      const bool stop = options.checkpoint_on_signal &&
+                        ScopedSignalFlags::ConsumeStopRequest();
+      const bool asked = options.checkpoint_on_signal &&
+                         ScopedSignalFlags::ConsumeCheckpointRequest();
+      const bool tick =
+          options.checkpoint_every_rounds != 0 &&
+          result.rounds % options.checkpoint_every_rounds == 0;
+      if (stop || asked || tick) {
+        CHASE_RETURN_IF_ERROR(write_checkpoint());
+      }
+      if (stop) {
+        result.outcome = ChaseOutcome::kInterrupted;
+        break;
+      }
     }
   }
   // Mirror the run's result counters into the registry so `--metrics`

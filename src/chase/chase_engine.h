@@ -37,6 +37,10 @@ namespace index {
 class ShardedShapeIndex;
 }  // namespace index
 
+namespace io {
+struct ChaseCheckpoint;
+}  // namespace io
+
 enum class ChaseVariant {
   kOblivious,
   kSemiOblivious,
@@ -47,7 +51,17 @@ const char* ChaseVariantName(ChaseVariant variant);
 
 struct ChaseOptions {
   ChaseVariant variant = ChaseVariant::kSemiOblivious;
-  // Stop once the instance holds more than this many atoms.
+  // Stop once the instance holds more than this many atoms. The cut trips
+  // at the same trigger for every frontier_threads value (triggers apply
+  // in serial order on every path), and never rolls back a partially
+  // applied trigger, so one multi-head trigger may overshoot by at most
+  // its head size: after the run, NumAtoms() <= max_atoms + the largest
+  // head atom count over the rules.
+  //
+  // Limit precedence: the atom budget outranks the round budget. When both
+  // exhaust in the same round — or the seed database already exceeds
+  // max_atoms — the outcome is kAtomLimit, never kRoundLimit: the atom
+  // limit reflects real resource pressure, the round limit is a cadence.
   uint64_t max_atoms = 1'000'000;
   // Stop after this many rounds.
   uint64_t max_rounds = UINT64_MAX;
@@ -92,12 +106,42 @@ struct ChaseOptions {
   // round, so a reporter thread can print status for chases that run long
   // or never terminate. Pure observer — never affects results.
   obs::ChaseProgressSink* progress = nullptr;
+  // Checkpoint/restart (the CHCK envelope, io/binary_io.h). When
+  // `checkpoint_path` is non-empty the engine serializes its complete
+  // state there — instance atoms in insertion order, the null counter,
+  // the semi-naive round window, the fired-trigger dedup keys, result
+  // counters, and the input fingerprint — atomically (write-temp-then-
+  // rename), at round boundaries only:
+  //   * every `checkpoint_every_rounds` completed rounds (0 = no periodic
+  //     tick), and
+  //   * with `checkpoint_on_signal`, when a SIGUSR1 (write and continue)
+  //     or SIGTERM (write, then stop with kInterrupted) arrived since the
+  //     last boundary. The handlers are the src/base/signal_flag.h shim:
+  //     a single lock-free atomic store each, polled here — no allocation,
+  //     locking, or I/O ever runs in signal context.
+  // Setting either knob without checkpoint_path is kInvalidArgument.
+  std::string checkpoint_path;
+  uint64_t checkpoint_every_rounds = 0;
+  bool checkpoint_on_signal = false;
+  // Continue a previous run from its checkpoint instead of starting at
+  // the seed database. The checkpoint must come from a chase of the same
+  // program (TGDs + seed database, pinned by the input fingerprint) and
+  // the same variant; any mismatch is kInvalidArgument — never a silently
+  // divergent chase. The continued run is bit-identical to the
+  // uninterrupted one — same instance bytes, null ids, rounds, and
+  // trigger counts — at any frontier_threads (max_rounds/max_atoms count
+  // totals across both legs). With a shape_index, the caller must hand in
+  // an index reflecting the checkpoint's instance, exactly as the
+  // non-resume contract requires one reflecting `database`. Must outlive
+  // the call.
+  const io::ChaseCheckpoint* resume = nullptr;
 };
 
 enum class ChaseOutcome {
-  kFixpoint,    // no applicable trigger remains: the chase terminated
-  kAtomLimit,   // atom budget exhausted
-  kRoundLimit,  // round budget exhausted
+  kFixpoint,     // no applicable trigger remains: the chase terminated
+  kAtomLimit,    // atom budget exhausted (outranks kRoundLimit, see above)
+  kRoundLimit,   // round budget exhausted
+  kInterrupted,  // SIGTERM: checkpoint written, run stopped at the boundary
 };
 
 const char* ChaseOutcomeName(ChaseOutcome outcome);

@@ -44,6 +44,11 @@ class Instance {
   // Number of null ids allocated so far (= the next id to be handed out).
   uint64_t NumNulls() const { return next_null_; }
 
+  // Restores the null counter when rebuilding an instance from a chase
+  // checkpoint (chase/chase_engine.cc resume path), so fresh nulls in the
+  // continued run are numbered exactly as in the uninterrupted one.
+  void SetNextNull(uint64_t next_null) { next_null_ = next_null; }
+
   // Iterates all atoms (by predicate, insertion order within predicate).
   template <typename Fn>
   void ForEachAtom(Fn&& fn) const {

@@ -55,6 +55,12 @@ StatusOr<MaterializationReport> MaterializationCheck(
       report.decided = false;
       report.finite = false;
       break;
+    case ChaseOutcome::kInterrupted:
+      // This checker never arms checkpoint_on_signal, but the contract is
+      // uniform: an interrupted chase decides nothing.
+      report.decided = false;
+      report.finite = false;
+      break;
   }
   return report;
 }

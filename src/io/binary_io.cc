@@ -16,6 +16,12 @@ constexpr uint32_t kVersion = 1;
 constexpr uint32_t kSnapshotMagic = 0x49534843;  // "CHSI"
 // Version 2 added the content fingerprint to the payload header.
 constexpr uint32_t kSnapshotVersion = 2;
+constexpr uint32_t kCheckpointMagic = 0x4b434843;  // "CHCK"
+constexpr uint32_t kCheckpointVersion = 1;
+// ChaseVariant has three enumerators (chase/chase_engine.h); the
+// deserializer range-checks against this so a resume never reinterprets a
+// corrupt variant byte as a different chase.
+constexpr uint32_t kNumChaseVariants = 3;
 
 uint64_t Fnv1a(std::span<const uint8_t> bytes) {
   uint64_t hash = 0xcbf29ce484222325ULL;
@@ -300,6 +306,141 @@ Status SaveShapeSnapshot(const ShapeSnapshot& snapshot,
 StatusOr<ShapeSnapshot> LoadShapeSnapshot(const std::string& path) {
   CHASE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
   return DeserializeShapeSnapshot(bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Chase checkpoints.
+
+uint64_t ProgramFingerprint(const Schema& schema, const Database& database,
+                            const std::vector<Tgd>& tgds) {
+  return Fnv1a(SerializeProgram(schema, database, tgds));
+}
+
+std::vector<uint8_t> SerializeChaseCheckpoint(
+    const ChaseCheckpoint& checkpoint) {
+  ByteWriter payload;
+  payload.PutU32(checkpoint.variant);
+  payload.PutU64(checkpoint.input_fingerprint);
+  payload.PutU64(checkpoint.rounds);
+  payload.PutU64(checkpoint.triggers_fired);
+  payload.PutU64(checkpoint.triggers_prefiltered);
+  payload.PutU64(checkpoint.peak_buffered_homs);
+  payload.PutU64(checkpoint.next_null);
+  payload.PutU32(static_cast<uint32_t>(checkpoint.relations.size()));
+  for (const ChaseCheckpoint::Relation& relation : checkpoint.relations) {
+    payload.PutU32(relation.arity);
+    payload.PutU64(relation.prev);
+    payload.PutU64(relation.cur);
+    payload.PutU64(relation.atoms.size() / relation.arity);  // row count
+    for (Term term : relation.atoms) payload.PutU64(term);
+  }
+  payload.PutU64(checkpoint.fired_keys.size());
+  for (const std::vector<uint64_t>& key : checkpoint.fired_keys) {
+    payload.PutU32(static_cast<uint32_t>(key.size()));
+    for (uint64_t value : key) payload.PutU64(value);
+  }
+  return WrapPayload(kCheckpointMagic, kCheckpointVersion, payload);
+}
+
+StatusOr<ChaseCheckpoint> DeserializeChaseCheckpoint(
+    std::span<const uint8_t> bytes) {
+  CHASE_ASSIGN_OR_RETURN(
+      std::span<const uint8_t> payload,
+      UnwrapPayload(kCheckpointMagic, kCheckpointVersion, bytes,
+                    "chase checkpoint"));
+
+  ByteReader reader(payload);
+  ChaseCheckpoint checkpoint;
+  CHASE_ASSIGN_OR_RETURN(checkpoint.variant, reader.GetU32());
+  if (checkpoint.variant >= kNumChaseVariants) {
+    return FailedPreconditionError(
+        "chase checkpoint variant out of range: " +
+        std::to_string(checkpoint.variant));
+  }
+  CHASE_ASSIGN_OR_RETURN(checkpoint.input_fingerprint, reader.GetU64());
+  CHASE_ASSIGN_OR_RETURN(checkpoint.rounds, reader.GetU64());
+  CHASE_ASSIGN_OR_RETURN(checkpoint.triggers_fired, reader.GetU64());
+  CHASE_ASSIGN_OR_RETURN(checkpoint.triggers_prefiltered, reader.GetU64());
+  CHASE_ASSIGN_OR_RETURN(checkpoint.peak_buffered_homs, reader.GetU64());
+  CHASE_ASSIGN_OR_RETURN(checkpoint.next_null, reader.GetU64());
+  CHASE_ASSIGN_OR_RETURN(uint32_t num_relations, reader.GetU32());
+  checkpoint.relations.reserve(
+      std::min<uint64_t>(num_relations, reader.remaining()));
+  for (uint32_t i = 0; i < num_relations; ++i) {
+    ChaseCheckpoint::Relation relation;
+    CHASE_ASSIGN_OR_RETURN(relation.arity, reader.GetU32());
+    if (relation.arity == 0 || relation.arity > Schema::kMaxArity) {
+      return FailedPreconditionError(
+          "chase checkpoint relation arity out of range: " +
+          std::to_string(relation.arity));
+    }
+    CHASE_ASSIGN_OR_RETURN(relation.prev, reader.GetU64());
+    CHASE_ASSIGN_OR_RETURN(relation.cur, reader.GetU64());
+    CHASE_ASSIGN_OR_RETURN(uint64_t rows, reader.GetU64());
+    if (relation.prev > relation.cur || relation.cur > rows) {
+      return FailedPreconditionError(
+          "chase checkpoint round window past the relation row count");
+    }
+    // Validate against the remaining length before sizing the buffer, so
+    // an adversarial row count cannot force a huge allocation.
+    if (rows > reader.remaining() / sizeof(uint64_t) / relation.arity) {
+      return OutOfRangeError("chase checkpoint relation truncated");
+    }
+    relation.atoms.resize(rows * relation.arity);
+    for (Term& term : relation.atoms) {
+      CHASE_ASSIGN_OR_RETURN(term, reader.GetU64());
+    }
+    checkpoint.relations.push_back(std::move(relation));
+  }
+  CHASE_ASSIGN_OR_RETURN(uint64_t num_keys, reader.GetU64());
+  checkpoint.fired_keys.reserve(
+      std::min<uint64_t>(num_keys, reader.remaining()));
+  for (uint64_t i = 0; i < num_keys; ++i) {
+    CHASE_ASSIGN_OR_RETURN(uint32_t key_size, reader.GetU32());
+    if (key_size == 0) {
+      return FailedPreconditionError("chase checkpoint fired key is empty");
+    }
+    if (key_size > reader.remaining() / sizeof(uint64_t)) {
+      return OutOfRangeError("chase checkpoint fired keys truncated");
+    }
+    std::vector<uint64_t> key(key_size);
+    for (uint64_t& value : key) {
+      CHASE_ASSIGN_OR_RETURN(value, reader.GetU64());
+    }
+    // Strictly ascending keeps checkpoint bytes canonical for a state and
+    // makes duplicates impossible by construction.
+    if (!checkpoint.fired_keys.empty() &&
+        !(checkpoint.fired_keys.back() < key)) {
+      return FailedPreconditionError(
+          "chase checkpoint fired keys out of order");
+    }
+    checkpoint.fired_keys.push_back(std::move(key));
+  }
+  if (!reader.AtEnd()) {
+    return FailedPreconditionError(
+        "trailing bytes after checkpoint payload");
+  }
+  return checkpoint;
+}
+
+Status SaveChaseCheckpoint(const ChaseCheckpoint& checkpoint,
+                           const std::string& path) {
+  // Write-temp-then-rename: rename(2) within a filesystem is atomic, so
+  // `path` always holds either the previous complete checkpoint or the new
+  // one — never a torn mix, whatever signal or crash lands mid-write.
+  const std::string tmp = path + ".tmp";
+  CHASE_RETURN_IF_ERROR(
+      WriteFileBytes(SerializeChaseCheckpoint(checkpoint), tmp));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return InternalError("cannot rename " + tmp + " to " + path);
+  }
+  return OkStatus();
+}
+
+StatusOr<ChaseCheckpoint> LoadChaseCheckpoint(const std::string& path) {
+  CHASE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
+  return DeserializeChaseCheckpoint(bytes);
 }
 
 }  // namespace io

@@ -23,6 +23,13 @@
 // sorted strictly by shape, so snapshot bytes are canonical for a given
 // index state.
 //
+// Chase-checkpoint payload (magic "CHCK"): the complete state of a chase
+// at a round boundary — variant, input fingerprint, result counters, the
+// null counter, per-predicate atoms (insertion order, arity-strided terms)
+// with the semi-naive round-window watermarks, and the fired-trigger dedup
+// keys sorted lexicographically — so `chasectl chase --resume=FILE`
+// bit-identically continues the run (see chase/chase_engine.h).
+//
 // Loading validates the checksum before parsing, and every read is bounds-
 // checked (ByteReader), so corrupt or truncated files fail cleanly.
 
@@ -35,6 +42,7 @@
 #include "base/status.h"
 #include "logic/parser.h"
 #include "logic/shape.h"
+#include "logic/term.h"
 
 namespace chase {
 namespace io {
@@ -84,6 +92,68 @@ Status SaveShapeSnapshot(const ShapeSnapshot& snapshot,
 StatusOr<ShapeSnapshot> DeserializeShapeSnapshot(
     std::span<const uint8_t> bytes);
 StatusOr<ShapeSnapshot> LoadShapeSnapshot(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Chase checkpoints (chase/chase_engine.h): everything a chase needs to
+// continue from a round boundary exactly as if it had never stopped.
+// Written periodically and on SIGUSR1/SIGTERM by RunChase, consumed by
+// ChaseOptions::resume / `chasectl chase --resume=FILE`.
+
+struct ChaseCheckpoint {
+  // ChaseVariant as its underlying value (range-checked on load; RunChase
+  // additionally requires it to match the resuming run's options).
+  uint32_t variant = 0;
+  // ProgramFingerprint of the (schema, database, TGDs) the chase ran on.
+  // Resuming against a different program fails with kInvalidArgument —
+  // never a silently divergent chase.
+  uint64_t input_fingerprint = 0;
+  // ChaseResult counters at the boundary.
+  uint64_t rounds = 0;
+  uint64_t triggers_fired = 0;
+  uint64_t triggers_prefiltered = 0;
+  uint64_t peak_buffered_homs = 0;
+  // The instance's null counter (= the next null id to be handed out).
+  uint64_t next_null = 0;
+  struct Relation {
+    uint32_t arity = 0;
+    // The semi-naive round window: rows below `prev` existed before the
+    // last completed round, rows below `cur` exist now. prev <= cur <=
+    // row count (enforced on load).
+    uint64_t prev = 0;
+    uint64_t cur = 0;
+    // Every atom of the predicate as arity-strided flat terms in
+    // insertion order. The order IS the state: resume replays it, so the
+    // by-predicate layout — and with it every downstream enumeration —
+    // is bit-identical to the run that wrote the checkpoint.
+    std::vector<Term> atoms;
+  };
+  // One entry per schema predicate, in predicate-id order.
+  std::vector<Relation> relations;
+  // Fired-trigger dedup keys ([rule, binding...]; oblivious and
+  // semi-oblivious variants only — empty for restricted), sorted strictly
+  // ascending so checkpoint bytes are canonical for a given chase state.
+  std::vector<std::vector<uint64_t>> fired_keys;
+};
+
+// The identity of a chase input: FNV-1a over the serialized program.
+uint64_t ProgramFingerprint(const Schema& schema, const Database& database,
+                            const std::vector<Tgd>& tgds);
+
+std::vector<uint8_t> SerializeChaseCheckpoint(
+    const ChaseCheckpoint& checkpoint);
+// Atomic: writes `path + ".tmp"`, then renames over `path`, so a reader —
+// or a crash mid-write — never observes a torn checkpoint; the previous
+// complete checkpoint stays intact until the new one fully lands.
+Status SaveChaseCheckpoint(const ChaseCheckpoint& checkpoint,
+                           const std::string& path);
+
+// Fails with kFailedPrecondition on bad magic/version/checksum, a variant
+// out of range, malformed relations (zero or oversized arity, watermarks
+// past the row count, terms not arity-strided), unsorted fired keys, or
+// trailing bytes; kOutOfRange on truncation.
+StatusOr<ChaseCheckpoint> DeserializeChaseCheckpoint(
+    std::span<const uint8_t> bytes);
+StatusOr<ChaseCheckpoint> LoadChaseCheckpoint(const std::string& path);
 
 }  // namespace io
 }  // namespace chase

@@ -60,6 +60,9 @@ TEST_F(ChasectlCliTest, MalformedNumericFlagsExitTwo) {
       "chase " + file + " --max-atoms=%s",
       "chase " + file + " --hom-budget=%s",
       "chase " + file + " --metrics-interval=%s",
+      "chase " + file + " --max-rounds=%s",
+      "chase " + file + " --checkpoint=" + TempDir() +
+          "/chasectl_cli_test.chck --checkpoint-every=%s",
       "simplify " + file + " --threads=%s",
       "findshapes " + file + " --threads=%s",
       "findshapes " + file + " --shards=%s",
@@ -157,6 +160,60 @@ TEST_F(ChasectlCliTest, UnwritableArtifactPathsFailCleanlyUpFront) {
   EXPECT_EQ(RunChasectl("check " + program_path_ + " --trace=" + bad), 1);
   EXPECT_EQ(RunChasectl("simplify " + program_path_ + " --metrics=" + bad),
             1);
+}
+
+TEST_F(ChasectlCliTest, MalformedCheckpointFlagsExitTwo) {
+  const std::string ck = TempDir() + "/chasectl_cli_test_flags.chck";
+  // --checkpoint and --resume require a path: the bare-flag form is a
+  // syntax error, not a run that silently drops the checkpoint.
+  EXPECT_EQ(RunChasectl("chase " + program_path_ + " --checkpoint"), 2);
+  EXPECT_EQ(RunChasectl("chase " + program_path_ + " --resume"), 2);
+  // A cadence without a file to write has nothing to mean.
+  EXPECT_EQ(RunChasectl("chase " + program_path_ + " --checkpoint-every=2"),
+            2);
+  // The cadence is a whole positive round count.
+  EXPECT_EQ(RunChasectl("chase " + program_path_ + " --checkpoint=" + ck +
+                        " --checkpoint-every=0"),
+            2);
+}
+
+TEST_F(ChasectlCliTest, CheckpointPathProblemsFailCleanlyUpFront) {
+  // An unwritable checkpoint destination is probed before the run; a
+  // missing resume source is a clean load failure. Both exit 1, never a
+  // crash and never a run whose checkpoint silently went nowhere.
+  EXPECT_EQ(RunChasectl("chase " + program_path_ +
+                        " --checkpoint=/nonexistent-dir-for-chasectl/x.chck"),
+            1);
+  EXPECT_EQ(RunChasectl("chase " + program_path_ + " --resume=" + TempDir() +
+                        "/chasectl_cli_test_missing.chck"),
+            1);
+}
+
+TEST_F(ChasectlCliTest, CheckpointResumeRoundTrips) {
+  // A non-terminating chain, so both legs end at their round limits.
+  const std::string file = TempDir() + "/chasectl_cli_test_nonterm.dlgp";
+  {
+    std::ofstream out(file);
+    out << "e(a,b).\ne(X,Y) -> e(Y,Z).\n";
+  }
+  const std::string ck = TempDir() + "/chasectl_cli_test_resume.chck";
+  std::remove(ck.c_str());
+  EXPECT_EQ(RunChasectl("chase " + file + " --variant=ob --max-rounds=2" +
+                        " --checkpoint=" + ck + " --checkpoint-every=1"),
+            0);
+  std::ifstream in(ck, std::ios::binary);
+  ASSERT_TRUE(in.good()) << ck;
+  // --resume without --variant adopts the checkpoint's variant; a
+  // conflicting explicit variant is a diagnosed failure, not a divergent
+  // chase.
+  EXPECT_EQ(RunChasectl("chase " + file + " --resume=" + ck +
+                        " --max-rounds=4"),
+            0);
+  EXPECT_EQ(RunChasectl("chase " + file + " --resume=" + ck +
+                        " --variant=so --max-rounds=4"),
+            1);
+  std::remove(ck.c_str());
+  std::remove(file.c_str());
 }
 
 TEST_F(ChasectlCliTest, ObservabilityRunsProduceArtifacts) {

@@ -20,14 +20,25 @@
 // relations, arity-1 predicates (trivial lattices), duplicate database
 // shapes in the seed frontier, and more threads than frontier items.
 //
+// The checkpoint/restart protocol rides the same contract: a chase
+// checkpointed at ANY round boundary and resumed must replay the
+// uninterrupted run bit-for-bit — instance bytes, null ids, rounds,
+// trigger counts, and the checkpoint file bytes themselves — at any
+// thread count, for all three variants, with and without index
+// write-through. The sweep at the bottom cuts at every round.
+//
 // Runs in both the normal and the ThreadSanitizer CI jobs, and standalone
-// via `ctest -L frontier`.
+// via `ctest -L frontier` (the resume sweep also under `-L checkpoint`).
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iterator>
 #include <numeric>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -36,6 +47,8 @@
 #include "core/dynamic_simplification.h"
 #include "gen/data_generator.h"
 #include "gen/tgd_generator.h"
+#include "index/sharded_shape_index.h"
+#include "io/binary_io.h"
 #include "logic/parser.h"
 #include "pager/disk_database.h"
 #include "pager/disk_shape_source.h"
@@ -507,6 +520,150 @@ TEST(FrontierEquivalenceTest, MoreThreadsThanFrontierItems) {
   EXPECT_EQ(stats.seeds_admitted, 1u);
   EXPECT_EQ(stats.items_expanded, 2u);  // [1,2] then its child [1,1]
   EXPECT_EQ(stats.depths, 2u);
+}
+
+// --------------------------------------------------------------------------
+// Checkpoint/resume differential sweep: cut at every round boundary, resume,
+// and demand the uninterrupted run bit-for-bit — across the thread sweep,
+// all three variants, and both maintenance modes (plain memory instance,
+// index write-through).
+
+TEST(FrontierEquivalenceTest, CheckpointResumeSweepMatchesUninterruptedRun) {
+  // Non-terminating under every variant: the successor rule always finds a
+  // fresh null to extend (restricted included), and the transitive-closure
+  // join keeps the multi-atom-body machinery engaged.
+  auto program = ParseProgram(R"(
+    e(a, b). e(b, c). f(a).
+    e(X, Y) -> e(Y, Z).
+    e(X, Y), e(Y, Z) -> e(X, Z).
+    e(X, Y) -> f(X).
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  constexpr uint64_t kRounds = 6;
+  const std::string ck_path = TempPath("chase_frontier_equiv_resume.chck");
+
+  for (ChaseVariant variant :
+       {ChaseVariant::kOblivious, ChaseVariant::kSemiOblivious,
+        ChaseVariant::kRestricted}) {
+    // The uninterrupted oracle: serial, no index.
+    ChaseOptions oracle_options;
+    oracle_options.variant = variant;
+    oracle_options.max_rounds = kRounds;
+    auto oracle = RunChase(*program->database, program->tgds, oracle_options);
+    ASSERT_TRUE(oracle.ok()) << oracle.status();
+    ASSERT_EQ(oracle->outcome, ChaseOutcome::kRoundLimit);
+    std::vector<GroundAtom> oracle_atoms;
+    oracle->instance.ForEachAtom(
+        [&](const GroundAtom& atom) { oracle_atoms.push_back(atom); });
+
+    // The index write-through oracle: the shapes a straight run leaves.
+    index::ShardedShapeIndex oracle_index =
+        index::ShardedShapeIndex::Build(*program->database, /*shards=*/4);
+    ChaseOptions oracle_index_options = oracle_options;
+    oracle_index_options.shape_index = &oracle_index;
+    ASSERT_TRUE(
+        RunChase(*program->database, program->tgds, oracle_index_options)
+            .ok());
+    const std::vector<Shape> oracle_shapes = oracle_index.CurrentShapes();
+
+    for (uint64_t cut = 1; cut < kRounds; ++cut) {
+      // Canonical checkpoints: at a fixed thread count the file bytes are
+      // identical whatever the backend; across thread counts every state
+      // field matches and only the two per-thread-count diagnostic
+      // counters may differ.
+      std::optional<io::ChaseCheckpoint> canonical_state;
+      std::vector<uint8_t> canonical_bytes;
+      for (unsigned threads : {1u, 2u, 4u}) {
+        canonical_bytes.clear();
+        for (bool write_through : {false, true}) {
+          const std::string label =
+              std::string("variant ") + ChaseVariantName(variant) +
+              ", cut " + std::to_string(cut) + ", threads " +
+              std::to_string(threads) +
+              (write_through ? ", index" : ", memory");
+
+          ChaseOptions leg1_options;
+          leg1_options.variant = variant;
+          leg1_options.max_rounds = cut;
+          leg1_options.frontier_threads = threads;
+          leg1_options.checkpoint_path = ck_path;
+          leg1_options.checkpoint_every_rounds = cut;
+          index::ShardedShapeIndex leg1_index(4);
+          if (write_through) {
+            leg1_index = index::ShardedShapeIndex::Build(*program->database,
+                                                         /*shards=*/4);
+            leg1_options.shape_index = &leg1_index;
+          }
+          auto leg1 =
+              RunChase(*program->database, program->tgds, leg1_options);
+          ASSERT_TRUE(leg1.ok()) << label << ": " << leg1.status();
+          ASSERT_EQ(leg1->outcome, ChaseOutcome::kRoundLimit) << label;
+
+          std::ifstream in(ck_path, std::ios::binary);
+          ASSERT_TRUE(in.good()) << label;
+          std::vector<uint8_t> bytes(std::istreambuf_iterator<char>(in),
+                                     std::istreambuf_iterator<char>{});
+          in.close();
+          if (canonical_bytes.empty()) {
+            canonical_bytes = bytes;
+          } else {
+            EXPECT_EQ(bytes, canonical_bytes) << label;
+          }
+          auto ckpt = io::DeserializeChaseCheckpoint(bytes);
+          ASSERT_TRUE(ckpt.ok()) << label << ": " << ckpt.status();
+          EXPECT_EQ(ckpt->rounds, cut) << label;
+          if (!canonical_state.has_value()) {
+            canonical_state = *ckpt;
+          } else {
+            EXPECT_EQ(ckpt->triggers_fired, canonical_state->triggers_fired)
+                << label;
+            EXPECT_EQ(ckpt->next_null, canonical_state->next_null) << label;
+            EXPECT_EQ(ckpt->fired_keys, canonical_state->fired_keys)
+                << label;
+            ASSERT_EQ(ckpt->relations.size(),
+                      canonical_state->relations.size())
+                << label;
+            for (size_t i = 0; i < ckpt->relations.size(); ++i) {
+              EXPECT_EQ(ckpt->relations[i].atoms,
+                        canonical_state->relations[i].atoms)
+                  << label << ", relation " << i;
+            }
+          }
+
+          ChaseOptions leg2_options;
+          leg2_options.variant = variant;
+          leg2_options.max_rounds = kRounds;
+          leg2_options.frontier_threads = threads;
+          leg2_options.resume = &*ckpt;
+          index::ShardedShapeIndex leg2_index(4);
+          if (write_through) {
+            // The resume contract: the caller hands in an index reflecting
+            // the checkpoint's instance, here replayed from leg 1's result.
+            leg1->instance.ForEachAtom([&](const GroundAtom& atom) {
+              leg2_index.Insert(atom.pred, atom.args);
+            });
+            leg2_options.shape_index = &leg2_index;
+          }
+          auto leg2 =
+              RunChase(*program->database, program->tgds, leg2_options);
+          ASSERT_TRUE(leg2.ok()) << label << ": " << leg2.status();
+          EXPECT_EQ(leg2->outcome, oracle->outcome) << label;
+          EXPECT_EQ(leg2->rounds, oracle->rounds) << label;
+          EXPECT_EQ(leg2->triggers_fired, oracle->triggers_fired) << label;
+          EXPECT_EQ(leg2->instance.NumNulls(), oracle->instance.NumNulls())
+              << label;
+          std::vector<GroundAtom> leg2_atoms;
+          leg2->instance.ForEachAtom(
+              [&](const GroundAtom& atom) { leg2_atoms.push_back(atom); });
+          EXPECT_EQ(leg2_atoms, oracle_atoms) << label;
+          if (write_through) {
+            EXPECT_EQ(leg2_index.CurrentShapes(), oracle_shapes) << label;
+          }
+        }
+      }
+    }
+  }
+  std::remove(ck_path.c_str());
 }
 
 TEST(FrontierEquivalenceTest, MeteringTotalsAreThreadCountIndependent) {

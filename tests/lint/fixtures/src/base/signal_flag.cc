@@ -1,0 +1,26 @@
+// Sanctioned-home fixture: the signal shim itself. Registration lives here
+// and the handler is a single store to a lock-free atomic, so the
+// signal-handler rule must come back clean.
+#include <atomic>
+#include <csignal>
+
+namespace chase {
+namespace {
+
+std::atomic<bool> g_stop_requested{false};
+
+}  // namespace
+
+extern "C" void FixtureSignalFlagHandler(int signo) {
+  if (signo == SIGTERM) {
+    g_stop_requested.store(true, std::memory_order_relaxed);
+  }
+}
+
+void InstallFixtureHandler() {
+  struct sigaction action = {};
+  action.sa_handler = FixtureSignalFlagHandler;
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+}  // namespace chase

@@ -1,0 +1,19 @@
+// Known-bad fixture: signal handling outside the sanctioned shim, with a
+// handler body full of async-signal-unsafe calls.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+
+namespace chase {
+
+extern "C" void RogueTermHandler(int signo) {
+  std::printf("caught %d\n", signo);   // stdio in signal context
+  void* scratch = malloc(64);          // heap allocation in signal context
+  free(scratch);
+}
+
+void InstallRogueHandler() {
+  std::signal(SIGTERM, RogueTermHandler);  // registration outside the shim
+}
+
+}  // namespace chase

@@ -39,6 +39,10 @@ CASES = {
     os.path.join("src", "core", "bad_envelope.cc"): ["envelope-io"],
     os.path.join("src", "io", "binary_io.cc"): [],
     os.path.join("src", "index", "bad_bare_allow.cc"): ["bare-allow"],
+    # One registration outside the shim + stdio/malloc/free in the body.
+    os.path.join("src", "core", "bad_signal.cc"):
+        ["signal-handler"] * 4,
+    os.path.join("src", "base", "signal_flag.cc"): [],
 }
 
 

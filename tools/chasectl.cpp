@@ -3,9 +3,10 @@
 // Subcommands:
 //   check <file> [--mode=sl|l] [--shapes=mem|db|index] [--threads=N]
 //                                                  termination check
-//   chase <file> [--variant=so|ob|re] [--max-atoms=N] [--threads=N]
-//               [--hom-budget=N] [--progress[=SECS]]
-//               [--metrics-interval=SECS] [--print]
+//   chase <file> [--variant=so|ob|re] [--max-atoms=N] [--max-rounds=N]
+//               [--threads=N] [--hom-budget=N] [--checkpoint=FILE]
+//               [--checkpoint-every=N] [--resume=FILE]
+//               [--progress[=SECS]] [--metrics-interval=SECS] [--print]
 //   simplify <file> [--mode=scan|exists|index] [--threads=N] [--print]
 //                                                  simple_D(Σ) via the
 //                                                  frontier-parallel
@@ -471,7 +472,9 @@ int CmdCheck(const Args& args) {
 int CmdChase(const Args& args) {
   if (args.positional.empty()) {
     std::cerr << "usage: chasectl chase <file> [--variant=so|ob|re] "
-                 "[--max-atoms=N] [--threads=N] [--hom-budget=N] "
+                 "[--max-atoms=N] [--max-rounds=N] [--threads=N] "
+                 "[--hom-budget=N] [--checkpoint=FILE] "
+                 "[--checkpoint-every=N] [--resume=FILE] "
                  "[--progress[=SECS]] [--trace=FILE] [--metrics=FILE] "
                  "[--metrics-interval=SECS] [--print]\n";
     return 2;
@@ -509,11 +512,64 @@ int CmdChase(const Args& args) {
                     &options.max_atoms)) {
     return 2;
   }
+  if (!ParseU64Flag(args, "max-rounds", UINT64_MAX, 0, UINT64_MAX,
+                    &options.max_rounds)) {
+    return 2;
+  }
   // Per-fragment homomorphism buffer of the parallel non-linear engine
   // (peak buffered homs <= threads x budget); ignored when --threads=1.
   if (!ParseU64Flag(args, "hom-budget", options.hom_budget, 1, UINT64_MAX,
                     &options.hom_budget)) {
     return 2;
+  }
+
+  // --checkpoint=FILE [--checkpoint-every=N] / --resume=FILE: the
+  // checkpoint/restart protocol (README "Checkpoint & resume").
+  // --checkpoint also arms the signal path: SIGUSR1 = checkpoint and
+  // continue, SIGTERM = checkpoint and stop ("interrupted", exit 0).
+  if (args.Has("checkpoint") && args.Get("checkpoint", "") == "true") {
+    std::cerr << "bad --checkpoint (want --checkpoint=FILE)\n";
+    return 2;
+  }
+  if (args.Has("resume") && args.Get("resume", "") == "true") {
+    std::cerr << "bad --resume (want --resume=FILE)\n";
+    return 2;
+  }
+  options.checkpoint_path = args.Get("checkpoint", "");
+  if (args.Has("checkpoint-every")) {
+    if (options.checkpoint_path.empty()) {
+      std::cerr << "--checkpoint-every requires --checkpoint=FILE\n";
+      return 2;
+    }
+    if (!ParseU64Flag(args, "checkpoint-every", 1, 1, UINT64_MAX,
+                      &options.checkpoint_every_rounds)) {
+      return 2;
+    }
+  }
+  if (!options.checkpoint_path.empty()) {
+    options.checkpoint_on_signal = true;
+    // Probe the temp path of the write-temp-then-rename pair up front,
+    // mirroring the --trace/--metrics probes: a typo'd directory is a
+    // clean failure now, not an hour into the chase.
+    const std::string probe_path = options.checkpoint_path + ".tmp";
+    std::ofstream probe(probe_path, std::ios::trunc);
+    if (!probe) {
+      return Fail(InternalError("cannot write file: " + probe_path));
+    }
+    probe.close();
+    std::remove(probe_path.c_str());
+  }
+  std::optional<io::ChaseCheckpoint> resume_checkpoint;
+  if (args.Has("resume")) {
+    auto loaded = io::LoadChaseCheckpoint(args.Get("resume", ""));
+    if (!loaded.ok()) return Fail(loaded.status());
+    resume_checkpoint.emplace(std::move(loaded).value());
+    options.resume = &*resume_checkpoint;
+    // Without an explicit --variant the resumed run adopts the
+    // checkpoint's (an explicit mismatch is diagnosed by the engine).
+    if (!args.Has("variant")) {
+      options.variant = static_cast<ChaseVariant>(resume_checkpoint->variant);
+    }
   }
 
   // The reporter samples the sink from its own thread; Stop() before
@@ -1100,8 +1156,9 @@ int Usage() {
       "[--threads=N]\n"
       "  chasectl explain <file>               (non-termination witness)\n"
       "  chasectl chase <file> [--variant=so|ob|re] [--max-atoms=N] "
-      "[--threads=N] [--progress[=SECS]] [--metrics-interval=SECS] "
-      "[--print]\n"
+      "[--max-rounds=N] [--threads=N] [--checkpoint=FILE] "
+      "[--checkpoint-every=N] [--resume=FILE] [--progress[=SECS]] "
+      "[--metrics-interval=SECS] [--print]\n"
       "  chasectl simplify <file> [--mode=scan|exists|index] [--threads=N] "
       "[--print]\n"
       "  chasectl query <file> \"q(X) :- r(X, Y).\"\n"

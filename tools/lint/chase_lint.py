@@ -34,6 +34,16 @@ patterns that protect it, on every file, in CI:
                    through the io/binary_io helpers so the
                    checksum/version/limits discipline cannot be bypassed.
 
+  signal-handler   Signal-handler discipline. Two checks: (a) handler
+                   registration (signal()/sigaction()) outside the
+                   sanctioned shim src/base/signal_flag.{h,cc} — the
+                   checkpoint protocol owns SIGUSR1/SIGTERM and a second
+                   registrar would silently steal them; (b) inside any
+                   handler function body, calls that are not
+                   async-signal-safe: heap allocation, locking, stdio and
+                   iostreams. A conforming handler is a single store to a
+                   lock-free std::atomic, nothing more.
+
 Suppressions: append `// chase-lint: allow(<rule>) <reason>` to the
 offending line, or put it in a comment on the line directly above. The
 reason is mandatory — a suppression documents the invariant that replaces
@@ -108,6 +118,28 @@ ENVELOPE_HOME = (
     os.path.join("src", "io", "binary_io.cc"),
 )
 MAGIC_RE = re.compile(r'"CH(?:BN|SI|CK)"')
+
+# signal-handler ------------------------------------------------------------
+SIGNAL_HOME = (
+    os.path.join("src", "base", "signal_flag.h"),
+    os.path.join("src", "base", "signal_flag.cc"),
+)
+SIGNAL_REGISTER_RE = re.compile(r"\b(?:std::)?(?:signal|sigaction)\s*\(")
+# Handler names: assigned into sigaction::sa_handler or passed to signal().
+HANDLER_ASSIGN_RE = re.compile(
+    r"(?:\bsa_handler\s*=\s*|\bsignal\s*\(\s*\w+\s*,\s*)&?(\w+)")
+# ...or defined with a handler-shaped name and signature.
+HANDLER_DEF_NAME_RE = re.compile(
+    r"\bvoid\s+(\w*[Hh]andler\w*)\s*\(\s*int\b")
+UNSAFE_IN_HANDLER = (
+    (re.compile(r"\b(?:malloc|calloc|realloc|free)\s*\("),
+     "heap allocation"),
+    (re.compile(r"\bnew\b"), "heap allocation (new)"),
+    (re.compile(r"\b(?:f?printf|puts|fputs|fopen|fwrite|fflush|fclose)"
+                r"\s*\("), "stdio"),
+    (re.compile(r"\bstd::c(?:out|err|log)\b"), "iostream"),
+    (re.compile(r"\.lock\s*\(|\b[Mm]utex\b"), "locking"),
+)
 
 
 class Finding:
@@ -316,6 +348,64 @@ class FileLinter:
                     "binary envelope magic outside io/binary_io; write "
                     "envelopes only through the io/binary_io helpers")
 
+    def _handler_names(self):
+        names = set()
+        for code in self.code:
+            for match in HANDLER_ASSIGN_RE.finditer(code):
+                name = match.group(1)
+                if not name.startswith("SIG_"):  # SIG_IGN / SIG_DFL
+                    names.add(name)
+            for match in HANDLER_DEF_NAME_RE.finditer(code):
+                names.add(match.group(1))
+        return names
+
+    def check_signal_handler(self):
+        if not in_dirs(self.relpath, ("src", "tools")):
+            return
+        if self.relpath not in SIGNAL_HOME:
+            for i, code in enumerate(self.code, start=1):
+                if SIGNAL_REGISTER_RE.search(code):
+                    self.report(
+                        i, "signal-handler",
+                        "signal()/sigaction() outside the sanctioned shim "
+                        "(src/base/signal_flag); the checkpoint protocol "
+                        "owns SIGUSR1/SIGTERM — register through "
+                        "ScopedSignalFlags")
+        # Scan every identified handler body — including the shim's own —
+        # for calls that are not async-signal-safe.
+        names = self._handler_names()
+        if not names:
+            return
+        def_res = {name: re.compile(rf"\bvoid\s+{re.escape(name)}\s*\(")
+                   for name in names}
+        for name, def_re in sorted(def_res.items()):
+            start = None
+            for i, code in enumerate(self.code):
+                # A definition opens a brace on this line or the next; a
+                # declaration/assignment ends with ';'.
+                if def_re.search(code) and ";" not in code:
+                    start = i
+                    break
+            if start is None:
+                continue
+            depth = 0
+            opened = False
+            for i in range(start, len(self.code)):
+                code = self.code[i]
+                if opened and depth > 0:
+                    for pattern, what in UNSAFE_IN_HANDLER:
+                        if pattern.search(code):
+                            self.report(
+                                i + 1, "signal-handler",
+                                f"{what} inside signal handler '{name}'; "
+                                "handlers may only store to a lock-free "
+                                "std::atomic flag")
+                depth += code.count("{") - code.count("}")
+                if "{" in code:
+                    opened = True
+                if opened and depth <= 0:
+                    break
+
     def run(self):
         self.check_reasonless_suppressions()
         self.check_unordered_iter()
@@ -323,6 +413,7 @@ class FileLinter:
         self.check_raw_sto()
         self.check_naked_thread()
         self.check_envelope_io()
+        self.check_signal_handler()
         return self.findings
 
 
