@@ -30,7 +30,7 @@
 #include <algorithm>
 #include <iostream>
 
-#include "base/frontier_pool.h"
+#include "exec/frontier_pool.h"
 #include "common.h"
 #include "core/dynamic_simplification.h"
 #include "storage/catalog.h"

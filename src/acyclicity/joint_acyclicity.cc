@@ -4,6 +4,9 @@
 
 #include "graph/digraph.h"
 #include "graph/tarjan.h"
+#include "logic/atom.h"
+#include "logic/schema.h"
+#include "logic/tgd.h"
 
 namespace chase {
 namespace acyclicity {

@@ -5,8 +5,12 @@
 #include <set>
 #include <utility>
 
+#include "base/status.h"
 #include "chase/instance.h"
+#include "logic/atom.h"
+#include "logic/schema.h"
 #include "logic/term.h"
+#include "logic/tgd.h"
 
 namespace chase {
 namespace acyclicity {

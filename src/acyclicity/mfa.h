@@ -43,7 +43,7 @@ struct MfaStats {
 
 // True iff Σ is MFA. kResourceExhausted if the critical chase exceeds
 // `options.max_atoms` atoms before reaching a verdict.
-StatusOr<bool> IsModelFaithfulAcyclic(const Schema& schema,
+[[nodiscard]] StatusOr<bool> IsModelFaithfulAcyclic(const Schema& schema,
                                       const std::vector<Tgd>& tgds,
                                       const MfaOptions& options = {},
                                       MfaStats* stats = nullptr);

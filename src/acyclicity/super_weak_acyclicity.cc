@@ -1,5 +1,9 @@
 #include "acyclicity/super_weak_acyclicity.h"
 
+#include "logic/atom.h"
+#include "logic/schema.h"
+#include "logic/tgd.h"
+
 #include <algorithm>
 #include <cstdint>
 #include <map>

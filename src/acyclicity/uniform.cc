@@ -1,8 +1,12 @@
 #include "acyclicity/uniform.h"
 
+#include "base/status.h"
 #include "core/is_chase_finite.h"
 #include "core/weak_acyclicity.h"
+#include "logic/database.h"
+#include "logic/schema.h"
 #include "logic/shape.h"
+#include "logic/tgd.h"
 
 namespace chase {
 namespace acyclicity {

@@ -37,7 +37,7 @@ Database CriticalShapeDatabase(const Schema& schema);
 // True iff chase(D, Σ) is finite for every database D. Requires linear TGDs
 // with non-empty frontiers (simple-linear inputs take the weak-acyclicity
 // fast path).
-StatusOr<bool> IsChaseFiniteUniform(const Schema& schema,
+[[nodiscard]] StatusOr<bool> IsChaseFiniteUniform(const Schema& schema,
                                     const std::vector<Tgd>& tgds);
 
 }  // namespace acyclicity

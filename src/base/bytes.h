@@ -50,18 +50,18 @@ class ByteReader {
  public:
   explicit ByteReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
 
-  StatusOr<uint8_t> GetU8() {
+  [[nodiscard]] StatusOr<uint8_t> GetU8() {
     CHASE_RETURN_IF_ERROR(Need(1));
     return bytes_[pos_++];
   }
-  StatusOr<uint32_t> GetU32() {
+  [[nodiscard]] StatusOr<uint32_t> GetU32() {
     CHASE_RETURN_IF_ERROR(Need(sizeof(uint32_t)));
     uint32_t value;
     std::memcpy(&value, bytes_.data() + pos_, sizeof(value));
     pos_ += sizeof(value);
     return value;
   }
-  StatusOr<uint64_t> GetU64() {
+  [[nodiscard]] StatusOr<uint64_t> GetU64() {
     CHASE_RETURN_IF_ERROR(Need(sizeof(uint64_t)));
     uint64_t value;
     std::memcpy(&value, bytes_.data() + pos_, sizeof(value));
@@ -69,7 +69,7 @@ class ByteReader {
     return value;
   }
 
-  StatusOr<std::string> GetString() {
+  [[nodiscard]] StatusOr<std::string> GetString() {
     CHASE_ASSIGN_OR_RETURN(uint32_t size, GetU32());
     CHASE_RETURN_IF_ERROR(Need(size));
     std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), size);
@@ -77,7 +77,7 @@ class ByteReader {
     return s;
   }
 
-  StatusOr<std::vector<uint32_t>> GetU32Span() {
+  [[nodiscard]] StatusOr<std::vector<uint32_t>> GetU32Span() {
     CHASE_ASSIGN_OR_RETURN(uint64_t count, GetU64());
     // Validate against the remaining length before computing count * 4,
     // which could otherwise wrap for adversarial length prefixes.
@@ -99,7 +99,7 @@ class ByteReader {
   bool AtEnd() const { return pos_ == bytes_.size(); }
 
  private:
-  Status Need(uint64_t size) {
+  [[nodiscard]] Status Need(uint64_t size) {
     if (pos_ + size > bytes_.size() || pos_ + size < pos_) {
       return OutOfRangeError("byte stream truncated");
     }

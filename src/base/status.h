@@ -32,7 +32,12 @@ enum class StatusCode {
 // Returns a stable, human-readable name such as "INVALID_ARGUMENT".
 std::string_view StatusCodeName(StatusCode code);
 
-class Status {
+// [[nodiscard]] on the class makes every function returning a Status by
+// value warn when the result is ignored — with -Werror=unused-result (the
+// default build flags) a dropped error is a build break. The rare
+// intentional drop is spelled `(void)expr;` with a comment saying why the
+// error cannot matter.
+class [[nodiscard]] Status {
  public:
   // Constructs an OK status.
   Status() = default;
@@ -67,20 +72,21 @@ class Status {
 
 std::ostream& operator<<(std::ostream& os, const Status& status);
 
-Status OkStatus();
-Status InvalidArgumentError(std::string message);
-Status NotFoundError(std::string message);
-Status AlreadyExistsError(std::string message);
-Status OutOfRangeError(std::string message);
-Status ResourceExhaustedError(std::string message);
-Status FailedPreconditionError(std::string message);
-Status UnimplementedError(std::string message);
-Status InternalError(std::string message);
+[[nodiscard]] Status OkStatus();
+[[nodiscard]] Status InvalidArgumentError(std::string message);
+[[nodiscard]] Status NotFoundError(std::string message);
+[[nodiscard]] Status AlreadyExistsError(std::string message);
+[[nodiscard]] Status OutOfRangeError(std::string message);
+[[nodiscard]] Status ResourceExhaustedError(std::string message);
+[[nodiscard]] Status FailedPreconditionError(std::string message);
+[[nodiscard]] Status UnimplementedError(std::string message);
+[[nodiscard]] Status InternalError(std::string message);
 
 // A value-or-error sum type. Accessing value() on an error aborts in debug
-// builds; callers must check ok() first.
+// builds; callers must check ok() first. [[nodiscard]] for the same reason
+// as Status: ignoring the return loses the error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status) : data_(std::move(status)) {  // NOLINT(runtime/explicit)
     assert(!std::get<Status>(data_).ok() && "OK status requires a value");
@@ -89,7 +95,7 @@ class StatusOr {
 
   bool ok() const { return std::holds_alternative<T>(data_); }
 
-  Status status() const {
+  [[nodiscard]] Status status() const {
     return ok() ? OkStatus() : std::get<Status>(data_);
   }
 

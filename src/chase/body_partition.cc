@@ -1,5 +1,9 @@
 #include "chase/body_partition.h"
 
+#include "chase/instance.h"
+#include "logic/schema.h"
+#include "logic/tgd.h"
+
 #include <algorithm>
 
 namespace chase {

@@ -47,6 +47,7 @@
 
 #include "chase/instance.h"
 #include "logic/atom.h"
+#include "logic/schema.h"
 #include "logic/term.h"
 #include "logic/tgd.h"
 

@@ -6,12 +6,19 @@
 #include <span>
 #include <unordered_set>
 
-#include "base/frontier_pool.h"
 #include "base/signal_flag.h"
+#include "base/status.h"
 #include "chase/body_partition.h"
+#include "chase/instance.h"
+#include "exec/frontier_pool.h"
 #include "index/sharded_shape_index.h"
 #include "io/binary_io.h"
+#include "logic/atom.h"
+#include "logic/database.h"
+#include "logic/schema.h"
 #include "logic/shape.h"
+#include "logic/term.h"
+#include "logic/tgd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 

@@ -171,7 +171,7 @@ struct ChaseResult {
 
 // Runs the chase of `database` with `tgds`. The schema of `database` must
 // contain every predicate of `tgds`.
-StatusOr<ChaseResult> RunChase(const Database& database,
+[[nodiscard]] StatusOr<ChaseResult> RunChase(const Database& database,
                                const std::vector<Tgd>& tgds,
                                const ChaseOptions& options = {});
 

@@ -1,5 +1,10 @@
 #include "chase/instance.h"
 
+#include "logic/atom.h"
+#include "logic/database.h"
+#include "logic/schema.h"
+#include "logic/term.h"
+
 namespace chase {
 
 Instance Instance::FromDatabase(const Database& database) {

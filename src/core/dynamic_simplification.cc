@@ -2,8 +2,18 @@
 
 #include <utility>
 
-#include "base/frontier_pool.h"
+#include "base/status.h"
+#include "core/simplification.h"
+#include "core/specialization.h"
+#include "exec/frontier_pool.h"
+#include "index/find_shapes.h"
+#include "logic/atom.h"
+#include "logic/database.h"
+#include "logic/schema.h"
+#include "logic/shape.h"
+#include "logic/tgd.h"
 #include "storage/catalog.h"
+#include "storage/shape_finder.h"
 #include "storage/shape_source.h"
 
 namespace chase {
@@ -140,7 +150,7 @@ StatusOr<DynamicSimplificationResult> DynamicSimplification(
   storage::MemoryShapeSource source(&catalog);
   CHASE_ASSIGN_OR_RETURN(
       std::vector<Shape> shapes,
-      storage::FindShapes(source, {.mode = mode, .threads = threads}));
+      index::FindShapes(source, {.mode = mode, .threads = threads}));
   return DynamicSimplificationFromShapes(database.schema(), tgds, shapes,
                                          threads);
 }

@@ -21,10 +21,11 @@
 #include <memory>
 #include <vector>
 
-#include "base/frontier_pool.h"
 #include "base/status.h"
 #include "core/simplification.h"
+#include "exec/frontier_pool.h"
 #include "logic/database.h"
+#include "logic/schema.h"
 #include "logic/shape.h"
 #include "logic/tgd.h"
 #include "storage/shape_finder.h"
@@ -55,6 +56,7 @@ struct DynamicSimplificationResult {
 // that caller-owned persistent WorkerPool instead (its thread count wins
 // over `threads`) — how IsChaseFiniteL shares one pool between FindShapes
 // and this worklist. The canonical result is unchanged in every case.
+[[nodiscard]]
 StatusOr<DynamicSimplificationResult> DynamicSimplificationFromShapes(
     const Schema& schema, const std::vector<Tgd>& tgds,
     const std::vector<Shape>& database_shapes, unsigned threads = 1,
@@ -63,7 +65,7 @@ StatusOr<DynamicSimplificationResult> DynamicSimplificationFromShapes(
 // FindShapes(D) + Algorithm 2. `database.schema()` must contain every
 // predicate of `tgds`. `threads` drives both the shape finder and the
 // simplification worklist.
-StatusOr<DynamicSimplificationResult> DynamicSimplification(
+[[nodiscard]] StatusOr<DynamicSimplificationResult> DynamicSimplification(
     const Database& database, const std::vector<Tgd>& tgds,
     storage::ShapeFinderMode mode = storage::ShapeFinderMode::kInMemory,
     unsigned threads = 1);

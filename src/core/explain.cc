@@ -5,9 +5,15 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "base/status.h"
 #include "graph/dependency_graph.h"
+#include "graph/digraph.h"
 #include "graph/tarjan.h"
+#include "logic/atom.h"
+#include "logic/database.h"
 #include "logic/printer.h"
+#include "logic/schema.h"
+#include "logic/tgd.h"
 
 namespace chase {
 

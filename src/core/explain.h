@@ -23,6 +23,7 @@
 
 #include "base/status.h"
 #include "logic/database.h"
+#include "logic/schema.h"
 #include "logic/tgd.h"
 
 namespace chase {
@@ -51,7 +52,7 @@ std::string FormatWitness(const Schema& schema,
 // Extracts a witness for simple-linear TGDs. Fails with
 // kFailedPrecondition if chase(D, Σ) is finite (nothing to explain), and
 // kInvalidArgument on non-simple-linear input.
-StatusOr<NonTerminationWitness> ExplainNonTerminationSL(
+[[nodiscard]] StatusOr<NonTerminationWitness> ExplainNonTerminationSL(
     const Database& database, const std::vector<Tgd>& tgds);
 
 }  // namespace chase

@@ -2,15 +2,22 @@
 
 #include <optional>
 
+#include "base/status.h"
 #include "base/timer.h"
 #include "core/dynamic_simplification.h"
 #include "core/simplification.h"
 #include "core/weak_acyclicity.h"
 #include "graph/dependency_graph.h"
 #include "graph/tarjan.h"
+#include "index/find_shapes.h"
 #include "index/sharded_shape_index.h"
+#include "logic/database.h"
+#include "logic/shape.h"
+#include "logic/tgd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/catalog.h"
+#include "storage/shape_finder.h"
 #include "storage/shape_source.h"
 
 namespace chase {
@@ -117,7 +124,7 @@ StatusOr<bool> IsChaseFiniteL(const Database& database,
         // even if the other phase forced a pool into existence.
         find_options.pool = options.shape_threads > 1 ? pool : nullptr;
         CHASE_ASSIGN_OR_RETURN(computed,
-                               storage::FindShapes(source, find_options));
+                               index::FindShapes(source, find_options));
       }
     }
   }

@@ -20,6 +20,7 @@
 
 #include "base/status.h"
 #include "logic/database.h"
+#include "logic/shape.h"
 #include "logic/tgd.h"
 #include "storage/catalog.h"
 #include "storage/shape_finder.h"
@@ -41,7 +42,7 @@ struct SlCheckStats {
 
 // Algorithm 1. The TGDs must be simple-linear with non-empty frontiers and
 // over database.schema().
-StatusOr<bool> IsChaseFiniteSL(const Database& database,
+[[nodiscard]] StatusOr<bool> IsChaseFiniteSL(const Database& database,
                                const std::vector<Tgd>& tgds,
                                SlCheckStats* stats = nullptr);
 
@@ -91,7 +92,7 @@ struct LCheckStats {
 
 // Algorithm 3. The TGDs must be linear with non-empty frontiers and over
 // database.schema().
-StatusOr<bool> IsChaseFiniteL(const Database& database,
+[[nodiscard]] StatusOr<bool> IsChaseFiniteL(const Database& database,
                               const std::vector<Tgd>& tgds,
                               const LCheckOptions& options = {},
                               LCheckStats* stats = nullptr);
@@ -100,7 +101,7 @@ StatusOr<bool> IsChaseFiniteL(const Database& database,
 // simplify D and Σ and run Algorithm 1 on the result. Exponential in arity;
 // used by tests and the static-vs-dynamic ablation. `max_simplified` caps
 // |simple(Σ)|.
-StatusOr<bool> IsChaseFiniteLStatic(const Database& database,
+[[nodiscard]] StatusOr<bool> IsChaseFiniteLStatic(const Database& database,
                                     const std::vector<Tgd>& tgds,
                                     uint64_t max_simplified = 10'000'000);
 

@@ -1,5 +1,12 @@
 #include "core/materialization_checker.h"
 
+#include "base/status.h"
+#include "chase/chase_engine.h"
+#include "logic/atom.h"
+#include "logic/database.h"
+#include "logic/schema.h"
+#include "logic/tgd.h"
+
 #include <algorithm>
 
 namespace chase {

@@ -50,7 +50,7 @@ struct MaterializationReport {
   ChaseOutcome outcome = ChaseOutcome::kFixpoint;
 };
 
-StatusOr<MaterializationReport> MaterializationCheck(
+[[nodiscard]] StatusOr<MaterializationReport> MaterializationCheck(
     const Database& database, const std::vector<Tgd>& tgds,
     const MaterializationOptions& options = {});
 

@@ -4,7 +4,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/status.h"
+#include "logic/atom.h"
+#include "logic/database.h"
+#include "logic/schema.h"
 #include "logic/shape.h"
+#include "logic/tgd.h"
 
 namespace chase {
 

@@ -54,6 +54,7 @@ struct NormalizeResult {
 
 // Requires linear TGDs (the applicability analysis is shape-based). The
 // result's database references `database.schema()`, which must outlive it.
+[[nodiscard]]
 StatusOr<NormalizeResult> NormalizeFrontiers(const Database& database,
                                              const std::vector<Tgd>& tgds);
 

@@ -1,5 +1,13 @@
 #include "core/simplification.h"
 
+#include "base/status.h"
+#include "core/specialization.h"
+#include "logic/atom.h"
+#include "logic/database.h"
+#include "logic/schema.h"
+#include "logic/shape.h"
+#include "logic/tgd.h"
+
 namespace chase {
 
 PredId ShapeSchema::Intern(const Shape& shape) {
@@ -170,7 +178,7 @@ std::unique_ptr<Database> SimplifyDatabase(const Database& database,
             simplified->InternConstant(database.ConstantName(constant)));
       }
       // Arity matches NumDistinct by construction, so AddFact cannot fail.
-      simplified->AddFact(simplified_pred, buffer);
+      (void)simplified->AddFact(simplified_pred, buffer);
     }
   }
   return simplified;

@@ -19,6 +19,7 @@
 
 #include "base/status.h"
 #include "core/specialization.h"
+#include "logic/atom.h"
 #include "logic/database.h"
 #include "logic/schema.h"
 #include "logic/shape.h"
@@ -69,7 +70,7 @@ RuleAtom SimplifyRuleAtom(const RuleAtom& atom,
 // its distinct body variables (Definition 3.5). `head_shapes`, if non-null,
 // receives the base-schema shapes of the simplified head atoms (used by
 // dynamic simplification to derive new shapes).
-StatusOr<Tgd> SimplifyTgd(const Tgd& tgd, const Specialization& f,
+[[nodiscard]] StatusOr<Tgd> SimplifyTgd(const Tgd& tgd, const Specialization& f,
                           ShapeSchema& shape_schema,
                           std::vector<Shape>* head_shapes);
 
@@ -80,7 +81,7 @@ StatusOr<Tgd> SimplifyTgd(const Tgd& tgd, const Specialization& f,
 // the absorb path interns them directly instead of re-deriving each one).
 // Only the size is validated; the shapes' correctness is the caller's
 // contract, pinned by the parallel-vs-serial differential harness.
-StatusOr<Tgd> SimplifyTgd(const Tgd& tgd, const Specialization& f,
+[[nodiscard]] StatusOr<Tgd> SimplifyTgd(const Tgd& tgd, const Specialization& f,
                           ShapeSchema& shape_schema,
                           std::span<const Shape> head_shapes);
 
@@ -92,7 +93,7 @@ struct StaticSimplificationResult {
 // Computes simple(Σ). Fails if some TGD is not linear, or if the number of
 // generated TGDs would exceed `max_output` (static simplification is
 // exponential in arity; the cap keeps the ablation benches bounded).
-StatusOr<StaticSimplificationResult> StaticSimplification(
+[[nodiscard]] StatusOr<StaticSimplificationResult> StaticSimplification(
     const Schema& schema, const std::vector<Tgd>& tgds,
     uint64_t max_output = UINT64_MAX);
 

@@ -1,7 +1,12 @@
 #include "core/weak_acyclicity.h"
 
+#include "graph/dependency_graph.h"
 #include "graph/reachability.h"
 #include "graph/tarjan.h"
+#include "logic/database.h"
+#include "logic/schema.h"
+#include "logic/tgd.h"
+#include "storage/catalog.h"
 
 namespace chase {
 

@@ -9,6 +9,7 @@
 
 #include "graph/dependency_graph.h"
 #include "logic/database.h"
+#include "logic/schema.h"
 #include "logic/tgd.h"
 #include "storage/catalog.h"
 

@@ -1,7 +1,8 @@
-#include "base/frontier_pool.h"
+#include "exec/frontier_pool.h"
 
 #include <chrono>
 
+#include "base/sync.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 

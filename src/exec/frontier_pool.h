@@ -41,8 +41,8 @@
 // consumers to it; tests/frontier_pool_test.cc stresses the engine itself
 // under ThreadSanitizer.
 
-#ifndef CHASE_BASE_FRONTIER_POOL_H_
-#define CHASE_BASE_FRONTIER_POOL_H_
+#ifndef CHASE_EXEC_FRONTIER_POOL_H_
+#define CHASE_EXEC_FRONTIER_POOL_H_
 
 #include <algorithm>
 #include <atomic>
@@ -272,7 +272,7 @@ class FrontierPool {
   // frontier drains. Deterministic: the frontier contents of every depth,
   // the absorb call sequence, and the final seen-set depend only on the
   // seeds and the expansion function, never on thread count or scheduling.
-  Status Run(std::vector<Item> seeds, const ExpandFn& expand,
+  [[nodiscard]] Status Run(std::vector<Item> seeds, const ExpandFn& expand,
              const AbsorbFn& absorb, FrontierStats* stats = nullptr) {
     return RunImpl(std::move(seeds), expand, &absorb, nullptr, stats);
   }
@@ -281,6 +281,7 @@ class FrontierPool {
   // `absorb` (see ParallelAbsorbFn for the associativity contract the
   // caller signs up to). The expansion side — frontiers, seen-set,
   // discovery — is deterministic exactly as in Run.
+  [[nodiscard]]
   Status RunParallelAbsorb(std::vector<Item> seeds, const ExpandFn& expand,
                            const ParallelAbsorbFn& absorb,
                            FrontierStats* stats = nullptr) {
@@ -288,7 +289,7 @@ class FrontierPool {
   }
 
  private:
-  Status RunImpl(std::vector<Item> seeds, const ExpandFn& expand,
+  [[nodiscard]] Status RunImpl(std::vector<Item> seeds, const ExpandFn& expand,
                  const AbsorbFn* absorb, const ParallelAbsorbFn* par_absorb,
                  FrontierStats* stats) {
     WorkerPool* pool = options_.pool;
@@ -409,7 +410,7 @@ class FrontierPool {
 
   // One depth's absorb: serial in canonical order, or — when the consumer
   // opted in — per-chunk on the pool with deterministic chunk boundaries.
-  Status Absorb(WorkerPool* pool, unsigned threads,
+  [[nodiscard]] Status Absorb(WorkerPool* pool, unsigned threads,
                 std::vector<Item>& frontier, std::vector<Out>& outs,
                 const AbsorbFn* absorb, const ParallelAbsorbFn* par_absorb) {
     if (absorb != nullptr) {
@@ -444,11 +445,13 @@ class FrontierPool {
 };
 
 // The shared seen structure: one hash set per stripe, each under its own
-// latch, stripe chosen by the decorrelated high bits of the item hash.
-// Insert is the only operation — membership never shrinks — so the first
-// inserter of an item owns its admission and everyone else observes a
-// duplicate, whatever the interleaving. A single-threaded run constructs
-// it unlatched: a plain hash-set insert, no mutex acquisition.
+// reader-writer latch, stripe chosen by the decorrelated high bits of the
+// item hash. Insert is the only mutation — membership never shrinks — so
+// the first inserter of an item owns its admission and everyone else
+// observes a duplicate, whatever the interleaving; duplicates resolve on
+// the latch's shared side without blocking each other. A single-threaded
+// run constructs it unlatched: a plain hash-set insert, no lock
+// acquisition at all.
 template <typename Item, typename Out, typename Hash>
 class FrontierPool<Item, Out, Hash>::Discoveries::SeenSet {
  public:
@@ -459,15 +462,34 @@ class FrontierPool<Item, Out, Hash>::Discoveries::SeenSet {
     Stripe& stripe =
         stripes_[FibonacciMix(Hash{}(item)) & (stripes_.size() - 1)];
     if (!latched_) return InsertSingleThreaded(stripe, item);
-    MutexLock lock(stripe.mu);
+    // Duplicate fast path: once the frontier saturates, most probes hit an
+    // item already admitted, and membership never shrinks — so a positive
+    // probe under the shared (reader) side of the stripe latch is
+    // conclusive and concurrent duplicates don't serialize on the writer
+    // lock. A negative probe is only advisory (another thread may insert
+    // between the locks); the exclusive insert below re-checks, so the
+    // first-inserter-owns-admission property is untouched.
+    {
+      SharedReaderLock lock(stripe.mu);
+      if (ContainsLocked(stripe, item)) return false;
+    }
+    SharedMutexLock lock(stripe.mu);
     return stripe.set.insert(item).second;
   }
 
  private:
   struct Stripe {
-    Mutex mu;
+    SharedMutex mu;
     std::unordered_set<Item, Hash> set GUARDED_BY(mu);
   };
+
+  // Reader-side membership probe: callers hold the stripe latch at least
+  // shared, which admits the read of the guarded set but still rejects
+  // any mutation under the analysis.
+  static bool ContainsLocked(const Stripe& stripe, const Item& item)
+      REQUIRES_SHARED(stripe.mu) {
+    return stripe.set.count(item) != 0;
+  }
 
   // The documented single-threaded mode: a serial run constructs the set
   // unlatched and thread confinement stands in for the stripe latch.
@@ -484,4 +506,4 @@ class FrontierPool<Item, Out, Hash>::Discoveries::SeenSet {
 
 }  // namespace chase
 
-#endif  // CHASE_BASE_FRONTIER_POOL_H_
+#endif  // CHASE_EXEC_FRONTIER_POOL_H_

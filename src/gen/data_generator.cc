@@ -1,5 +1,10 @@
 #include "gen/data_generator.h"
 
+#include "base/rng.h"
+#include "base/status.h"
+#include "logic/database.h"
+#include "logic/schema.h"
+
 #include <algorithm>
 
 namespace chase {

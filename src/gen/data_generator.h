@@ -40,12 +40,12 @@ struct GeneratedData {
 
 // Creates a fresh schema with `params.preds` predicates (random arities in
 // [min_arity, max_arity]) and a database over it.
-StatusOr<GeneratedData> GenerateData(const DataGenParams& params);
+[[nodiscard]] StatusOr<GeneratedData> GenerateData(const DataGenParams& params);
 
 // Declares `count` predicates named "<prefix><i>" with random arities into
 // `schema`; returns the new predicate ids. This is how the Section 8 setup
 // builds the 1000-predicate schema shared by D* and the TGD generator.
-StatusOr<std::vector<PredId>> DeclarePredicates(Schema* schema,
+[[nodiscard]] StatusOr<std::vector<PredId>> DeclarePredicates(Schema* schema,
                                                 std::string_view prefix,
                                                 uint32_t count,
                                                 uint32_t min_arity,
@@ -54,6 +54,7 @@ StatusOr<std::vector<PredId>> DeclarePredicates(Schema* schema,
 // Fills `rsize` shape-controlled tuples into each of `preds` (which must
 // belong to database->schema()), drawing constants from an anonymous domain
 // of `dsize` values.
+[[nodiscard]]
 Status PopulateRelations(Database* database, std::span<const PredId> preds,
                          uint64_t dsize, uint64_t rsize, Rng* rng);
 

@@ -2,7 +2,13 @@
 
 #include <algorithm>
 
+#include "base/rng.h"
+#include "base/status.h"
 #include "gen/data_generator.h"
+#include "logic/atom.h"
+#include "logic/database.h"
+#include "logic/schema.h"
+#include "logic/tgd.h"
 #include "storage/catalog.h"
 #include "storage/shape_finder.h"
 #include "storage/shape_source.h"

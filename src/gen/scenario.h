@@ -38,10 +38,12 @@ struct Scenario {
 };
 
 // Deep-`rules` with rules in {4241, 4541, 4841} for Deep-100/200/300.
+[[nodiscard]]
 StatusOr<Scenario> MakeDeepScenario(uint32_t rules, uint64_t seed);
 
 // LUBM with approximately `atoms` facts (paper: 100K/1.3M/13M/134M for
 // LUBM-1/10/100/1K).
+[[nodiscard]]
 StatusOr<Scenario> MakeLubmScenario(const std::string& name, uint64_t atoms,
                                     uint64_t seed);
 
@@ -56,11 +58,13 @@ struct IBenchParams {
   uint64_t atoms = 1'109'037;
   uint64_t seed = 7;
 };
-StatusOr<Scenario> MakeIBenchScenario(const IBenchParams& params);
+[[nodiscard]] StatusOr<Scenario> MakeIBenchScenario(const IBenchParams& params);
 
 // Convenience constructors matching Table 1 rows at a linear `atom_scale`
 // (1.0 = paper-sized databases).
+[[nodiscard]]
 StatusOr<Scenario> MakeStb128Scenario(double atom_scale, uint64_t seed);
+[[nodiscard]]
 StatusOr<Scenario> MakeOnt256Scenario(double atom_scale, uint64_t seed);
 
 struct ScenarioStats {

@@ -1,5 +1,11 @@
 #include "gen/tgd_generator.h"
 
+#include "base/rng.h"
+#include "base/status.h"
+#include "logic/atom.h"
+#include "logic/schema.h"
+#include "logic/tgd.h"
+
 #include <algorithm>
 
 namespace chase {

@@ -46,7 +46,7 @@ struct TgdGenParams {
 
 // Generates `params.tsize` TGDs over `schema`. Fails if fewer than
 // `params.ssize` predicates of `schema` have arity in [min, max].
-StatusOr<std::vector<Tgd>> GenerateTgds(const Schema& schema,
+[[nodiscard]] StatusOr<std::vector<Tgd>> GenerateTgds(const Schema& schema,
                                         const TgdGenParams& params);
 
 // -----------------------------------------------------------------------------
@@ -91,7 +91,7 @@ struct NonLinearGenParams {
 // Fails if fewer than `params.ssize` predicates have arity in
 // [max(2, min_arity), max_arity], or if body_atoms < 2. Every TGD has a
 // non-empty frontier, like GenerateTgds.
-StatusOr<std::vector<Tgd>> GenerateNonLinearTgds(
+[[nodiscard]] StatusOr<std::vector<Tgd>> GenerateNonLinearTgds(
     const Schema& schema, const NonLinearGenParams& params);
 
 }  // namespace chase

@@ -1,5 +1,10 @@
 #include "graph/dependency_graph.h"
 
+#include "graph/digraph.h"
+#include "logic/atom.h"
+#include "logic/schema.h"
+#include "logic/tgd.h"
+
 #include <unordered_set>
 
 namespace chase {

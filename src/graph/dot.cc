@@ -3,7 +3,10 @@
 #include <sstream>
 #include <vector>
 
+#include "graph/dependency_graph.h"
+#include "graph/digraph.h"
 #include "graph/tarjan.h"
+#include "logic/schema.h"
 
 namespace chase {
 

@@ -1,5 +1,8 @@
 #include "graph/kosaraju.h"
 
+#include "graph/digraph.h"
+#include "graph/tarjan.h"
+
 namespace chase {
 
 SccResult KosarajuScc(const Digraph& graph) {

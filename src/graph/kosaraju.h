@@ -6,6 +6,7 @@
 #ifndef CHASE_GRAPH_KOSARAJU_H_
 #define CHASE_GRAPH_KOSARAJU_H_
 
+#include "graph/digraph.h"
 #include "graph/tarjan.h"
 
 namespace chase {

@@ -1,5 +1,9 @@
 #include "graph/reachability.h"
 
+#include "graph/dependency_graph.h"
+#include "graph/digraph.h"
+#include "logic/schema.h"
+
 namespace chase {
 namespace {
 

@@ -11,6 +11,7 @@
 
 #include "graph/dependency_graph.h"
 #include "graph/digraph.h"
+#include "logic/schema.h"
 
 namespace chase {
 

@@ -1,5 +1,7 @@
 #include "graph/tarjan.h"
 
+#include "graph/digraph.h"
+
 #include <algorithm>
 
 namespace chase {

@@ -4,12 +4,19 @@
 #include <queue>
 #include <utility>
 
-#include "base/frontier_pool.h"
 #include "base/hash.h"
 #include "base/padded.h"
+#include "base/status.h"
+#include "base/sync.h"
+#include "exec/frontier_pool.h"
 #include "io/binary_io.h"
+#include "logic/database.h"
+#include "logic/schema.h"
+#include "logic/shape.h"
+#include "logic/term.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/shape_source.h"
 
 namespace chase {
 namespace index {

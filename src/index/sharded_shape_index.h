@@ -43,8 +43,10 @@
 #include "base/status.h"
 #include "base/sync.h"
 #include "logic/database.h"
+#include "logic/schema.h"
 #include "logic/shape.h"
 #include "logic/term.h"
+#include "storage/catalog.h"
 #include "storage/shape_source.h"
 
 namespace chase {
@@ -74,7 +76,10 @@ uint64_t TupleFingerprint(PredId pred, std::span<const Term> tuple);
 // snapshot staleness guard compares against.
 uint64_t DatabaseFingerprint(const Database& db);
 
-class ShardedShapeIndex {
+// Implements storage::ShapeWriteThrough so a writable Catalog can
+// maintain the index from its insert stream without storage/ ever naming
+// this type (the dependency points index -> storage, per layers.toml).
+class ShardedShapeIndex final : public storage::ShapeWriteThrough {
  public:
   static constexpr unsigned kDefaultShards = 16;
   static constexpr unsigned kMaxShards = 4096;
@@ -90,7 +95,7 @@ class ShardedShapeIndex {
   // range-partitioned scan workers (the PR-1 chunking, so this works over
   // both the row store and the disk pager). Meters the scan into
   // source.stats() exactly like the scan-mode FindShapes.
-  static StatusOr<ShardedShapeIndex> Build(
+  [[nodiscard]] static StatusOr<ShardedShapeIndex> Build(
       const storage::ShapeSource& source,
       const IndexBuildOptions& options = {});
 
@@ -103,7 +108,7 @@ class ShardedShapeIndex {
   // chase instances — a shape depends only on the tuple's equality pattern,
   // so nulls and constants index identically. Both maintain the content
   // fingerprint from the actual tuple.
-  void Insert(PredId pred, std::span<const uint32_t> tuple) {
+  void Insert(PredId pred, std::span<const uint32_t> tuple) override {
     AddShape(Shape(pred, IdOf(tuple)), 1, TupleFingerprint(pred, tuple));
   }
   void Insert(PredId pred, std::span<const Term> tuple) {
@@ -119,14 +124,15 @@ class ShardedShapeIndex {
 
   // Records one deleted tuple of `pred`. Fails with kFailedPrecondition if
   // no tuple with that shape is indexed (the counter would go negative).
-  Status Remove(PredId pred, std::span<const uint32_t> tuple) {
+  [[nodiscard]] Status Remove(PredId pred, std::span<const uint32_t> tuple) {
     return RemoveShape(Shape(pred, IdOf(tuple)),
                        TupleFingerprint(pred, tuple));
   }
-  Status Remove(PredId pred, std::span<const Term> tuple) {
+  [[nodiscard]] Status Remove(PredId pred, std::span<const Term> tuple) {
     return RemoveShape(Shape(pred, IdOf(tuple)),
                        TupleFingerprint(pred, tuple));
   }
+  [[nodiscard]]
   Status RemoveShape(const Shape& shape, uint64_t fingerprint = 0);
 
   bool Contains(const Shape& shape) const;
@@ -160,7 +166,8 @@ class ShardedShapeIndex {
 
   // Snapshot persistence (format: io/binary_io.h). Load restores the saved
   // shard count.
-  Status Save(const std::string& path) const;
+  [[nodiscard]] Status Save(const std::string& path) const;
+  [[nodiscard]]
   static StatusOr<ShardedShapeIndex> Load(const std::string& path);
 
  private:

@@ -5,6 +5,13 @@
 #include <memory>
 
 #include "base/bytes.h"
+#include "base/status.h"
+#include "logic/atom.h"
+#include "logic/database.h"
+#include "logic/parser.h"
+#include "logic/schema.h"
+#include "logic/term.h"
+#include "logic/tgd.h"
 
 namespace chase {
 namespace io {

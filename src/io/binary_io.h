@@ -40,9 +40,12 @@
 #include <vector>
 
 #include "base/status.h"
+#include "logic/database.h"
 #include "logic/parser.h"
+#include "logic/schema.h"
 #include "logic/shape.h"
 #include "logic/term.h"
+#include "logic/tgd.h"
 
 namespace chase {
 namespace io {
@@ -51,13 +54,14 @@ namespace io {
 std::vector<uint8_t> SerializeProgram(const Schema& schema,
                                       const Database& database,
                                       const std::vector<Tgd>& tgds);
-Status SaveProgram(const Schema& schema, const Database& database,
+[[nodiscard]] Status SaveProgram(const Schema& schema, const Database& database,
                    const std::vector<Tgd>& tgds, const std::string& path);
 
 // Deserializes; fails with kFailedPrecondition on bad magic/version/
 // checksum and kOutOfRange on truncation.
+[[nodiscard]]
 StatusOr<Program> DeserializeProgram(std::span<const uint8_t> bytes);
-StatusOr<Program> LoadProgram(const std::string& path);
+[[nodiscard]] StatusOr<Program> LoadProgram(const std::string& path);
 
 // ---------------------------------------------------------------------------
 // Shape-index snapshots (index/sharded_shape_index.h): the materialized
@@ -83,14 +87,15 @@ struct ShapeSnapshot {
 };
 
 std::vector<uint8_t> SerializeShapeSnapshot(const ShapeSnapshot& snapshot);
-Status SaveShapeSnapshot(const ShapeSnapshot& snapshot,
+[[nodiscard]] Status SaveShapeSnapshot(const ShapeSnapshot& snapshot,
                          const std::string& path);
 
 // Fails with kFailedPrecondition on bad magic/version/checksum, malformed
 // id-tuples (every id must be a restricted-growth string), zero counts, or
 // out-of-order entries; kOutOfRange on truncation.
-StatusOr<ShapeSnapshot> DeserializeShapeSnapshot(
+[[nodiscard]] StatusOr<ShapeSnapshot> DeserializeShapeSnapshot(
     std::span<const uint8_t> bytes);
+[[nodiscard]]
 StatusOr<ShapeSnapshot> LoadShapeSnapshot(const std::string& path);
 
 // ---------------------------------------------------------------------------
@@ -144,15 +149,16 @@ std::vector<uint8_t> SerializeChaseCheckpoint(
 // Atomic: writes `path + ".tmp"`, then renames over `path`, so a reader —
 // or a crash mid-write — never observes a torn checkpoint; the previous
 // complete checkpoint stays intact until the new one fully lands.
-Status SaveChaseCheckpoint(const ChaseCheckpoint& checkpoint,
+[[nodiscard]] Status SaveChaseCheckpoint(const ChaseCheckpoint& checkpoint,
                            const std::string& path);
 
 // Fails with kFailedPrecondition on bad magic/version/checksum, a variant
 // out of range, malformed relations (zero or oversized arity, watermarks
 // past the row count, terms not arity-strided), unsorted fired keys, or
 // trailing bytes; kOutOfRange on truncation.
-StatusOr<ChaseCheckpoint> DeserializeChaseCheckpoint(
+[[nodiscard]] StatusOr<ChaseCheckpoint> DeserializeChaseCheckpoint(
     std::span<const uint8_t> bytes);
+[[nodiscard]]
 StatusOr<ChaseCheckpoint> LoadChaseCheckpoint(const std::string& path);
 
 }  // namespace io

@@ -1,5 +1,8 @@
 #include "logic/database.h"
 
+#include "base/status.h"
+#include "logic/schema.h"
+
 namespace chase {
 
 Status Database::AddFact(PredId pred, std::span<const uint32_t> tuple) {

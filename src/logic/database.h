@@ -49,7 +49,7 @@ class Database {
   size_t NumNamedConstants() const { return constants_.size(); }
 
   // Appends a fact; `tuple` must match the predicate arity.
-  Status AddFact(PredId pred, std::span<const uint32_t> tuple);
+  [[nodiscard]] Status AddFact(PredId pred, std::span<const uint32_t> tuple);
 
   // Number of tuples currently stored for `pred`.
   size_t NumTuples(PredId pred) const {

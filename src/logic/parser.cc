@@ -1,5 +1,11 @@
 #include "logic/parser.h"
 
+#include "base/status.h"
+#include "logic/atom.h"
+#include "logic/database.h"
+#include "logic/schema.h"
+#include "logic/tgd.h"
+
 #include <cctype>
 #include <fstream>
 #include <sstream>

@@ -40,19 +40,20 @@ struct Program {
 };
 
 // Parses a complete program (rules and facts).
-StatusOr<Program> ParseProgram(std::string_view text);
+[[nodiscard]] StatusOr<Program> ParseProgram(std::string_view text);
 
 // Parses `text` into an existing program (incremental loading).
-Status ParseProgramInto(std::string_view text, Program* program);
+[[nodiscard]] Status ParseProgramInto(std::string_view text, Program* program);
 
 // Parses a file from disk.
-StatusOr<Program> ParseProgramFile(const std::string& path);
+[[nodiscard]] StatusOr<Program> ParseProgramFile(const std::string& path);
 
 // Parses rules only, interning predicates into `schema`. Facts are rejected.
+[[nodiscard]]
 StatusOr<std::vector<Tgd>> ParseTgds(std::string_view text, Schema* schema);
 
 // Parses exactly one rule.
-StatusOr<Tgd> ParseTgd(std::string_view text, Schema* schema);
+[[nodiscard]] StatusOr<Tgd> ParseTgd(std::string_view text, Schema* schema);
 
 }  // namespace chase
 

@@ -1,5 +1,11 @@
 #include "logic/printer.h"
 
+#include "logic/atom.h"
+#include "logic/database.h"
+#include "logic/schema.h"
+#include "logic/term.h"
+#include "logic/tgd.h"
+
 #include <sstream>
 
 namespace chase {

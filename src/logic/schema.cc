@@ -1,5 +1,7 @@
 #include "logic/schema.h"
 
+#include "base/status.h"
+
 #include <algorithm>
 
 namespace chase {

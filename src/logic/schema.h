@@ -43,10 +43,12 @@ class Schema {
   // Registers a predicate. Fails with kAlreadyExists if `name` is already
   // registered with a different arity and kInvalidArgument if `arity` is 0
   // or exceeds kMaxArity.
+  [[nodiscard]]
   StatusOr<PredId> AddPredicate(std::string_view name, uint32_t arity);
 
   // Like AddPredicate but returns the existing id when the declaration
   // matches; this is how the parser discovers the schema from use.
+  [[nodiscard]]
   StatusOr<PredId> GetOrAddPredicate(std::string_view name, uint32_t arity);
 
   std::optional<PredId> FindPredicate(std::string_view name) const;

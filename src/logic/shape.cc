@@ -1,5 +1,7 @@
 #include "logic/shape.h"
 
+#include "logic/schema.h"
+
 #include <algorithm>
 
 namespace chase {

@@ -1,5 +1,8 @@
 #include "logic/tgd.h"
 
+#include "base/status.h"
+#include "logic/atom.h"
+
 #include <algorithm>
 #include <unordered_map>
 

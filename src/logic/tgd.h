@@ -24,7 +24,7 @@ class Tgd {
   // Builds a TGD from raw atoms whose variable ids are arbitrary (but
   // consistent within the rule); variables are renumbered as described above.
   // Fails if the body or head is empty, or if a body atom has no arguments.
-  static StatusOr<Tgd> Create(std::vector<RuleAtom> body,
+  [[nodiscard]] static StatusOr<Tgd> Create(std::vector<RuleAtom> body,
                               std::vector<RuleAtom> head);
 
   const std::vector<RuleAtom>& body() const { return body_; }

@@ -1,5 +1,7 @@
 #include "obs/metrics.h"
 
+#include "base/sync.h"
+
 #include <bit>
 #include <cinttypes>
 #include <cmath>

@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "base/sync.h"
 #include "obs/metrics.h"
 
 namespace chase {

@@ -1,5 +1,8 @@
 #include "obs/trace.h"
 
+#include "base/status.h"
+#include "base/sync.h"
+
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>

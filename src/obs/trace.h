@@ -85,7 +85,7 @@ class TraceRecorder {
   // thread_name metadata event per emitting thread and one "X" complete
   // event per span.
   void WriteJson(std::ostream& os);
-  Status WriteJsonFile(const std::string& path);
+  [[nodiscard]] Status WriteJsonFile(const std::string& path);
 
   // Committed / dropped event counts for the current session.
   uint64_t recorded() const;

@@ -6,8 +6,12 @@
 #include <utility>
 
 #include "base/hash.h"
+#include "base/status.h"
+#include "base/sync.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "pager/disk_manager.h"
+#include "pager/page.h"
 
 namespace chase {
 namespace pager {

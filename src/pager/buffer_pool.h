@@ -115,11 +115,11 @@ class BufferPool {
   // their I/O; like Prefetch, this means Fetch must not race with a
   // writer of the same page (see the contract on Prefetch — write phases
   // and scan phases alternate in every current deployment).
-  StatusOr<PageGuard> Fetch(PageId page_id);
+  [[nodiscard]] StatusOr<PageGuard> Fetch(PageId page_id);
 
   // Allocates a fresh page on disk and pins it (already counted dirty so the
   // header written by the caller reaches disk).
-  StatusOr<PageGuard> Allocate();
+  [[nodiscard]] StatusOr<PageGuard> Allocate();
 
   // Faults `page_id` into its shard without pinning it — the read-ahead
   // path. The disk read runs outside the shard latch; if the page arrived
@@ -132,10 +132,10 @@ class BufferPool {
   // case and would re-install the pre-write image as a clean frame. The
   // scan drivers that use it are read-only; a future writer-concurrent
   // deployment needs page versioning here.
-  Status Prefetch(PageId page_id);
+  [[nodiscard]] Status Prefetch(PageId page_id);
 
   // Writes back all dirty frames and syncs the file.
-  Status Flush();
+  [[nodiscard]] Status Flush();
 
   uint32_t num_frames() const { return num_frames_; }
   uint32_t num_shards() const {
@@ -180,11 +180,13 @@ class BufferPool {
   // may short-circuit with an already-resident frame) and, once a frame
   // is free, `install` (latch held).
   template <typename CheckHit, typename Install>
+  [[nodiscard]]
   StatusOr<PageGuard> AcquireAndInstall(Shard& shard, CheckHit&& check_hit,
                                         Install&& install);
 
   // Finds a free or evictable frame in `shard`, writing back a dirty
   // victim.
+  [[nodiscard]]
   StatusOr<uint32_t> AcquireFrame(Shard* shard) REQUIRES(shard->mu);
 
   void Unpin(PageId page_id, uint32_t frame);

@@ -3,6 +3,13 @@
 #include <utility>
 
 #include "base/bytes.h"
+#include "base/status.h"
+#include "logic/database.h"
+#include "logic/schema.h"
+#include "pager/buffer_pool.h"
+#include "pager/disk_manager.h"
+#include "pager/heap_file.h"
+#include "pager/page.h"
 
 namespace chase {
 namespace pager {

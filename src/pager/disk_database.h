@@ -24,6 +24,7 @@
 #include "logic/database.h"
 #include "logic/schema.h"
 #include "pager/buffer_pool.h"
+#include "pager/disk_manager.h"
 #include "pager/heap_file.h"
 
 namespace chase {
@@ -34,12 +35,12 @@ class DiskDatabase {
   // Materializes `db` into a new file at `path` (truncates any existing
   // file) and leaves it open. `pool_shards` is forwarded to the BufferPool
   // (0 = auto: split only when the pool is large enough).
-  static StatusOr<std::unique_ptr<DiskDatabase>> Create(
+  [[nodiscard]] static StatusOr<std::unique_ptr<DiskDatabase>> Create(
       const std::string& path, const Database& db, uint32_t num_frames = 64,
       uint32_t pool_shards = 0);
 
   // Opens an existing file and loads its catalog.
-  static StatusOr<std::unique_ptr<DiskDatabase>> Open(
+  [[nodiscard]] static StatusOr<std::unique_ptr<DiskDatabase>> Open(
       const std::string& path, uint32_t num_frames = 64,
       uint32_t pool_shards = 0);
 
@@ -55,7 +56,7 @@ class DiskDatabase {
   std::vector<PredId> NonEmptyPredicates() const;
 
   // Scans `pred` in heap order; stops early when `visit` returns false.
-  Status Scan(PredId pred,
+  [[nodiscard]] Status Scan(PredId pred,
               const std::function<bool(std::span<const uint32_t>)>& visit)
       const {
     return relations_[pred].Scan(visit);
@@ -67,13 +68,13 @@ class DiskDatabase {
 
   // Appends a tuple and updates the catalog's in-memory view; call
   // SaveCatalog (or Close) to persist the new counts and chain tails.
-  Status Append(PredId pred, std::span<const uint32_t> tuple);
+  [[nodiscard]] Status Append(PredId pred, std::span<const uint32_t> tuple);
 
   // Serializes the catalog into the page-0 chain and flushes the pool.
-  Status SaveCatalog();
+  [[nodiscard]] Status SaveCatalog();
 
   // Reloads the whole file into an in-memory Database.
-  StatusOr<Database> ToDatabase() const;
+  [[nodiscard]] StatusOr<Database> ToDatabase() const;
 
   std::string ConstantName(uint32_t constant_id) const;
 
@@ -83,7 +84,7 @@ class DiskDatabase {
  private:
   DiskDatabase() = default;
 
-  Status LoadCatalog();
+  [[nodiscard]] Status LoadCatalog();
 
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<BufferPool> pool_;

@@ -1,5 +1,9 @@
 #include "pager/disk_manager.h"
 
+#include "base/status.h"
+#include "base/sync.h"
+#include "pager/page.h"
+
 #include <fcntl.h>
 #include <unistd.h>
 

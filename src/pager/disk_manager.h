@@ -68,11 +68,11 @@ class DiskManager {
  public:
   // Creates a new file (truncating any existing one) whose page 0 is a
   // zeroed, sealed catalog root.
-  static StatusOr<DiskManager> Create(const std::string& path);
+  [[nodiscard]] static StatusOr<DiskManager> Create(const std::string& path);
 
   // Opens an existing file; fails with kNotFound if it does not exist and
   // kFailedPrecondition if its size is not page-aligned.
-  static StatusOr<DiskManager> Open(const std::string& path);
+  [[nodiscard]] static StatusOr<DiskManager> Open(const std::string& path);
 
   DiskManager(DiskManager&& other) noexcept;
   DiskManager& operator=(DiskManager&& other) noexcept;
@@ -81,16 +81,16 @@ class DiskManager {
   ~DiskManager();
 
   // Appends a zeroed page and returns its id. Serialized internally.
-  StatusOr<PageId> AllocatePage();
+  [[nodiscard]] StatusOr<PageId> AllocatePage();
 
   // Reads `page_id` into `*page`, verifying the checksum unless the page is
   // all-zero (freshly allocated pages are legitimately unsealed).
-  Status ReadPage(PageId page_id, Page* page);
+  [[nodiscard]] Status ReadPage(PageId page_id, Page* page);
 
   // Seals (checksums) and writes the page.
-  Status WritePage(PageId page_id, Page* page);
+  [[nodiscard]] Status WritePage(PageId page_id, Page* page);
 
-  Status Sync();
+  [[nodiscard]] Status Sync();
 
   PageId num_pages() const {
     return num_pages_.load(std::memory_order_acquire);

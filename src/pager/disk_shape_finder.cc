@@ -1,5 +1,8 @@
 #include "pager/disk_shape_finder.h"
 
+#include "base/status.h"
+#include "logic/shape.h"
+#include "pager/disk_database.h"
 #include "pager/disk_shape_source.h"
 #include "storage/shape_finder.h"
 

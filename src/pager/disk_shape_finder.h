@@ -24,7 +24,9 @@
 namespace chase {
 namespace pager {
 
+[[nodiscard]]
 StatusOr<std::vector<Shape>> FindShapesOnDiskScan(const DiskDatabase& db);
+[[nodiscard]]
 StatusOr<std::vector<Shape>> FindShapesOnDiskExists(const DiskDatabase& db);
 
 }  // namespace pager

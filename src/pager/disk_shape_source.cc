@@ -2,7 +2,15 @@
 
 #include <algorithm>
 
+#include "base/status.h"
+#include "base/sync.h"
+#include "logic/schema.h"
+#include "pager/buffer_pool.h"
+#include "pager/disk_manager.h"
 #include "pager/heap_file.h"
+#include "pager/page.h"
+#include "pager/prefetcher.h"
+#include "storage/shape_source.h"
 
 namespace chase {
 namespace pager {

@@ -25,9 +25,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/status.h"
 #include "base/sync.h"
+#include "logic/schema.h"
 #include "pager/disk_database.h"
+#include "pager/page.h"
 #include "pager/prefetcher.h"
+#include "storage/catalog.h"
 #include "storage/shape_source.h"
 
 namespace chase {
@@ -47,6 +51,7 @@ class DiskShapeSource final : public storage::ShapeSource {
   uint64_t NumTuples(PredId pred) const override {
     return db_->NumTuples(pred);
   }
+  [[nodiscard]]
   Status ScanRange(PredId pred, uint64_t first_row, uint64_t num_rows,
                    const storage::TupleVisitor& visit) const override;
   storage::AccessStats& stats() const override { return stats_; }
@@ -61,6 +66,7 @@ class DiskShapeSource final : public storage::ShapeSource {
 
  private:
   // Returns the page directory of `pred`, building it on first use.
+  [[nodiscard]]
   StatusOr<const std::vector<PageId>*> PageDirectory(PredId pred) const;
 
   // The directory if some ranged access already built it, else nullptr —

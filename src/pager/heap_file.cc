@@ -1,5 +1,9 @@
 #include "pager/heap_file.h"
 
+#include "base/status.h"
+#include "pager/buffer_pool.h"
+#include "pager/page.h"
+
 #include <cassert>
 #include <cstring>
 

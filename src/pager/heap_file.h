@@ -16,6 +16,7 @@
 
 #include "base/status.h"
 #include "pager/buffer_pool.h"
+#include "pager/page.h"
 
 namespace chase {
 namespace pager {
@@ -23,6 +24,7 @@ namespace pager {
 class HeapFile {
  public:
   // Creates an empty heap file with a fresh head page.
+  [[nodiscard]]
   static StatusOr<HeapFile> Create(BufferPool* pool, uint32_t arity);
 
   // Adopts an existing chain (from the disk catalog).
@@ -35,11 +37,11 @@ class HeapFile {
         num_tuples_(num_tuples) {}
 
   // Appends one tuple; `tuple.size()` must equal the arity.
-  Status Append(std::span<const uint32_t> tuple);
+  [[nodiscard]] Status Append(std::span<const uint32_t> tuple);
 
   // Calls `visit` for every tuple in chain order; stops early (and returns
   // OK) when `visit` returns false.
-  Status Scan(
+  [[nodiscard]] Status Scan(
       const std::function<bool(std::span<const uint32_t>)>& visit) const;
 
   // Visits at most `num_rows` tuples starting from `skip_rows` tuples after
@@ -47,7 +49,7 @@ class HeapFile {
   // With `start_page` = first_page() and `skip_rows` counted from the head,
   // this is a plain row-range scan; callers holding a page directory (see
   // CollectPageIds) jump straight to `skip_rows / TuplesPerPage(arity)`.
-  Status ScanFrom(
+  [[nodiscard]] Status ScanFrom(
       PageId start_page, uint64_t skip_rows, uint64_t num_rows,
       const std::function<bool(std::span<const uint32_t>)>& visit) const;
 
@@ -55,7 +57,7 @@ class HeapFile {
   // ranged scan seeks through. Appends only write to the tail page, and
   // every non-tail page is full, so row r lives in page
   // out[r / TuplesPerPage(arity)] at offset r % TuplesPerPage(arity).
-  Status CollectPageIds(std::vector<PageId>* out) const;
+  [[nodiscard]] Status CollectPageIds(std::vector<PageId>* out) const;
 
   uint32_t arity() const { return arity_; }
   PageId first_page() const { return first_page_; }

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "base/sync.h"
 #include "obs/metrics.h"
+#include "pager/buffer_pool.h"
+#include "pager/page.h"
 
 namespace chase {
 namespace pager {

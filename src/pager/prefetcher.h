@@ -23,6 +23,7 @@
 
 #include "base/sync.h"
 #include "pager/buffer_pool.h"
+#include "pager/page.h"
 
 namespace chase {
 namespace pager {

@@ -7,8 +7,14 @@
 #include <set>
 #include <utility>
 
+#include "base/status.h"
 #include "chase/chase_engine.h"
+#include "chase/instance.h"
 #include "core/is_chase_finite.h"
+#include "logic/atom.h"
+#include "logic/database.h"
+#include "logic/schema.h"
+#include "logic/term.h"
 #include "logic/tgd.h"
 
 namespace chase {

@@ -25,6 +25,7 @@
 #include "logic/atom.h"
 #include "logic/database.h"
 #include "logic/schema.h"
+#include "logic/term.h"
 #include "logic/tgd.h"
 
 namespace chase {
@@ -42,6 +43,7 @@ struct ConjunctiveQuery {
 
 // Parses one query, interning predicates into `schema` (arities are
 // discovered from use, consistent with the rule parser).
+[[nodiscard]]
 StatusOr<ConjunctiveQuery> ParseQuery(std::string_view text, Schema* schema);
 
 // An answer is one term per answer variable. Answers over instances may
@@ -73,7 +75,7 @@ struct CertainAnswersResult {
 // Fails with kFailedPrecondition if chase(D, Σ) is infinite (detected with
 // IsChaseFinite[SL/L] when the TGDs are linear, and by the atom bound
 // otherwise).
-StatusOr<CertainAnswersResult> CertainAnswers(
+[[nodiscard]] StatusOr<CertainAnswersResult> CertainAnswers(
     const Database& database, const std::vector<Tgd>& tgds,
     const ConjunctiveQuery& query, const CertainAnswersOptions& options = {});
 

@@ -1,5 +1,13 @@
 #include "query/rewriting.h"
 
+#include "base/status.h"
+#include "chase/instance.h"
+#include "logic/atom.h"
+#include "logic/database.h"
+#include "logic/term.h"
+#include "logic/tgd.h"
+#include "query/conjunctive_query.h"
+
 #include <algorithm>
 #include <map>
 #include <numeric>

@@ -42,6 +42,9 @@
 #include <vector>
 
 #include "base/status.h"
+#include "chase/instance.h"
+#include "logic/database.h"
+#include "logic/tgd.h"
 #include "query/conjunctive_query.h"
 
 namespace chase {
@@ -63,7 +66,7 @@ struct UnionOfCqs {
 
 // Rewrites `cq` w.r.t. `tgds` (single-head linear TGDs with non-empty
 // frontiers). The result always contains `cq` itself.
-StatusOr<UnionOfCqs> RewriteUnderTgds(const ConjunctiveQuery& cq,
+[[nodiscard]] StatusOr<UnionOfCqs> RewriteUnderTgds(const ConjunctiveQuery& cq,
                                       const std::vector<Tgd>& tgds,
                                       const RewriteOptions& options = {});
 

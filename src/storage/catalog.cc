@@ -1,6 +1,7 @@
 #include "storage/catalog.h"
 
-#include "index/sharded_shape_index.h"
+#include "base/status.h"
+#include "logic/schema.h"
 
 namespace chase {
 namespace storage {

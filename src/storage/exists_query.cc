@@ -1,5 +1,8 @@
 #include "storage/exists_query.h"
 
+#include "logic/schema.h"
+#include "logic/shape.h"
+#include "storage/catalog.h"
 #include "storage/shape_source.h"
 
 namespace chase {

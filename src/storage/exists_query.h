@@ -17,6 +17,7 @@
 #ifndef CHASE_STORAGE_EXISTS_QUERY_H_
 #define CHASE_STORAGE_EXISTS_QUERY_H_
 
+#include "logic/schema.h"
 #include "logic/shape.h"
 #include "storage/catalog.h"
 

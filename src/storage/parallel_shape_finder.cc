@@ -1,5 +1,8 @@
 #include "storage/parallel_shape_finder.h"
 
+#include "logic/shape.h"
+#include "storage/catalog.h"
+#include "storage/shape_finder.h"
 #include "storage/shape_source.h"
 
 namespace chase {

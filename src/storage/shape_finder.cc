@@ -2,11 +2,15 @@
 
 #include <algorithm>
 
-#include "base/frontier_pool.h"
-#include "index/sharded_shape_index.h"
+#include "base/status.h"
+#include "exec/frontier_pool.h"
+#include "logic/schema.h"
+#include "logic/shape.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/catalog.h"
 #include "storage/shape_lattice.h"
+#include "storage/shape_source.h"
 
 namespace chase {
 namespace storage {
@@ -142,6 +146,20 @@ Status WalkShapesFrontier(const ShapeSource& source,
 
 }  // namespace
 
+ScopedAccessStatsMirror::~ScopedAccessStatsMirror() {
+  if (!obs::MetricsRegistry::enabled()) return;
+  const AccessStats& now = source_.stats();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  registry.GetCounter("storage.catalog_queries")
+      ->Add(now.catalog_queries - before_.catalog_queries);
+  registry.GetCounter("storage.exists_queries")
+      ->Add(now.exists_queries - before_.exists_queries);
+  registry.GetCounter("storage.tuples_scanned")
+      ->Add(now.tuples_scanned - before_.tuples_scanned);
+  registry.GetCounter("storage.relations_loaded")
+      ->Add(now.relations_loaded - before_.relations_loaded);
+}
+
 const char* ShapeFinderModeName(ShapeFinderMode mode) {
   switch (mode) {
     case ShapeFinderMode::kScan:
@@ -166,25 +184,8 @@ StatusOr<std::vector<Shape>> FindShapes(const ShapeSource& source,
                            static_cast<int64_t>(options.mode), "threads",
                            static_cast<int64_t>(threads));
   // Mirror this run's access-stats delta into the metrics registry on
-  // every exit path. The source's stats are cumulative for its lifetime,
-  // so the guard snapshots them here and publishes the difference.
-  struct StatsMirror {
-    const ShapeSource& source;
-    AccessStats before;
-    ~StatsMirror() {
-      if (!obs::MetricsRegistry::enabled()) return;
-      const AccessStats& now = source.stats();
-      obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
-      registry.GetCounter("storage.catalog_queries")
-          ->Add(now.catalog_queries - before.catalog_queries);
-      registry.GetCounter("storage.exists_queries")
-          ->Add(now.exists_queries - before.exists_queries);
-      registry.GetCounter("storage.tuples_scanned")
-          ->Add(now.tuples_scanned - before.tuples_scanned);
-      registry.GetCounter("storage.relations_loaded")
-          ->Add(now.relations_loaded - before.relations_loaded);
-    }
-  } stats_mirror{source, source.stats()};
+  // every exit path.
+  ScopedAccessStatsMirror stats_mirror(source);
   // Read-ahead pays off only for plans that consume whole ranges (scan and
   // the index build). The exists plan's probes early-exit — usually within
   // the first page — so read-ahead there would trade the cheap chain-head
@@ -192,11 +193,13 @@ StatusOr<std::vector<Shape>> FindShapes(const ShapeSource& source,
   source.ConfigureReadAhead(
       options.mode == ShapeFinderMode::kExists ? 0 : options.prefetch);
   if (options.mode == ShapeFinderMode::kIndex) {
-    CHASE_ASSIGN_OR_RETURN(
-        index::ShardedShapeIndex idx,
-        index::ShardedShapeIndex::Build(
-            source, {options.index_shards, threads, options.pool}));
-    return idx.CurrentShapes();
+    // The index-backed plan lives one layer up (index::FindShapes in
+    // index/find_shapes.h): storage sits below index/ in the layer DAG,
+    // so this dispatcher cannot name ShardedShapeIndex.
+    return InvalidArgumentError(
+        "ShapeFinderMode::kIndex is dispatched by index::FindShapes "
+        "(include index/find_shapes.h); storage::FindShapes serves only "
+        "the scan and exists plans");
   }
   const std::vector<PredId> preds = source.NonEmptyRelations();
   ShapeSet shapes;

@@ -29,8 +29,8 @@
 
 #include <vector>
 
-#include "base/frontier_pool.h"
 #include "base/status.h"
+#include "exec/frontier_pool.h"
 #include "logic/shape.h"
 #include "storage/catalog.h"
 #include "storage/shape_source.h"
@@ -88,12 +88,34 @@ struct FindShapesOptions {
   WorkerPool* pool = nullptr;
 };
 
+// Mirrors one run's access-stats delta into the metrics registry on every
+// exit path. The source's stats are cumulative for its lifetime, so the
+// guard snapshots them at construction and publishes the difference on
+// destruction. Shared by storage::FindShapes and the index-backed plan
+// one layer up (index::FindShapes), so every plan meters identically.
+class ScopedAccessStatsMirror {
+ public:
+  explicit ScopedAccessStatsMirror(const ShapeSource& source)
+      : source_(source), before_(source.stats()) {}
+  ~ScopedAccessStatsMirror();
+
+  ScopedAccessStatsMirror(const ScopedAccessStatsMirror&) = delete;
+  ScopedAccessStatsMirror& operator=(const ScopedAccessStatsMirror&) = delete;
+
+ private:
+  const ShapeSource& source_;
+  AccessStats before_;
+};
+
 // The unified entry point: returns shape(D) sorted by (pred, id), computed
 // over `source` with the requested plan and parallelism. Errors surface
 // only from fallible backends (disk I/O); the in-memory backend never
-// fails.
-StatusOr<std::vector<Shape>> FindShapes(const ShapeSource& source,
-                                        const FindShapesOptions& options = {});
+// fails. The kIndex plan is dispatched one layer up by index::FindShapes
+// (index/find_shapes.h) — passing it here is an InvalidArgument error,
+// because storage/ sits below index/ in the layer DAG and cannot name the
+// sharded index.
+[[nodiscard]] StatusOr<std::vector<Shape>> FindShapes(
+    const ShapeSource& source, const FindShapesOptions& options = {});
 
 // ---------------------------------------------------------------------------
 // Legacy entry points, kept as thin shims over the unified implementation.

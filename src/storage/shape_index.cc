@@ -1,5 +1,10 @@
 #include "storage/shape_index.h"
 
+#include "base/status.h"
+#include "logic/database.h"
+#include "logic/schema.h"
+#include "logic/shape.h"
+
 #include <algorithm>
 
 namespace chase {

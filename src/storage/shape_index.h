@@ -26,6 +26,7 @@
 
 #include "base/status.h"
 #include "logic/database.h"
+#include "logic/schema.h"
 #include "logic/shape.h"
 
 namespace chase {
@@ -44,7 +45,7 @@ class ShapeIndex {
   // Records one deleted tuple of `pred`. Fails with kFailedPrecondition if
   // no tuple with that shape is currently indexed (the index would go
   // negative, i.e., the caller deleted a tuple that was never inserted).
-  Status Remove(PredId pred, std::span<const uint32_t> tuple);
+  [[nodiscard]] Status Remove(PredId pred, std::span<const uint32_t> tuple);
 
   bool Contains(const Shape& shape) const {
     return counts_.find(shape) != counts_.end();

@@ -1,5 +1,7 @@
 #include "storage/shape_lattice.h"
 
+#include "logic/shape.h"
+
 #include <queue>
 #include <set>
 #include <vector>

@@ -3,8 +3,13 @@
 #include <algorithm>
 #include <atomic>
 
-#include "base/frontier_pool.h"
 #include "base/padded.h"
+#include "base/status.h"
+#include "exec/frontier_pool.h"
+#include "logic/database.h"
+#include "logic/schema.h"
+#include "logic/shape.h"
+#include "storage/catalog.h"
 
 namespace chase {
 namespace storage {

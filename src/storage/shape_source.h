@@ -83,11 +83,12 @@ class ShapeSource {
   //
   // Thread safety: concurrent ScanRange calls on one source must be safe —
   // the parallel scanner issues them from worker threads.
+  [[nodiscard]]
   virtual Status ScanRange(PredId pred, uint64_t first_row, uint64_t num_rows,
                            const TupleVisitor& visit) const = 0;
 
   // Full scan of `pred`.
-  Status ScanAll(PredId pred, const TupleVisitor& visit) const {
+  [[nodiscard]] Status ScanAll(PredId pred, const TupleVisitor& visit) const {
     return ScanRange(pred, 0, NumTuples(pred), visit);
   }
 
@@ -128,7 +129,7 @@ class ShapeSource {
 using ParallelTupleVisitor =
     std::function<void(unsigned thread, PredId pred,
                        std::span<const uint32_t> tuple)>;
-Status ParallelTupleScan(const ShapeSource& source,
+[[nodiscard]] Status ParallelTupleScan(const ShapeSource& source,
                          const std::vector<PredId>& preds, unsigned threads,
                          const ParallelTupleVisitor& visit,
                          WorkerPool* pool = nullptr);
@@ -142,6 +143,7 @@ Status ParallelTupleScan(const ShapeSource& source,
 // parallel walkers). Fails with kInvalidArgument if `id` is longer than
 // Schema::kMaxArity positions (the compiled condition uses fixed-width
 // scratch; schemas loaded through logic::Schema can never exceed it).
+[[nodiscard]]
 StatusOr<bool> ProbeShapeExists(const ShapeSource& source, PredId pred,
                                 const IdTuple& id, bool exact,
                                 AccessStats* stats);
@@ -164,6 +166,7 @@ class MemoryShapeSource final : public ShapeSource {
   uint64_t NumTuples(PredId pred) const override {
     return catalog_->database().NumTuples(pred);
   }
+  [[nodiscard]]
   Status ScanRange(PredId pred, uint64_t first_row, uint64_t num_rows,
                    const TupleVisitor& visit) const override;
   AccessStats& stats() const override { return catalog_->stats(); }

@@ -47,6 +47,7 @@
 #include "core/dynamic_simplification.h"
 #include "gen/data_generator.h"
 #include "gen/tgd_generator.h"
+#include "index/find_shapes.h"
 #include "index/sharded_shape_index.h"
 #include "io/binary_io.h"
 #include "logic/parser.h"
@@ -59,7 +60,6 @@
 namespace chase {
 namespace {
 
-using storage::FindShapes;
 using storage::ShapeFinderMode;
 
 constexpr unsigned kThreadSweep[] = {1, 2, 4, 8};
@@ -121,7 +121,7 @@ TEST(FrontierEquivalenceTest, ExistsPlanMatchesSerialOracle) {
     storage::Catalog catalog(data.database.get());
     storage::MemoryShapeSource memory(&catalog);
     // The serial oracle: the reference per-predicate lattice walk.
-    auto oracle = FindShapes(memory, {ShapeFinderMode::kExists, 1});
+    auto oracle = index::FindShapes(memory, {ShapeFinderMode::kExists, 1});
     ASSERT_TRUE(oracle.ok()) << oracle.status();
 
     const std::string path =
@@ -140,7 +140,7 @@ TEST(FrontierEquivalenceTest, ExistsPlanMatchesSerialOracle) {
           FrontierStats stats;
           storage::FindShapesOptions options{mode, threads};
           options.frontier_stats = &stats;
-          auto shapes = FindShapes(*source, options);
+          auto shapes = index::FindShapes(*source, options);
           ASSERT_TRUE(shapes.ok()) << shapes.status();
           EXPECT_EQ(*shapes, *oracle)
               << "trial " << trial << ", backend " << source->Name()
@@ -180,7 +180,7 @@ TEST(FrontierEquivalenceTest, DynamicSimplificationMatchesSerialOracle) {
     pager::DiskShapeSource disk(disk_db->get());
 
     // The serial oracle: serial shape finding + inline worklist.
-    auto oracle_shapes = FindShapes(memory, {ShapeFinderMode::kExists, 1});
+    auto oracle_shapes = index::FindShapes(memory, {ShapeFinderMode::kExists, 1});
     ASSERT_TRUE(oracle_shapes.ok()) << oracle_shapes.status();
     auto oracle = DynamicSimplificationFromShapes(*data.schema, tgds,
                                                   *oracle_shapes, 1);
@@ -192,7 +192,7 @@ TEST(FrontierEquivalenceTest, DynamicSimplificationMatchesSerialOracle) {
       for (ShapeFinderMode mode :
            {ShapeFinderMode::kExists, ShapeFinderMode::kIndex}) {
         for (unsigned threads : kThreadSweep) {
-          auto shapes = FindShapes(*source, {mode, threads});
+          auto shapes = index::FindShapes(*source, {mode, threads});
           ASSERT_TRUE(shapes.ok()) << shapes.status();
           auto parallel = DynamicSimplificationFromShapes(*data.schema, tgds,
                                                           *shapes, threads);
@@ -400,14 +400,14 @@ TEST(FrontierEquivalenceTest, ParallelAbsorbMatchesSerialAbsorbSweep) {
     GeneratedData data = MakeRandomData(&rng);
     storage::Catalog catalog(data.database.get());
     storage::MemoryShapeSource memory(&catalog);
-    auto oracle = FindShapes(memory, {ShapeFinderMode::kExists, 1});
+    auto oracle = index::FindShapes(memory, {ShapeFinderMode::kExists, 1});
     ASSERT_TRUE(oracle.ok()) << oracle.status();
     for (bool parallel_absorb : {false, true}) {
       for (unsigned threads : kThreadSweep) {
         storage::FindShapesOptions options{ShapeFinderMode::kExists,
                                            threads};
         options.parallel_absorb = parallel_absorb;
-        auto shapes = FindShapes(memory, options);
+        auto shapes = index::FindShapes(memory, options);
         ASSERT_TRUE(shapes.ok()) << shapes.status();
         EXPECT_EQ(*shapes, *oracle)
             << "trial " << trial << ", absorb "
@@ -429,13 +429,13 @@ TEST(FrontierEquivalenceTest, EmptyRelationsNeverEnterTheFrontier) {
   ASSERT_TRUE(program.ok()) << program.status();
   storage::Catalog catalog(program->database.get());
   storage::MemoryShapeSource memory(&catalog);
-  auto oracle = FindShapes(memory, {ShapeFinderMode::kExists, 1});
+  auto oracle = index::FindShapes(memory, {ShapeFinderMode::kExists, 1});
   ASSERT_TRUE(oracle.ok()) << oracle.status();
   for (unsigned threads : kThreadSweep) {
     FrontierStats stats;
     storage::FindShapesOptions options{ShapeFinderMode::kExists, threads};
     options.frontier_stats = &stats;
-    auto shapes = FindShapes(memory, options);
+    auto shapes = index::FindShapes(memory, options);
     ASSERT_TRUE(shapes.ok()) << shapes.status();
     EXPECT_EQ(*shapes, *oracle) << "threads " << threads;
     if (threads > 1) {
@@ -451,14 +451,14 @@ TEST(FrontierEquivalenceTest, ArityOnePredicatesHaveTrivialLattices) {
   ASSERT_TRUE(program.ok()) << program.status();
   storage::Catalog catalog(program->database.get());
   storage::MemoryShapeSource memory(&catalog);
-  auto oracle = FindShapes(memory, {ShapeFinderMode::kExists, 1});
+  auto oracle = index::FindShapes(memory, {ShapeFinderMode::kExists, 1});
   ASSERT_TRUE(oracle.ok()) << oracle.status();
   ASSERT_EQ(oracle->size(), 2u);
   for (unsigned threads : {2u, 8u}) {
     FrontierStats stats;
     storage::FindShapesOptions options{ShapeFinderMode::kExists, threads};
     options.frontier_stats = &stats;
-    auto shapes = FindShapes(memory, options);
+    auto shapes = index::FindShapes(memory, options);
     ASSERT_TRUE(shapes.ok()) << shapes.status();
     EXPECT_EQ(*shapes, *oracle);
     EXPECT_EQ(stats.depths, 1u);
@@ -476,7 +476,7 @@ TEST(FrontierEquivalenceTest, DuplicateSeedShapesAreDeduplicated) {
   ASSERT_TRUE(program.ok()) << program.status();
   storage::Catalog catalog(program->database.get());
   storage::MemoryShapeSource memory(&catalog);
-  auto shapes = FindShapes(memory, {ShapeFinderMode::kScan, 1});
+  auto shapes = index::FindShapes(memory, {ShapeFinderMode::kScan, 1});
   ASSERT_TRUE(shapes.ok()) << shapes.status();
 
   // Seed the worklist with every database shape three times over: the seen
@@ -507,13 +507,13 @@ TEST(FrontierEquivalenceTest, MoreThreadsThanFrontierItems) {
   ASSERT_TRUE(program.ok()) << program.status();
   storage::Catalog catalog(program->database.get());
   storage::MemoryShapeSource memory(&catalog);
-  auto oracle = FindShapes(memory, {ShapeFinderMode::kExists, 1});
+  auto oracle = index::FindShapes(memory, {ShapeFinderMode::kExists, 1});
   ASSERT_TRUE(oracle.ok()) << oracle.status();
   ASSERT_EQ(oracle->size(), 2u);  // r_[1,2] and r_[1,1]
   FrontierStats stats;
   storage::FindShapesOptions options{ShapeFinderMode::kExists, 16};
   options.frontier_stats = &stats;
-  auto shapes = FindShapes(memory, options);
+  auto shapes = index::FindShapes(memory, options);
   ASSERT_TRUE(shapes.ok()) << shapes.status();
   EXPECT_EQ(*shapes, *oracle);
   EXPECT_EQ(stats.worker_expanded.size(), 16u);
@@ -673,11 +673,11 @@ TEST(FrontierEquivalenceTest, MeteringTotalsAreThreadCountIndependent) {
   GeneratedData data = MakeRandomData(&rng);
   storage::Catalog catalog(data.database.get());
   storage::MemoryShapeSource memory(&catalog);
-  ASSERT_TRUE(FindShapes(memory, {ShapeFinderMode::kExists, 1}).ok());
+  ASSERT_TRUE(index::FindShapes(memory, {ShapeFinderMode::kExists, 1}).ok());
   const storage::AccessStats serial = memory.stats();
   for (unsigned threads : {2u, 8u}) {
     memory.stats().Reset();
-    ASSERT_TRUE(FindShapes(memory, {ShapeFinderMode::kExists, threads}).ok());
+    ASSERT_TRUE(index::FindShapes(memory, {ShapeFinderMode::kExists, threads}).ok());
     EXPECT_EQ(memory.stats().exists_queries, serial.exists_queries)
         << "threads " << threads;
     EXPECT_EQ(memory.stats().tuples_scanned, serial.tuples_scanned)

@@ -15,7 +15,7 @@
 #include <thread>
 #include <vector>
 
-#include "base/frontier_pool.h"
+#include "exec/frontier_pool.h"
 #include "base/padded.h"
 #include "base/rng.h"
 #include "gen/data_generator.h"

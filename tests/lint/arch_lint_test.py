@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Golden-fixture test for tools/lint/arch_lint.py.
+
+Each case under tests/lint/fixtures/arch/ is a miniature repo root (its
+own src/ tree); the analyzer runs with --root at the case directory and
+the shared fixture manifest, so every structural rule is pinned against
+a tree purpose-built to trip (or not trip) it. A final pair of checks
+makes sure real-repo directory walks skip the fixture tree and that
+usage errors exit 2, distinct from findings.
+
+Usage: arch_lint_test.py  (paths are inferred from this file's location)
+"""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.abspath(os.path.join(HERE, "..", ".."))
+LINTER = os.path.join(REPO, "tools", "lint", "arch_lint.py")
+ARCH_FIXTURES = os.path.join(HERE, "fixtures", "arch")
+MANIFEST = os.path.join(ARCH_FIXTURES, "layers.toml")
+
+# case directory -> multiset of expected rule ids, one entry per expected
+# finding. Empty list = the case must come back clean.
+CASES = {
+    "cycle": ["arch-cycle"],
+    "layer_violation": ["layer-violation"],
+    "transitive": ["transitive-include"],
+    "missing_guard": ["missing-guard"],
+    "bad_suppression": ["bare-allow"],
+    "nodiscard": ["nodiscard-status"],
+    "good": [],
+}
+
+
+def run_linter(args):
+    proc = subprocess.run(
+        [sys.executable, LINTER] + args,
+        capture_output=True, text=True, check=False)
+    rules = []
+    for line in proc.stdout.splitlines():
+        # "path:line: [rule] message"
+        if "] " in line and "[" in line:
+            rules.append(line.split("[", 1)[1].split("]", 1)[0])
+    return proc.returncode, sorted(rules), proc.stdout + proc.stderr
+
+
+def main():
+    failures = []
+    for case, expected in sorted(CASES.items()):
+        case_dir = os.path.join(ARCH_FIXTURES, case)
+        if not os.path.isdir(case_dir):
+            failures.append(f"{case}: fixture directory missing")
+            continue
+        code, rules, output = run_linter(
+            ["--root", case_dir, "--manifest", MANIFEST])
+        want_code = 1 if expected else 0
+        if code != want_code:
+            failures.append(
+                f"{case}: exit {code}, want {want_code}\n{output}")
+        if rules != sorted(expected):
+            failures.append(
+                f"{case}: findings {rules}, want {sorted(expected)}\n"
+                f"{output}")
+
+    # Directory walks of the real repo must skip the fixture tree: linting
+    # tests/ stays clean despite every known-bad snippet above.
+    code, rules, output = run_linter(
+        ["--root", REPO, os.path.join(REPO, "tests")])
+    if code != 0 or rules:
+        failures.append(
+            f"tests/ walk should skip fixtures but found {rules} "
+            f"(exit {code})\n{output}")
+
+    # Usage errors are exit 2, distinct from findings: a nonexistent path
+    # and a missing manifest.
+    code, _, _ = run_linter([os.path.join(ARCH_FIXTURES, "no_such_dir")])
+    if code != 2:
+        failures.append(f"nonexistent path: exit {code}, want 2")
+    code, _, _ = run_linter(
+        ["--manifest", os.path.join(ARCH_FIXTURES, "no_such.toml")])
+    if code != 2:
+        failures.append(f"missing manifest: exit {code}, want 2")
+
+    if failures:
+        print("arch_lint_test: FAILED")
+        for failure in failures:
+            print(" -", failure)
+        return 1
+    print(f"arch_lint_test: OK ({len(CASES)} cases + walk/usage checks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

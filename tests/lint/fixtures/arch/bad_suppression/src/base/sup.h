@@ -1,0 +1,16 @@
+// Fixture: a layer violation "suppressed" without a reason. The bare
+// allow() still silences the layer-violation finding, but is itself a
+// finding — a suppression must document the invariant that replaces the
+// rule. Expect: bare-allow (and nothing else).
+#ifndef FIXTURE_BASE_SUP_H_
+#define FIXTURE_BASE_SUP_H_
+
+#include "obs/metrics.h"  // arch-lint: allow(layer-violation)
+
+namespace fixture {
+struct Latch {
+  Counter contended;
+};
+}  // namespace fixture
+
+#endif  // FIXTURE_BASE_SUP_H_

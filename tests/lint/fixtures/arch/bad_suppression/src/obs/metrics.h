@@ -1,0 +1,11 @@
+// The obs header the bad-suppression case reaches down into.
+#ifndef FIXTURE_OBS_METRICS_H_
+#define FIXTURE_OBS_METRICS_H_
+
+namespace fixture {
+struct Counter {
+  long value = 0;
+};
+}  // namespace fixture
+
+#endif  // FIXTURE_OBS_METRICS_H_

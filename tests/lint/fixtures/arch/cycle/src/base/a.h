@@ -1,0 +1,15 @@
+// Fixture: two headers including each other. Expect: one arch-cycle
+// finding for the component (reported on its lexicographically first
+// member, this file).
+#ifndef FIXTURE_BASE_A_H_
+#define FIXTURE_BASE_A_H_
+
+#include "base/b.h"
+
+namespace fixture {
+struct A {
+  B* peer;
+};
+}  // namespace fixture
+
+#endif  // FIXTURE_BASE_A_H_

@@ -1,0 +1,13 @@
+// The other half of the a.h <-> b.h cycle.
+#ifndef FIXTURE_BASE_B_H_
+#define FIXTURE_BASE_B_H_
+
+#include "base/a.h"
+
+namespace fixture {
+struct B {
+  A* peer;
+};
+}  // namespace fixture
+
+#endif  // FIXTURE_BASE_B_H_

@@ -1,0 +1,16 @@
+// A layer violation carrying a documented suppression: allowed, because
+// the reason states the invariant that replaces the rule. Expect: clean.
+#ifndef FIXTURE_BASE_REASONED_H_
+#define FIXTURE_BASE_REASONED_H_
+
+// arch-lint: allow(layer-violation) fixture: stands in for a vetted
+// bootstrap edge whose inversion is tracked separately
+#include "obs/counter.h"
+
+namespace fixture {
+struct Bootstrap {
+  Counter startup;
+};
+}  // namespace fixture
+
+#endif  // FIXTURE_BASE_REASONED_H_

@@ -1,0 +1,16 @@
+// Clean translation unit: every name it uses comes from a header it
+// names directly (no lucky includes), and every edge is manifest-allowed
+// (core -> obs, core -> base). Expect: clean.
+#include "base/dep.h"
+#include "obs/counter.h"
+
+namespace fixture {
+
+int Tick(Counter* counter) {
+  Dep next;
+  next.payload = counter->last.payload + 1;
+  counter->last = next;
+  return next.payload;
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// obs -> base is an allowed edge; #pragma once is an accepted guard form.
+#pragma once
+
+#include "base/dep.h"
+
+namespace fixture {
+struct Counter {
+  Dep last;
+};
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: base reaching up into obs. The manifest says base = [] — the
+// bottom layer depends on nothing — so this include is a declared-DAG
+// violation. Expect: layer-violation at the include line.
+#ifndef FIXTURE_BASE_BAD_DEP_H_
+#define FIXTURE_BASE_BAD_DEP_H_
+
+#include "obs/metrics.h"
+
+namespace fixture {
+struct Latch {
+  Counter contended;
+};
+}  // namespace fixture
+
+#endif  // FIXTURE_BASE_BAD_DEP_H_

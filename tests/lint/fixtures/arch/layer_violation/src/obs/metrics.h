@@ -1,0 +1,11 @@
+// A legitimate obs header for the layer-violation case to reach down into.
+#ifndef FIXTURE_OBS_METRICS_H_
+#define FIXTURE_OBS_METRICS_H_
+
+namespace fixture {
+struct Counter {
+  long value = 0;
+};
+}  // namespace fixture
+
+#endif  // FIXTURE_OBS_METRICS_H_

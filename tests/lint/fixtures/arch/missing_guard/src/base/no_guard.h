@@ -1,0 +1,8 @@
+// Fixture: a header with neither an #ifndef/#define guard pair nor
+// #pragma once. Expect: missing-guard.
+
+namespace fixture {
+struct Unguarded {
+  int x = 0;
+};
+}  // namespace fixture

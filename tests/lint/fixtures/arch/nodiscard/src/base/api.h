@@ -1,0 +1,20 @@
+// Fixture: Status-returning declarations in a src/ header. Save() ships
+// bare; Load() carries the annotation (and shows the previous-line form
+// is accepted). Expect: nodiscard-status at Save only.
+#ifndef FIXTURE_BASE_API_H_
+#define FIXTURE_BASE_API_H_
+
+namespace fixture {
+
+class Status {};
+template <typename T>
+class StatusOr {};
+
+Status Save(const char* path);
+
+[[nodiscard]]
+StatusOr<int> Load(const char* path);
+
+}  // namespace fixture
+
+#endif  // FIXTURE_BASE_API_H_

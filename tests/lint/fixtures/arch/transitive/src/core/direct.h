@@ -1,0 +1,13 @@
+// The intermediary: includes base/dep.h (legitimately — it names Dep in
+// its own interface), which is what makes Dep visible to users of this
+// header without their own include.
+#ifndef FIXTURE_CORE_DIRECT_H_
+#define FIXTURE_CORE_DIRECT_H_
+
+#include "base/dep.h"
+
+namespace fixture {
+Dep MakeDep(int payload);
+}  // namespace fixture
+
+#endif  // FIXTURE_CORE_DIRECT_H_

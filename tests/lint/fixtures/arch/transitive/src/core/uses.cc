@@ -1,0 +1,14 @@
+// Fixture: uses Dep — declared only in base/dep.h, which arrives here
+// transitively through core/direct.h. Compiles today, breaks the moment
+// direct.h drops the include. Expect: transitive-include at the first
+// use of Dep.
+#include "core/direct.h"
+
+namespace fixture {
+
+int Consume() {
+  Dep dep = MakeDep(7);
+  return dep.payload;
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: range-for over `auto` locals that alias an unordered member in
+// a canonical-output path. The hash table does not become ordered by being
+// rebound — including through a chain of rebinds. Expect: unordered-iter
+// at both loops.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Index {
+  std::unordered_map<std::string, uint64_t> counts;
+};
+
+uint64_t Emit(const Index& index) {
+  uint64_t total = 0;
+  const auto& live = index.counts;
+  for (const auto& [shape, count] : live) total += count;  // BAD
+  auto& rebound = live;
+  for (const auto& [shape, count] : rebound) total ^= count;  // BAD
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Fixture: `auto` locals that either don't alias a hash table, or whose
+// iteration is suppressed with a documented invariant. Expect: clean.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Index {
+  std::unordered_map<uint64_t, uint64_t> counts;
+  std::vector<uint64_t> sorted_shapes;
+};
+
+uint64_t Emit(const Index& index) {
+  uint64_t total = 0;
+  // Binding a vector through auto stays ordered — no finding.
+  const auto& shapes = index.sorted_shapes;
+  for (uint64_t shape : shapes) total += shape;
+  // Aliasing the hash table is fine when the fold is commutative and the
+  // suppression says so.
+  const auto& live = index.counts;
+  for (const auto& [shape, count] : live) total += count;  // chase-lint: allow(unordered-iter) commutative fold: a sum
+  return total;
+}
+
+std::vector<uint64_t> Sorted(const Index& index) {
+  const auto& live = index.counts;
+  std::vector<uint64_t> out;
+  out.reserve(live.size());
+  // chase-lint: allow(unordered-iter) sorted before emit: std::sort below
+  for (const auto& [shape, count] : live) out.push_back(shape);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace fixture

@@ -27,6 +27,9 @@ CASES = {
     os.path.join("src", "index", "bad_unordered_iter.cc"):
         ["unordered-iter", "unordered-iter"],
     os.path.join("src", "index", "good_unordered_iter.cc"): [],
+    os.path.join("src", "index", "bad_unordered_auto.cc"):
+        ["unordered-iter", "unordered-iter"],
+    os.path.join("src", "index", "good_unordered_auto.cc"): [],
     os.path.join("src", "core", "bad_nondet.cc"):
         ["banned-nondet"] * 5,
     os.path.join("src", "base", "rng.h"): [],
@@ -35,7 +38,7 @@ CASES = {
     os.path.join("tools", "good_raw_sto.cc"): [],
     os.path.join("src", "core", "bad_naked_thread.cc"):
         ["naked-thread", "naked-thread"],
-    os.path.join("src", "base", "frontier_pool.cc"): [],
+    os.path.join("src", "exec", "frontier_pool.cc"): [],
     os.path.join("src", "core", "bad_envelope.cc"): ["envelope-io"],
     os.path.join("src", "io", "binary_io.cc"): [],
     os.path.join("src", "index", "bad_bare_allow.cc"): ["bare-allow"],

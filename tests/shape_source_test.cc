@@ -15,6 +15,7 @@
 
 #include "base/rng.h"
 #include "gen/data_generator.h"
+#include "index/find_shapes.h"
 #include "pager/disk_database.h"
 #include "pager/disk_shape_source.h"
 #include "storage/catalog.h"
@@ -24,7 +25,6 @@
 namespace chase {
 namespace {
 
-using storage::FindShapes;
 using storage::ShapeFinderMode;
 
 std::string TempPath(const std::string& name) {
@@ -68,7 +68,7 @@ TEST(ShapeSourceTest, AllBackendModeThreadCombinationsAgree) {
            {ShapeFinderMode::kScan, ShapeFinderMode::kExists,
             ShapeFinderMode::kIndex}) {
         for (unsigned threads : {1u, 2u, 4u}) {
-          auto shapes = FindShapes(*source, {mode, threads});
+          auto shapes = index::FindShapes(*source, {mode, threads});
           ASSERT_TRUE(shapes.ok()) << shapes.status();
           EXPECT_EQ(*shapes, expected)
               << "trial " << trial << ", backend " << source->Name()
@@ -137,8 +137,8 @@ TEST(ShapeSourceTest, MeteringIsUniformAcrossBackends) {
       storage::Catalog catalog(data.database.get());
       storage::MemoryShapeSource memory(&catalog);
       pager::DiskShapeSource disk(disk_db->get());
-      ASSERT_TRUE(FindShapes(memory, {mode, threads}).ok());
-      ASSERT_TRUE(FindShapes(disk, {mode, threads}).ok());
+      ASSERT_TRUE(index::FindShapes(memory, {mode, threads}).ok());
+      ASSERT_TRUE(index::FindShapes(disk, {mode, threads}).ok());
       // The plans execute the same logical accesses on both backends: heap
       // order preserves row-store order, so scans and early exits align.
       EXPECT_EQ(memory.stats().tuples_scanned, disk.stats().tuples_scanned);
@@ -193,7 +193,7 @@ TEST(ShapeSourceTest, ParallelDiskScanCountsEveryTupleOnce) {
   ASSERT_TRUE(disk_db.ok()) << disk_db.status();
 
   pager::DiskShapeSource disk(disk_db->get());
-  auto shapes = FindShapes(disk, {ShapeFinderMode::kScan, /*threads=*/4});
+  auto shapes = index::FindShapes(disk, {ShapeFinderMode::kScan, /*threads=*/4});
   ASSERT_TRUE(shapes.ok()) << shapes.status();
   EXPECT_EQ(disk.stats().tuples_scanned, data.database->TotalFacts());
   std::remove(path.c_str());

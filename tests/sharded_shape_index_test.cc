@@ -26,6 +26,7 @@
 #include "core/is_chase_finite.h"
 #include "gen/data_generator.h"
 #include "gen/tgd_generator.h"
+#include "index/find_shapes.h"
 #include "index/sharded_shape_index.h"
 #include "io/binary_io.h"
 #include "logic/parser.h"
@@ -41,7 +42,6 @@ namespace {
 
 using index::IndexBuildOptions;
 using index::ShardedShapeIndex;
-using storage::FindShapes;
 using storage::ShapeFinderMode;
 
 std::string TempPath(const std::string& name) {
@@ -131,7 +131,7 @@ TEST(ShardedShapeIndexTest, BuildMatchesSerialOracleOnBothBackends) {
         }
       }
       auto via_finder =
-          FindShapes(*source, {ShapeFinderMode::kIndex, /*threads=*/4});
+          index::FindShapes(*source, {ShapeFinderMode::kIndex, /*threads=*/4});
       ASSERT_TRUE(via_finder.ok()) << via_finder.status();
       EXPECT_EQ(*via_finder, expected);
     }
@@ -322,7 +322,7 @@ TEST(ShardedShapeIndexTest, IndexModeAgreesWithScanAndExistsEverywhere) {
     ASSERT_TRUE(disk_db.ok()) << disk_db.status();
     pager::DiskShapeSource disk(disk_db->get());
 
-    auto expected = FindShapes(memory, {ShapeFinderMode::kScan, 1});
+    auto expected = index::FindShapes(memory, {ShapeFinderMode::kScan, 1});
     ASSERT_TRUE(expected.ok());
     for (const storage::ShapeSource* source :
          {static_cast<const storage::ShapeSource*>(&memory),
@@ -331,7 +331,7 @@ TEST(ShardedShapeIndexTest, IndexModeAgreesWithScanAndExistsEverywhere) {
            {ShapeFinderMode::kScan, ShapeFinderMode::kExists,
             ShapeFinderMode::kIndex}) {
         for (unsigned threads : {1u, 4u}) {
-          auto shapes = FindShapes(*source, {mode, threads});
+          auto shapes = index::FindShapes(*source, {mode, threads});
           ASSERT_TRUE(shapes.ok()) << shapes.status();
           EXPECT_EQ(*shapes, *expected)
               << "trial " << trial << ", backend " << source->Name()

@@ -56,7 +56,7 @@
 #include "acyclicity/mfa.h"
 #include "acyclicity/super_weak_acyclicity.h"
 #include "acyclicity/uniform.h"
-#include "base/frontier_pool.h"
+#include "base/status.h"
 #include "base/timer.h"
 #include "chase/chase_engine.h"
 #include "core/dynamic_simplification.h"
@@ -64,17 +64,25 @@
 #include "core/is_chase_finite.h"
 #include "core/normalize.h"
 #include "core/weak_acyclicity.h"
+#include "exec/frontier_pool.h"
 #include "gen/data_generator.h"
+#include "gen/tgd_generator.h"
 #include "graph/dependency_graph.h"
 #include "graph/dot.h"
-#include "gen/tgd_generator.h"
+#include "index/find_shapes.h"
 #include "index/sharded_shape_index.h"
 #include "io/binary_io.h"
+#include "logic/atom.h"
 #include "logic/parser.h"
 #include "logic/printer.h"
+#include "logic/schema.h"
+#include "logic/shape.h"
+#include "logic/term.h"
+#include "logic/tgd.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
+#include "pager/buffer_pool.h"
 #include "pager/disk_database.h"
 #include "pager/disk_shape_source.h"
 #include "query/conjunctive_query.h"
@@ -635,7 +643,7 @@ int CmdSimplify(const Args& args) {
   storage::Catalog catalog(program->database.get());
   storage::MemoryShapeSource source(&catalog);
   Timer timer;
-  auto shapes = storage::FindShapes(
+  auto shapes = index::FindShapes(
       source, {.mode = finder_mode, .threads = threads});
   if (!shapes.ok()) return Fail(shapes.status());
   const double shapes_ms = timer.ElapsedMillis();
@@ -821,7 +829,7 @@ int CmdFindShapes(const Args& args) {
   // run so the report excludes the Create-phase load above.
   const storage::IoCounters io_before = source->Io();
   Timer timer;
-  auto shapes = storage::FindShapes(*source, options);
+  auto shapes = index::FindShapes(*source, options);
   const double elapsed_ms = timer.ElapsedMillis();
   if (!shapes.ok()) return Fail(shapes.status());
 

@@ -10,7 +10,9 @@ patterns that protect it, on every file, in CI:
                    src/index/). Hash-table iteration order is
                    implementation-defined, so every such loop must either
                    sort before emitting or be a commutative fold — and must
-                   say so in a suppression comment.
+                   say so in a suppression comment. Locals bound through
+                   `auto` (`auto& live = shards_;`) inherit the container's
+                   unordered-ness, resolved to a fixpoint.
 
   banned-nondet    Nondeterminism sources outside the sanctioned homes
                    (src/base/rng.h, src/base/hash.h): rand/srand,
@@ -24,7 +26,7 @@ patterns that protect it, on every file, in CI:
                    ParseU64Flag: strtoull + errno + end-pointer checks).
 
   naked-thread     std::thread creation outside the sanctioned spawners
-                   (WorkerPool in src/base/frontier_pool, Prefetcher in
+                   (WorkerPool in src/exec/frontier_pool, Prefetcher in
                    src/pager/prefetcher, ProgressReporter/MetricsDumper in
                    src/obs/progress). One pool, one read-ahead crew, one
                    reporter tick — nothing else spawns.
@@ -77,6 +79,11 @@ UNORDERED_DECL_RE = re.compile(
     r"\bunordered_(?:map|set)\s*<[^;{}]*>\s+(\w+)")
 UNORDERED_ALIAS_RE = re.compile(
     r"\busing\s+(\w+)\s*=\s*(?:std::)?unordered_(?:map|set)\b")
+# `auto` locals bound to another object (by value, reference, or
+# dereference) — if the initializer resolves to a known unordered
+# container, the local inherits its unordered-ness; see unordered_names().
+UNORDERED_AUTO_RE = re.compile(
+    r"\b(?:const\s+)?auto\s*(?:&&?|\*)?\s*(\w+)\s*=\s*([^;={}]+);")
 RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;()]*?:\s*([^)]+)\)")
 TRAILING_IDENT_RE = re.compile(r"(\w+)\s*$")
 
@@ -100,8 +107,8 @@ RAW_STO_RE = re.compile(r"\b(?:std::sto(?:i|l|ll|ul|ull|f|d|ld)"
 
 # naked-thread --------------------------------------------------------------
 THREAD_SPAWNERS = (
-    os.path.join("src", "base", "frontier_pool.h"),
-    os.path.join("src", "base", "frontier_pool.cc"),
+    os.path.join("src", "exec", "frontier_pool.h"),
+    os.path.join("src", "exec", "frontier_pool.cc"),
     os.path.join("src", "pager", "prefetcher.h"),
     os.path.join("src", "pager", "prefetcher.cc"),
     os.path.join("src", "obs", "progress.h"),
@@ -280,6 +287,24 @@ class FileLinter:
             for code in decl_sources:
                 for match in alias_decl.finditer(code):
                     names.add(match.group(1))
+        # An `auto` local bound to an unordered container is the same hash
+        # table under a new name — `auto& live = shards_;` then range-for
+        # over `live` is exactly as order-unstable as iterating shards_
+        # directly. The initializer's trailing identifier is resolved the
+        # same way the range expression is, and the set is closed to a
+        # fixpoint so chained rebinds (`auto& a = m; auto& b = a;`)
+        # propagate.
+        changed = True
+        while changed:
+            changed = False
+            for code in decl_sources:
+                for match in UNORDERED_AUTO_RE.finditer(code):
+                    new_name, init = match.group(1), match.group(2)
+                    source = TRAILING_IDENT_RE.search(init.strip())
+                    if (source and source.group(1) in names
+                            and new_name not in names):
+                        names.add(new_name)
+                        changed = True
         return names
 
     def check_unordered_iter(self):
